@@ -1,0 +1,66 @@
+// Package circuits exposes the benchmark problems of the EasyBO paper as
+// ready-to-optimize easybo.Problem values: the two-stage operational
+// amplifier (DAC'20 §IV-A, 10 design variables) and the class-E power
+// amplifier (§IV-B, 12 design variables), both evaluated by the library's
+// built-in SPICE-like simulator, plus classic synthetic test functions.
+//
+// Each circuit problem carries the calibrated simulation-cost model used by
+// the paper-reproduction experiments, so Optimize reports realistic virtual
+// simulator time.
+package circuits
+
+import (
+	"easybo"
+	"easybo/internal/objective"
+	"easybo/internal/testbench"
+)
+
+func wrap(p *objective.Problem) easybo.Problem {
+	return easybo.Problem{
+		Name: p.Name, Lo: p.Lo, Hi: p.Hi,
+		Objective: p.Eval, Cost: p.Cost,
+	}
+}
+
+// OpAmp returns the two-stage Miller-compensated operational-amplifier
+// sizing problem: maximize 1.2·GAIN(dB) + 10·UGF(MHz) + 1.6·PM(deg)
+// over 10 variables (device geometries, Miller capacitor, nulling resistor).
+func OpAmp() easybo.Problem { return wrap(testbench.OpAmp()) }
+
+// OpAmpVariables names the op-amp design vector entries.
+func OpAmpVariables() []string { return append([]string(nil), testbench.OpAmpVars...) }
+
+// OpAmpPerformance reports the individual op-amp metrics at a design point
+// (gain in dB, unity-gain frequency in MHz, phase margin in degrees).
+func OpAmpPerformance(x []float64) (gainDB, ugfMHz, pmDeg float64, valid bool) {
+	p := testbench.EvalOpAmp(x)
+	return p.GainDB, p.UGFMHz, p.PMDeg, p.Valid
+}
+
+// ClassE returns the class-E power-amplifier design problem: maximize
+// 3·PAE + Pout(W) over 12 variables (load network reactances, switch and
+// driver sizing, gate bias network).
+func ClassE() easybo.Problem { return wrap(testbench.ClassE()) }
+
+// ClassEVariables names the class-E design vector entries.
+func ClassEVariables() []string { return append([]string(nil), testbench.ClassEVars...) }
+
+// ClassEPerformance reports the individual class-E metrics at a design
+// point (output power in watts, power-added efficiency as a fraction).
+func ClassEPerformance(x []float64) (poutW, pae float64, valid bool) {
+	p := testbench.EvalClassE(x)
+	return p.PoutW, p.PAE, p.Valid
+}
+
+// Branin returns the negated Branin-Hoo function (2-D, max 0), the classic
+// BO smoke test.
+func Branin() easybo.Problem { return wrap(objective.Branin()) }
+
+// Hartmann6 returns the negated 6-D Hartmann function (max ≈ 3.322).
+func Hartmann6() easybo.Problem { return wrap(objective.Hartmann6()) }
+
+// Ackley returns the negated d-dimensional Ackley function (max 0).
+func Ackley(d int) easybo.Problem { return wrap(objective.Ackley(d)) }
+
+// Rosenbrock returns the negated d-dimensional Rosenbrock function (max 0).
+func Rosenbrock(d int) easybo.Problem { return wrap(objective.Rosenbrock(d)) }

@@ -1,0 +1,258 @@
+// Command acsim demonstrates the built-in SPICE-like circuit simulator (the
+// substrate that replaces HSPICE in the EasyBO reproduction) on a set of
+// built-in netlists.
+//
+// Usage:
+//
+//	acsim -circuit rc -analysis tran        # RC step response
+//	acsim -circuit rlc -analysis ac         # series-RLC resonance sweep
+//	acsim -circuit amp -analysis op         # MOS common-source bias point
+//	acsim -circuit opamp                    # op-amp testbench Bode summary
+//	acsim -circuit classe                   # class-E waveform summary
+//	acsim -file my.sp -analysis op          # SPICE-flavoured netlist file
+//	acsim -file my.sp -analysis dc -sweep V1,0,1.8,37 -node out
+//	acsim -file my.sp -analysis tran -tstop 1m -tstep 1u -node out
+//	acsim -file my.sp -analysis ac -fstart 10 -fstop 1g -node out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"easybo/internal/circuit"
+	"easybo/internal/testbench"
+)
+
+func main() {
+	var (
+		ckt    = flag.String("circuit", "rc", "built-in circuit: rc | rlc | amp | opamp | classe")
+		an     = flag.String("analysis", "", "op | ac | dc | tran (default: the circuit's showcase analysis)")
+		file   = flag.String("file", "", "netlist file (overrides -circuit)")
+		node   = flag.String("node", "", "node to report (netlist mode)")
+		tstop  = flag.String("tstop", "1m", "transient stop time")
+		tstep  = flag.String("tstep", "1u", "transient step")
+		fstart = flag.String("fstart", "10", "AC sweep start frequency")
+		fstop  = flag.String("fstop", "1g", "AC sweep stop frequency")
+		sweep  = flag.String("sweep", "", "DC sweep spec: source,from,to,steps")
+	)
+	flag.Parse()
+
+	if *file != "" {
+		runNetlistFile(*file, orDefault(*an, "op"), *node, *tstop, *tstep, *fstart, *fstop, *sweep)
+		return
+	}
+	switch *ckt {
+	case "rc":
+		runRC(orDefault(*an, "tran"))
+	case "rlc":
+		runRLC(orDefault(*an, "ac"))
+	case "amp":
+		runAmp(orDefault(*an, "op"))
+	case "opamp":
+		runOpAmp()
+	case "classe":
+		runClassE()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown circuit %q\n", *ckt)
+		os.Exit(2)
+	}
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+func runRC(an string) {
+	c := circuit.New("rc")
+	c.AddV("V1", "in", "0", circuit.Pulse{V1: 0, V2: 1, Rise: 1e-9, Width: 1, Period: 2})
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddC("C1", "out", "0", 1e-6)
+	switch an {
+	case "tran":
+		res, err := c.Tran(circuit.TranOptions{TStop: 5e-3, TStep: 50e-6, UIC: true})
+		check(err)
+		fmt.Println("RC lowpass step response (τ = 1 ms):")
+		fmt.Println("      t(ms)    v(out)    1-exp(-t/τ)")
+		v := res.Node("out")
+		for i := 0; i < len(res.T); i += 10 {
+			t := res.T[i]
+			fmt.Printf("    %7.2f  %8.4f   %8.4f\n", t*1e3, v[i], 1-math.Exp(-t/1e-3))
+		}
+	case "ac":
+		v := c.AddV("Vac", "in2", "0", circuit.DC(0))
+		v.ACMag = 1
+		fmt.Println("use -circuit rlc -analysis ac for a sweep demo")
+	default:
+		fmt.Println("rc supports tran")
+	}
+}
+
+func runRLC(an string) {
+	c := circuit.New("rlc")
+	v := c.AddV("V1", "in", "0", circuit.DC(0))
+	v.ACMag = 1
+	l := c.AddL("L1", "in", "a", 1e-6)
+	l.ESR = 0.5
+	c.AddC("C1", "a", "out", 1e-9)
+	c.AddR("R1", "out", "0", 50)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-6*1e-9))
+	switch an {
+	case "ac":
+		freqs := circuit.LogSpace(f0/30, f0*30, 31)
+		res, err := c.AC(nil, freqs)
+		check(err)
+		bode := circuit.BodeOf(res, "out")
+		fmt.Printf("series RLC bandpass (f0 = %.3f MHz):\n", f0/1e6)
+		fmt.Println("     f(MHz)    |H|(dB)   phase(deg)")
+		for i, f := range bode.Freq {
+			fmt.Printf("   %8.3f  %9.2f   %9.1f\n", f/1e6, bode.MagDB[i], bode.PhaseDeg[i])
+		}
+	default:
+		fmt.Println("rlc supports ac")
+	}
+}
+
+func runAmp(an string) {
+	c := circuit.New("cs-amp")
+	c.AddV("VDD", "vdd", "0", circuit.DC(1.8))
+	vg := c.AddV("VG", "g", "0", circuit.DC(0.9))
+	vg.ACMag = 1
+	c.AddR("RD", "vdd", "d", 10e3)
+	c.AddMOS("M1", "d", "g", "0", circuit.DefaultNMOS(10e-6, 1e-6))
+	op, stats, err := c.OP(nil)
+	check(err)
+	switch an {
+	case "op":
+		fmt.Println("NMOS common-source operating point:")
+		fmt.Printf("  V(d) = %.4f V   V(g) = %.4f V   (Newton iterations: %d)\n",
+			op.V("d"), op.V("g"), stats.Iterations)
+		i, _ := op.BranchCurrent("VDD")
+		fmt.Printf("  supply current = %.2f µA\n", math.Abs(i)*1e6)
+	case "ac":
+		res, err := c.AC(op, circuit.LogSpace(1e3, 1e9, 25))
+		check(err)
+		bode := circuit.BodeOf(res, "d")
+		fmt.Println("common-source gain sweep:")
+		for i, f := range bode.Freq {
+			fmt.Printf("  %10.0f Hz  %8.2f dB\n", f, bode.MagDB[i])
+		}
+	default:
+		fmt.Println("amp supports op and ac")
+	}
+}
+
+func runOpAmp() {
+	lo, hi := testbench.OpAmpBounds()
+	x := make([]float64, len(lo))
+	for i := range x {
+		x[i] = 0.5 * (lo[i] + hi[i])
+	}
+	perf := testbench.EvalOpAmp(x)
+	fmt.Println("two-stage op-amp testbench at the design-box midpoint:")
+	fmt.Printf("  GAIN = %.1f dB   UGF = %.2f MHz   PM = %.1f°   VoutDC = %.3f V   valid = %v\n",
+		perf.GainDB, perf.UGFMHz, perf.PMDeg, perf.VoutDC, perf.Valid)
+	fmt.Printf("  FOM (Eq. 10) = %.2f\n", testbench.OpAmpFOM(perf))
+}
+
+func runClassE() {
+	lo, hi := testbench.ClassEBounds()
+	x := make([]float64, len(lo))
+	for i := range x {
+		x[i] = 0.5 * (lo[i] + hi[i])
+	}
+	perf := testbench.EvalClassE(x)
+	fmt.Println("class-E PA testbench at the design-box midpoint:")
+	fmt.Printf("  Pout = %.3f W   PAE = %.1f%%   Pdc = %.3f W   Vdrain,pk = %.1f V   periods = %d\n",
+		perf.PoutW, 100*perf.PAE, perf.PdcW, perf.VdrainPk, perf.Periods)
+	fmt.Printf("  FOM (Eq. 11) = %.3f\n", testbench.ClassEFOM(perf))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runNetlistFile parses a SPICE-flavoured netlist and runs the requested
+// analysis, printing the chosen node (or all nodes for op).
+func runNetlistFile(path, an, node, tstop, tstep, fstart, fstop, sweep string) {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	c, err := circuit.ParseNetlist(f, path)
+	check(err)
+
+	switch an {
+	case "op":
+		sol, stats, err := c.OP(nil)
+		check(err)
+		fmt.Printf("operating point of %s (%d Newton iterations):\n", path, stats.Iterations)
+		for _, n := range c.NodeNames() {
+			fmt.Printf("  V(%-10s) = %12.6g V\n", n, sol.V(n))
+		}
+	case "dc":
+		parts := strings.Split(sweep, ",")
+		if len(parts) != 4 {
+			check(fmt.Errorf("dc analysis needs -sweep source,from,to,steps"))
+		}
+		from, err := circuit.ParseValue(parts[1])
+		check(err)
+		to, err := circuit.ParseValue(parts[2])
+		check(err)
+		var steps int
+		_, err = fmt.Sscanf(parts[3], "%d", &steps)
+		check(err)
+		res, err := c.DCSweep(parts[0], from, to, steps)
+		check(err)
+		vs := res.V(node)
+		if vs == nil {
+			check(fmt.Errorf("unknown node %q", node))
+		}
+		fmt.Printf("%12s %12s\n", parts[0], "V("+node+")")
+		for k := range res.Values {
+			fmt.Printf("%12.6g %12.6g\n", res.Values[k], vs[k])
+		}
+	case "tran":
+		ts, err := circuit.ParseValue(tstop)
+		check(err)
+		dt, err := circuit.ParseValue(tstep)
+		check(err)
+		res, err := c.Tran(circuit.TranOptions{TStop: ts, TStep: dt})
+		check(err)
+		vs := res.Node(node)
+		if vs == nil {
+			check(fmt.Errorf("unknown node %q (use -node)", node))
+		}
+		stride := len(res.T) / 40
+		if stride < 1 {
+			stride = 1
+		}
+		fmt.Printf("%14s %14s\n", "t(s)", "V("+node+")")
+		for i := 0; i < len(res.T); i += stride {
+			fmt.Printf("%14.6g %14.6g\n", res.T[i], vs[i])
+		}
+	case "ac":
+		f0, err := circuit.ParseValue(fstart)
+		check(err)
+		f1, err := circuit.ParseValue(fstop)
+		check(err)
+		op, _, err := c.OP(nil)
+		check(err)
+		res, err := c.AC(op, circuit.LogSpace(f0, f1, 41))
+		check(err)
+		bode := circuit.BodeOf(res, node)
+		fmt.Printf("%14s %12s %12s\n", "f(Hz)", "|H|(dB)", "phase(deg)")
+		for k := range bode.Freq {
+			fmt.Printf("%14.6g %12.3f %12.2f\n", bode.Freq[k], bode.MagDB[k], bode.PhaseDeg[k])
+		}
+	default:
+		check(fmt.Errorf("unknown analysis %q", an))
+	}
+}

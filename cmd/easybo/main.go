@@ -1,0 +1,86 @@
+// Command easybo optimizes a named benchmark problem with any of the
+// library's algorithms and prints the result.
+//
+// Usage:
+//
+//	easybo -problem opamp -algo easybo -workers 10 -evals 150 -seed 1
+//	easybo -problem classe -algo pbo -workers 5 -evals 450
+//	easybo -problem branin -algo ei -evals 60 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"easybo"
+	"easybo/circuits"
+)
+
+func main() {
+	var (
+		problem = flag.String("problem", "branin", "problem: opamp | classe | branin | hartmann6 | ackley | rosenbrock")
+		algo    = flag.String("algo", "easybo", "algorithm: easybo | easybo-a | easybo-sp | easybo-s | pbo | phcbo | ei | lcb | de | random")
+		workers = flag.Int("workers", 5, "parallel workers (batch size B)")
+		evals   = flag.Int("evals", 150, "total evaluations including the initial design")
+		initN   = flag.Int("init", 20, "initial design size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		trace   = flag.Bool("trace", false, "print every evaluation")
+		dim     = flag.Int("dim", 6, "dimension for ackley/rosenbrock")
+	)
+	flag.Parse()
+
+	var p easybo.Problem
+	switch strings.ToLower(*problem) {
+	case "opamp":
+		p = circuits.OpAmp()
+	case "classe":
+		p = circuits.ClassE()
+	case "branin":
+		p = circuits.Branin()
+	case "hartmann6":
+		p = circuits.Hartmann6()
+	case "ackley":
+		p = circuits.Ackley(*dim)
+	case "rosenbrock":
+		p = circuits.Rosenbrock(*dim)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
+		os.Exit(2)
+	}
+
+	opts := easybo.Options{
+		Algorithm:  easybo.Algorithm(*algo),
+		Workers:    *workers,
+		MaxEvals:   *evals,
+		InitPoints: *initN,
+		Seed:       *seed,
+	}
+	res, err := easybo.Optimize(p, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easybo:", err)
+		os.Exit(1)
+	}
+
+	if *trace {
+		fmt.Println("  #    worker   start(s)     end(s)          y")
+		for i, e := range res.Evaluations {
+			fmt.Printf("%4d %8d %10.1f %10.1f %12.4f\n", i, e.Worker, e.Start, e.End, e.Y)
+		}
+	}
+	fmt.Printf("problem:   %s (%d variables)\n", p.Name, len(p.Lo))
+	fmt.Printf("algorithm: %s, B=%d, %d evaluations\n", *algo, *workers, len(res.Evaluations))
+	fmt.Printf("best FOM:  %.4f\n", res.BestY)
+	fmt.Printf("sim time:  %.0f virtual seconds\n", res.Seconds)
+	fmt.Printf("best x:    %v\n", res.BestX)
+
+	switch strings.ToLower(*problem) {
+	case "opamp":
+		gain, ugf, pm, valid := circuits.OpAmpPerformance(res.BestX)
+		fmt.Printf("           GAIN %.1f dB | UGF %.1f MHz | PM %.1f° | valid=%v\n", gain, ugf, pm, valid)
+	case "classe":
+		pout, pae, valid := circuits.ClassEPerformance(res.BestX)
+		fmt.Printf("           Pout %.3f W | PAE %.1f%% | valid=%v\n", pout, 100*pae, valid)
+	}
+}

@@ -1,0 +1,204 @@
+package easybo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"easybo/internal/core"
+	"easybo/internal/gp"
+	"easybo/internal/sched"
+	"easybo/internal/stats"
+)
+
+// Constraint is a black-box inequality constraint: the design x is feasible
+// when the returned value is <= 0. Constraints are evaluated together with
+// the objective (one simulator run yields all outputs, as is typical for a
+// circuit testbench).
+type Constraint func(x []float64) float64
+
+// ConstrainedEvaluation extends Evaluation with the measured constraints.
+type ConstrainedEvaluation struct {
+	Evaluation
+	Constraints []float64
+	Feasible    bool
+}
+
+// ConstrainedResult is the outcome of OptimizeConstrained.
+type ConstrainedResult struct {
+	// BestX/BestY describe the best FEASIBLE design found; Found is false
+	// when no feasible design was observed within the budget (BestX then
+	// holds the design with the smallest worst-case violation).
+	BestX       []float64
+	BestY       float64
+	Found       bool
+	Evaluations []ConstrainedEvaluation
+	Seconds     float64
+}
+
+// OptimizeConstrained maximizes the objective subject to c_j(x) <= 0 with
+// asynchronous constrained EasyBO: independent GP surrogates for the
+// objective and every constraint, feasibility-weighted acquisition, and the
+// same hallucination-based batch diversity as the unconstrained algorithm.
+// This implements the constrained extension the paper announces as future
+// work (§II-A).
+func OptimizeConstrained(p Problem, constraints []Constraint, opts Options) (*ConstrainedResult, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	if len(constraints) == 0 {
+		return nil, errors.New("easybo: OptimizeConstrained requires at least one constraint")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.InitPoints <= 0 {
+		opts.InitPoints = 20
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 150
+	}
+	if opts.MaxEvals < opts.InitPoints {
+		opts.InitPoints = opts.MaxEvals
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 6
+	}
+	if opts.RefitEvery <= 0 {
+		opts.RefitEvery = 5
+	}
+	if opts.FitIters <= 0 {
+		opts.FitIters = 30
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	d := len(p.Lo)
+
+	// The virtual executor evaluates objective and constraints in one run.
+	type payload struct {
+		y float64
+		c []float64
+	}
+	payloads := map[int]payload{} // keyed by launch ID
+	nextID := 0
+	ex := sched.NewVirtual(opts.Workers, func(x []float64) (float64, float64) {
+		y := p.Objective(x)
+		cs := make([]float64, len(constraints))
+		for j, c := range constraints {
+			cs[j] = c(x)
+		}
+		payloads[nextID] = payload{y, cs}
+		nextID++
+		cost := 1.0
+		if p.Cost != nil {
+			cost = p.Cost(x)
+		}
+		return y, cost
+	})
+
+	proposer := &core.ConstrainedProposer{Lambda: opts.Lambda, Penalize: opts.Algorithm != EasyBOA}
+
+	var init [][]float64
+	for _, u := range stats.LatinHypercube(rng, opts.InitPoints, d) {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = p.Lo[j] + u[j]*(p.Hi[j]-p.Lo[j])
+		}
+		init = append(init, x)
+	}
+
+	res := &ConstrainedResult{BestY: math.Inf(-1)}
+	var obsX [][]float64
+	var obsY []float64
+	obsC := make([][]float64, len(constraints)) // per-constraint columns
+	anyFeasible := false
+	bestViolation := math.Inf(1)
+
+	trainAll := func() (*gp.Model, []*gp.Model, error) {
+		objM, err := gp.Train(obsX, obsY, p.Lo, p.Hi, rng,
+			&gp.TrainOptions{Fit: &gp.FitOptions{Iters: opts.FitIters, Restarts: 1}})
+		if err != nil {
+			return nil, nil, err
+		}
+		consM := make([]*gp.Model, len(constraints))
+		for j := range constraints {
+			consM[j], err = gp.Train(obsX, obsC[j], p.Lo, p.Hi, rng,
+				&gp.TrainOptions{Fit: &gp.FitOptions{Iters: opts.FitIters / 2, Restarts: 1}})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return objM, consM, nil
+	}
+
+	launched, completed := 0, 0
+	for launched < len(init) && launched < opts.MaxEvals && ex.Idle() > 0 {
+		if err := ex.Launch(init[launched]); err != nil {
+			return nil, err
+		}
+		launched++
+	}
+	for completed < opts.MaxEvals {
+		r, ok := ex.Wait()
+		if !ok {
+			return nil, errors.New("easybo: executor drained early")
+		}
+		completed++
+		pl := payloads[r.ID]
+		delete(payloads, r.ID)
+		feasible := true
+		worst := math.Inf(-1)
+		for _, cv := range pl.c {
+			if cv > 0 {
+				feasible = false
+			}
+			if cv > worst {
+				worst = cv
+			}
+		}
+		res.Evaluations = append(res.Evaluations, ConstrainedEvaluation{
+			Evaluation:  Evaluation{X: r.X, Y: r.Y, Start: r.Start, End: r.End, Worker: r.Worker},
+			Constraints: pl.c,
+			Feasible:    feasible,
+		})
+		obsX = append(obsX, r.X)
+		obsY = append(obsY, r.Y)
+		for j := range constraints {
+			obsC[j] = append(obsC[j], pl.c[j])
+		}
+		switch {
+		case feasible && (!res.Found || r.Y > res.BestY):
+			res.BestX, res.BestY, res.Found = r.X, r.Y, true
+			anyFeasible = true
+		case !res.Found && worst < bestViolation:
+			res.BestX = r.X
+			bestViolation = worst
+		}
+		if r.End > res.Seconds {
+			res.Seconds = r.End
+		}
+
+		if launched >= opts.MaxEvals {
+			continue
+		}
+		var next []float64
+		if launched < len(init) {
+			next = init[launched]
+		} else {
+			objM, consM, err := trainAll()
+			if err != nil {
+				return nil, err
+			}
+			next, err = proposer.ProposeConstrained(objM, consM, ex.Busy(), p.Lo, p.Hi, anyFeasible, rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := ex.Launch(next); err != nil {
+			return nil, err
+		}
+		launched++
+	}
+	_ = ip
+	return res, nil
+}

@@ -1,0 +1,33 @@
+// Package easybo is an efficient asynchronous batch Bayesian optimization
+// library for analog circuit synthesis and other expensive black-box
+// maximization problems. It reproduces the EasyBO algorithm of
+//
+//	S. Zhang, F. Yang, D. Zhou, X. Zeng: "An Efficient Asynchronous Batch
+//	Bayesian Optimization Approach for Analog Circuit Synthesis", DAC 2020.
+//
+// EasyBO drives B parallel workers without synchronization barriers:
+// whenever a worker becomes idle it immediately receives the maximizer of a
+// randomized-weight acquisition α(x,w) = (1−w)·µ(x) + w·σ̂(x), where
+// w = κ/(κ+1) with κ ~ U[0,λ] concentrates sampling on exploration, and σ̂
+// is the posterior deviation of a surrogate that "hallucinates" the
+// still-running queries as pseudo-observations — collapsing uncertainty
+// around busy points so the batch stays diverse without hard penalties.
+//
+// Three entry points cover the common uses:
+//
+//   - Optimize runs a complete optimization against a Problem whose
+//     evaluations are plain Go functions, on a virtual-time executor (exact,
+//     deterministic wall-clock accounting when a Cost model is provided).
+//   - OptimizeParallel does the same on real goroutines, for objective
+//     functions that are genuinely expensive (external simulators, network
+//     calls).
+//   - NewLoop exposes an ask-tell interface: Suggest returns the next point
+//     to evaluate (accounting for everything suggested but not yet
+//     observed), Observe feeds results back. Use this to embed EasyBO in an
+//     existing job system.
+//
+// The circuits subpackage provides the paper's two benchmark problems —
+// a two-stage operational amplifier and a class-E power amplifier, both
+// evaluated by the built-in SPICE-like simulator — plus classic synthetic
+// test functions.
+package easybo

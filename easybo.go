@@ -1,0 +1,230 @@
+package easybo
+
+import (
+	"errors"
+	"fmt"
+
+	"easybo/internal/bo"
+	"easybo/internal/objective"
+	"easybo/internal/sched"
+)
+
+// Problem is a box-constrained maximization problem.
+type Problem struct {
+	// Name labels the problem in reports.
+	Name string
+	// Lo and Hi are the per-dimension box bounds (len = dimension).
+	Lo, Hi []float64
+	// Objective returns the figure of merit to MAXIMIZE at x.
+	Objective func(x []float64) float64
+	// Cost optionally returns the simulated evaluation duration in seconds;
+	// it drives the virtual-time executor used by Optimize. When nil every
+	// evaluation costs one virtual second.
+	Cost func(x []float64) float64
+}
+
+// Algorithm selects the optimization strategy.
+type Algorithm string
+
+// Available algorithms. EasyBO is the paper's method; the others are the
+// baselines evaluated against it and remain useful in their own right.
+const (
+	EasyBO       Algorithm = "easybo"    // asynchronous batch + penalization (default)
+	EasyBOA      Algorithm = "easybo-a"  // asynchronous batch, no penalization
+	EasyBOSync   Algorithm = "easybo-sp" // synchronous batch + penalization
+	EasyBOS      Algorithm = "easybo-s"  // synchronous batch, no penalization
+	PBO          Algorithm = "pbo"       // synchronous fixed weight ladder
+	PHCBO        Algorithm = "phcbo"     // pBO + high-coverage penalty
+	EI           Algorithm = "ei"        // sequential expected improvement
+	LCB          Algorithm = "lcb"       // sequential confidence bound
+	DE           Algorithm = "de"        // differential evolution
+	RandomSearch Algorithm = "random"    // uniform random sampling
+	TS           Algorithm = "ts"        // (parallel) Thompson sampling via RFF posterior draws
+	GPHedge      Algorithm = "hedge"     // portfolio of EI/PI/UCB with hedge weights
+)
+
+// Options tunes an optimization run. The zero value requests the paper's
+// defaults (EasyBO, 20 initial points, λ = 6).
+type Options struct {
+	Algorithm  Algorithm // default EasyBO
+	Workers    int       // parallel evaluations B (default 1)
+	InitPoints int       // initial Latin-hypercube design (default 20)
+	MaxEvals   int       // total evaluations including init (default 150)
+	Seed       int64     // deterministic seed
+	Lambda     float64   // κ upper bound of the EasyBO acquisition (default 6)
+
+	// Surrogate cost control (defaults match the experiment harness).
+	RefitEvery int // hyperparameter refit cadence in observations
+	FitIters   int // optimizer iterations per hyperparameter fit
+}
+
+// Evaluation is one completed objective evaluation.
+type Evaluation struct {
+	X          []float64
+	Y          float64
+	Start, End float64 // seconds (virtual for Optimize, wall for OptimizeParallel)
+	Worker     int
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	BestX       []float64
+	BestY       float64
+	Evaluations []Evaluation // completion order
+	// Seconds is the makespan: virtual simulator seconds for Optimize,
+	// wall-clock seconds for OptimizeParallel.
+	Seconds float64
+}
+
+func (p Problem) toInternal() (*objective.Problem, error) {
+	ip := &objective.Problem{Name: p.Name, Lo: p.Lo, Hi: p.Hi, Eval: p.Objective, Cost: p.Cost}
+	if err := ip.Validate(); err != nil {
+		return nil, err
+	}
+	return ip, nil
+}
+
+func (o Options) toConfig() (bo.Config, error) {
+	algo, err := o.algorithm()
+	if err != nil {
+		return bo.Config{}, err
+	}
+	return bo.Config{
+		Algo:       algo,
+		BatchSize:  o.Workers,
+		InitPoints: o.InitPoints,
+		MaxEvals:   o.MaxEvals,
+		Seed:       o.Seed,
+		Lambda:     o.Lambda,
+		RefitEvery: o.RefitEvery,
+		FitIters:   o.FitIters,
+	}, nil
+}
+
+func (o Options) algorithm() (bo.Algorithm, error) {
+	switch o.Algorithm {
+	case "", EasyBO:
+		if o.Workers <= 1 {
+			return bo.AlgoEasyBOSeq, nil
+		}
+		return bo.AlgoEasyBO, nil
+	case EasyBOA:
+		return bo.AlgoEasyBOA, nil
+	case EasyBOSync:
+		return bo.AlgoEasyBOSP, nil
+	case EasyBOS:
+		return bo.AlgoEasyBOS, nil
+	case PBO:
+		return bo.AlgoPBO, nil
+	case PHCBO:
+		return bo.AlgoPHCBO, nil
+	case EI:
+		return bo.AlgoEI, nil
+	case LCB:
+		return bo.AlgoLCB, nil
+	case DE:
+		return bo.AlgoDE, nil
+	case RandomSearch:
+		return bo.AlgoRandom, nil
+	case TS:
+		return bo.AlgoTS, nil
+	case GPHedge:
+		return bo.AlgoPortfolio, nil
+	default:
+		return "", fmt.Errorf("easybo: unknown algorithm %q", o.Algorithm)
+	}
+}
+
+func resultFromHistory(h *bo.History) *Result {
+	res := &Result{BestX: h.BestX, BestY: h.BestY, Seconds: h.Makespan}
+	for _, r := range h.Records {
+		res.Evaluations = append(res.Evaluations, Evaluation{
+			X: r.X, Y: r.Y, Start: r.Start, End: r.End, Worker: r.Worker,
+		})
+	}
+	return res
+}
+
+// Optimize maximizes the problem's objective with the selected algorithm on
+// the virtual-time executor. When Problem.Cost is set, Result.Seconds is
+// the exact simulated wall-clock the run would have taken on Workers
+// parallel simulators. Deterministic given Options.Seed.
+func Optimize(p Problem, opts Options) (*Result, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := opts.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	h, err := bo.Run(ip, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromHistory(h), nil
+}
+
+// OptimizeParallel maximizes the objective with EasyBO on real goroutines:
+// Workers concurrent calls to Problem.Objective, a new suggestion issued the
+// moment one returns. Use it when evaluations are genuinely expensive. The
+// suggestion sequence is seeded by Options.Seed, but completion order (and
+// therefore the trajectory) depends on real execution times.
+func OptimizeParallel(p Problem, opts Options) (*Result, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	loop, err := NewLoop(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 150
+	}
+	ex := sched.NewGo(opts.Workers, ip.Eval)
+	launched, completed := 0, 0
+	var evals []Evaluation
+	for launched < opts.MaxEvals && ex.Idle() > 0 {
+		x, err := loop.Suggest()
+		if err != nil {
+			return nil, err
+		}
+		if err := ex.Launch(x); err != nil {
+			return nil, err
+		}
+		launched++
+	}
+	for completed < opts.MaxEvals {
+		r, ok := ex.Wait()
+		if !ok {
+			return nil, errors.New("easybo: worker pool drained early")
+		}
+		completed++
+		if err := loop.Observe(r.X, r.Y); err != nil {
+			return nil, err
+		}
+		evals = append(evals, Evaluation{X: r.X, Y: r.Y, Start: r.Start, End: r.End, Worker: r.Worker})
+		if launched < opts.MaxEvals {
+			x, err := loop.Suggest()
+			if err != nil {
+				return nil, err
+			}
+			if err := ex.Launch(x); err != nil {
+				return nil, err
+			}
+			launched++
+		}
+	}
+	bestX, bestY := loop.Best()
+	var makespan float64
+	for _, e := range evals {
+		if e.End > makespan {
+			makespan = e.End
+		}
+	}
+	return &Result{BestX: bestX, BestY: bestY, Evaluations: evals, Seconds: makespan}, nil
+}

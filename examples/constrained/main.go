@@ -1,0 +1,65 @@
+// Constrained sizing: the paper notes (§II-A) that EasyBO "can also be
+// easily extended to handle constrained optimization" — this example runs
+// that extension. We size the two-stage op-amp for maximum unity-gain
+// bandwidth SUBJECT TO hard specs on gain and phase margin, instead of
+// folding everything into one weighted FOM.
+//
+//	go run ./examples/constrained
+package main
+
+import (
+	"fmt"
+
+	"easybo"
+	"easybo/circuits"
+)
+
+func main() {
+	base := circuits.OpAmp()
+
+	// Objective: maximize the unity-gain frequency alone.
+	problem := easybo.Problem{
+		Name: "opamp-ugf",
+		Lo:   base.Lo,
+		Hi:   base.Hi,
+		Objective: func(x []float64) float64 {
+			_, ugf, _, _ := circuits.OpAmpPerformance(x)
+			return ugf
+		},
+		Cost: base.Cost,
+	}
+	// Specs as black-box constraints (feasible when <= 0):
+	//   GAIN >= 55 dB,  PM >= 50°.
+	constraints := []easybo.Constraint{
+		func(x []float64) float64 {
+			gain, _, _, _ := circuits.OpAmpPerformance(x)
+			return 55 - gain
+		},
+		func(x []float64) float64 {
+			_, _, pm, _ := circuits.OpAmpPerformance(x)
+			return 50 - pm
+		},
+	}
+
+	res, err := easybo.OptimizeConstrained(problem, constraints, easybo.Options{
+		Workers: 8, MaxEvals: 120, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if !res.Found {
+		fmt.Println("no design met the specs within the budget; best near-miss:")
+	}
+	gain, ugf, pm, valid := circuits.OpAmpPerformance(res.BestX)
+	fmt.Printf("best spec-compliant design: UGF %.1f MHz\n", res.BestY)
+	fmt.Printf("  GAIN %.1f dB (spec >= 55) | PM %.1f° (spec >= 50) | valid=%v\n", gain, pm, valid)
+	fmt.Printf("  (re-measured: UGF %.1f MHz)\n", ugf)
+	feasCount := 0
+	for _, e := range res.Evaluations {
+		if e.Feasible {
+			feasCount++
+		}
+	}
+	fmt.Printf("  %d of %d evaluated designs met both specs; %.0f virtual seconds of simulation\n",
+		feasCount, len(res.Evaluations), res.Seconds)
+}

@@ -1,0 +1,47 @@
+// Op-amp sizing: the paper's §IV-A workload. Sizes a two-stage Miller
+// operational amplifier (10 design variables) for maximum
+// 1.2·GAIN + 10·UGF + 1.6·PM using asynchronous batch EasyBO, and compares
+// against the synchronous pBO baseline at the same simulation budget.
+//
+//	go run ./examples/opamp
+package main
+
+import (
+	"fmt"
+
+	"easybo"
+	"easybo/circuits"
+)
+
+func main() {
+	problem := circuits.OpAmp()
+	vars := circuits.OpAmpVariables()
+
+	fmt.Println("sizing the two-stage op-amp: 150 simulations, 10 workers")
+
+	run := func(algo easybo.Algorithm, label string) *easybo.Result {
+		res, err := easybo.Optimize(problem, easybo.Options{
+			Algorithm: algo,
+			Workers:   10,
+			MaxEvals:  150,
+			Seed:      7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-8s best FOM %8.2f  virtual sim time %6.0f s\n",
+			label, res.BestY, res.Seconds)
+		return res
+	}
+
+	best := run(easybo.EasyBO, "EasyBO")
+	run(easybo.PBO, "pBO")
+
+	gain, ugf, pm, valid := circuits.OpAmpPerformance(best.BestX)
+	fmt.Printf("\nEasyBO's design:  GAIN %.1f dB | UGF %.1f MHz | PM %.1f° | valid=%v\n",
+		gain, ugf, pm, valid)
+	fmt.Println("design variables:")
+	for i, name := range vars {
+		fmt.Printf("  %-4s = %.4g\n", name, best.BestX[i])
+	}
+}

@@ -1,0 +1,41 @@
+// Quickstart: maximize a black-box function with EasyBO in ten lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"easybo"
+)
+
+func main() {
+	// The objective: any Go function over a box. Here, a bumpy 2-D surface
+	// whose global maximum (value 2.0) hides at (0.8, 0.2).
+	problem := easybo.Problem{
+		Name: "bumpy",
+		Lo:   []float64{0, 0},
+		Hi:   []float64{1, 1},
+		Objective: func(x []float64) float64 {
+			local := math.Exp(-30 * ((x[0]-0.2)*(x[0]-0.2) + (x[1]-0.7)*(x[1]-0.7)))
+			global := 2 * math.Exp(-30*((x[0]-0.8)*(x[0]-0.8)+(x[1]-0.2)*(x[1]-0.2)))
+			return local + global
+		},
+	}
+
+	// EasyBO with 4 asynchronous workers, 60 evaluations total.
+	result, err := easybo.Optimize(problem, easybo.Options{
+		Workers:  4,
+		MaxEvals: 60,
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("best value: %.4f (true optimum 2.0)\n", result.BestY)
+	fmt.Printf("best point: (%.3f, %.3f) (true argmax (0.8, 0.2))\n",
+		result.BestX[0], result.BestX[1])
+	fmt.Printf("evaluations: %d across 4 workers\n", len(result.Evaluations))
+}

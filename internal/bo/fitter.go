@@ -1,0 +1,84 @@
+package bo
+
+import (
+	"math/rand"
+
+	"easybo/internal/gp"
+)
+
+// modelManager owns the surrogate across a run: it re-optimizes
+// hyperparameters every refitEvery observations (warm-started from the last
+// fit) and performs cheap fixed-hyperparameter refits in between, caching
+// the fitted model while the dataset is unchanged.
+type modelManager struct {
+	lo, hi      []float64
+	rng         *rand.Rand
+	refitEvery  int
+	fitIters    int
+	fitRestarts int
+
+	kernel     gp.Kernel
+	lastHyperN int // dataset size at the last hyperparameter optimization
+	theta      []float64
+	logNoise   float64
+	cached     *gp.Model
+	cachedN    int
+}
+
+func newModelManager(lo, hi []float64, rng *rand.Rand, cfg Config) *modelManager {
+	return &modelManager{
+		lo: lo, hi: hi, rng: rng,
+		refitEvery:  cfg.RefitEvery,
+		fitIters:    cfg.FitIters,
+		fitRestarts: cfg.FitRestarts,
+		kernel:      cfg.Kernel,
+	}
+}
+
+// fit returns a surrogate trained on the observations, re-optimizing
+// hyperparameters on the configured cadence. Observations are append-only
+// across a run, so a cached model is valid while the count is unchanged.
+func (mm *modelManager) fit(x [][]float64, y []float64) (*gp.Model, error) {
+	n := len(y)
+	if mm.cached != nil && n == mm.cachedN {
+		return mm.cached, nil
+	}
+	needHyper := mm.theta == nil || n-mm.lastHyperN >= mm.refitEvery
+	var opts gp.TrainOptions
+	if needHyper {
+		fo := &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}
+		if mm.theta != nil {
+			// Warm start: fewer iterations, no random restarts.
+			fo.InitTheta = mm.theta
+			fo.InitNoise = mm.logNoise
+			fo.Iters = mm.fitIters / 2
+			if fo.Iters < 10 {
+				fo.Iters = 10
+			}
+			fo.Restarts = 1
+		}
+		opts = gp.TrainOptions{Kernel: mm.kernel, Fit: fo}
+	} else {
+		opts = gp.TrainOptions{Kernel: mm.kernel, FixedTheta: mm.theta, FixedNoise: mm.logNoise}
+	}
+	m, err := gp.Train(x, y, mm.lo, mm.hi, mm.rng, &opts)
+	if err != nil && !needHyper {
+		// The fixed hyperparameters may have become numerically unusable for
+		// the grown dataset (e.g. duplicate points with tiny noise); fall
+		// back to a fresh hyperparameter fit.
+		needHyper = true
+		m, err = gp.Train(x, y, mm.lo, mm.hi, mm.rng,
+			&gp.TrainOptions{Kernel: mm.kernel, Fit: &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if needHyper {
+		mm.theta = m.Theta()
+		mm.logNoise = m.LogNoise()
+		mm.lastHyperN = n
+	}
+	mm.cached = m
+	mm.cachedN = n
+	return m, nil
+}

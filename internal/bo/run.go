@@ -1,0 +1,246 @@
+package bo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"easybo/internal/core"
+	"easybo/internal/objective"
+	"easybo/internal/optimize"
+	"easybo/internal/sched"
+	"easybo/internal/stats"
+)
+
+// Run executes one optimization run of the configured algorithm on the
+// problem, entirely in virtual time, and returns its history. Runs are
+// deterministic given Config.Seed.
+func Run(p *objective.Problem, cfg Config) (*History, error) {
+	if p == nil {
+		return nil, errors.New("bo: nil problem")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.defaults(p.Dim())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	switch cfg.Algo {
+	case AlgoDE:
+		return runDE(p, cfg, rng)
+	case AlgoRandom:
+		return runRandom(p, cfg, rng)
+	case AlgoEI, AlgoLCB, AlgoEasyBOSeq, AlgoPortfolio:
+		cfg.BatchSize = 1
+		return runSync(p, cfg, rng)
+	case AlgoPBO, AlgoPHCBO, AlgoEasyBOS, AlgoEasyBOSP, AlgoTS:
+		return runSync(p, cfg, rng)
+	case AlgoEasyBOA, AlgoEasyBO:
+		return runAsync(p, cfg, rng)
+	default:
+		return nil, fmt.Errorf("bo: unknown algorithm %q", cfg.Algo)
+	}
+}
+
+// initialDesign draws the paper's random initial design (LHS over the box).
+func initialDesign(p *objective.Problem, n int, rng *rand.Rand) [][]float64 {
+	d := p.Dim()
+	unit := stats.LatinHypercube(rng, n, d)
+	pts := make([][]float64, n)
+	for i, u := range unit {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = p.Lo[j] + u[j]*(p.Hi[j]-p.Lo[j])
+		}
+		pts[i] = x
+	}
+	return pts
+}
+
+func (c Config) acqOpts(dim int) optimize.MaximizeOptions {
+	o := optimize.MaximizeOptions{Candidates: c.AcqCandidates, Refine: c.AcqRefine}
+	if o.Refine == 0 {
+		o.Refine = 2
+	}
+	_ = dim
+	return o
+}
+
+// selectorFor builds the batch selector for the sync/sequential algorithms.
+func (c Config) selectorFor(dim int) (batchSelector, error) {
+	opts := c.acqOpts(dim)
+	switch c.Algo {
+	case AlgoEI:
+		return eiSelector{xi: c.XiEI, opts: opts}, nil
+	case AlgoLCB:
+		return lcbSelector{kappa: c.KappaLCB, opts: opts}, nil
+	case AlgoPBO:
+		return pboSelector{opts: opts}, nil
+	case AlgoPHCBO:
+		return newPHCBOSelector(c.NHC, c.HCRadius, opts), nil
+	case AlgoEasyBOSeq, AlgoEasyBOS:
+		return easySelector{&core.Proposer{Lambda: c.Lambda, Penalize: false, MaxOpts: opts}}, nil
+	case AlgoEasyBOSP:
+		return easySelector{&core.Proposer{Lambda: c.Lambda, Penalize: true, MaxOpts: opts}}, nil
+	case AlgoTS:
+		return tsSelector{opts: opts}, nil
+	case AlgoPortfolio:
+		return newPortfolioSelector(c.XiEI, c.KappaLCB, opts), nil
+	default:
+		return nil, fmt.Errorf("bo: %q is not a synchronous algorithm", c.Algo)
+	}
+}
+
+// runSync implements the synchronous (and sequential, B=1) drivers: fit,
+// select a batch, evaluate it in parallel, wait for the whole batch.
+func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
+	sel, err := cfg.selectorFor(p.Dim())
+	if err != nil {
+		return nil, err
+	}
+	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
+	mm := newModelManager(p.Lo, p.Hi, rng, cfg)
+
+	var recs []sched.Result
+	var obsX [][]float64
+	var obsY []float64
+	best := 0.0
+	haveBest := false
+
+	evaluateBatch := func(batch [][]float64) error {
+		for _, x := range batch {
+			if err := ex.Launch(x); err != nil {
+				return err
+			}
+		}
+		for range batch {
+			r, ok := ex.Wait()
+			if !ok {
+				return errors.New("bo: executor drained unexpectedly")
+			}
+			recs = append(recs, r)
+			obsX = append(obsX, r.X)
+			obsY = append(obsY, r.Y)
+			if !haveBest || r.Y > best {
+				best, haveBest = r.Y, true
+			}
+		}
+		return nil
+	}
+
+	// Initial design in batches of B.
+	init := initialDesign(p, cfg.InitPoints, rng)
+	for i := 0; i < len(init); i += cfg.BatchSize {
+		end := i + cfg.BatchSize
+		if end > len(init) {
+			end = len(init)
+		}
+		if err := evaluateBatch(init[i:end]); err != nil {
+			return nil, err
+		}
+	}
+
+	for len(recs) < cfg.MaxEvals {
+		b := cfg.BatchSize
+		if rem := cfg.MaxEvals - len(recs); b > rem {
+			b = rem
+		}
+		m, err := mm.fit(obsX, obsY)
+		if err != nil {
+			return nil, err
+		}
+		batch, err := sel.SelectBatch(m, b, p.Lo, p.Hi, best, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := evaluateBatch(batch); err != nil {
+			return nil, err
+		}
+	}
+	return newHistory(cfg.Algo, cfg.BatchSize, recs), nil
+}
+
+// runAsync implements EasyBO-A and full EasyBO through core.AsyncLoop
+// (Algorithm 1).
+func runAsync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
+	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
+	mm := newModelManager(p.Lo, p.Hi, rng, cfg)
+	proposer := &core.Proposer{
+		Lambda:   cfg.Lambda,
+		Penalize: cfg.Algo == AlgoEasyBO,
+		MaxOpts:  cfg.acqOpts(p.Dim()),
+	}
+	var recs []sched.Result
+	err := core.AsyncLoop(ex, core.AsyncConfig{
+		MaxEvals: cfg.MaxEvals,
+		Init:     initialDesign(p, cfg.InitPoints, rng),
+		Lo:       p.Lo, Hi: p.Hi,
+		Fit:      mm.fit,
+		Proposer: proposer,
+		Rng:      rng,
+		OnResult: func(r sched.Result) { recs = append(recs, r) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newHistory(cfg.Algo, cfg.BatchSize, recs), nil
+}
+
+// runDE runs the paper's differential-evolution baseline. DE evaluates
+// sequentially on one worker, exactly as the baseline's huge time columns
+// in Tables I/II assume.
+func runDE(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
+	var recs []sched.Result
+	now := 0.0
+	optimize.DE(p.Eval, p.Lo, p.Hi, rng,
+		optimize.DEOptions{PopSize: cfg.DEPop, MaxEvals: cfg.MaxEvals},
+		func(x []float64, y float64) {
+			cost := 1.0
+			if p.Cost != nil {
+				cost = p.Cost(x)
+			}
+			r := sched.Result{
+				ID: len(recs), X: append([]float64(nil), x...), Y: y,
+				Start: now, End: now + cost,
+			}
+			now += cost
+			recs = append(recs, r)
+		})
+	return newHistory(AlgoDE, 1, recs), nil
+}
+
+// runRandom is uniform random search on B parallel workers (asynchronous),
+// a sanity baseline for the harness and tests.
+func runRandom(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
+	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
+	d := p.Dim()
+	draw := func() []float64 {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = p.Lo[j] + rng.Float64()*(p.Hi[j]-p.Lo[j])
+		}
+		return x
+	}
+	var recs []sched.Result
+	launched := 0
+	for launched < cfg.MaxEvals && ex.Idle() > 0 {
+		if err := ex.Launch(draw()); err != nil {
+			return nil, err
+		}
+		launched++
+	}
+	for len(recs) < cfg.MaxEvals {
+		r, ok := ex.Wait()
+		if !ok {
+			return nil, errors.New("bo: executor drained unexpectedly")
+		}
+		recs = append(recs, r)
+		if launched < cfg.MaxEvals {
+			if err := ex.Launch(draw()); err != nil {
+				return nil, err
+			}
+			launched++
+		}
+	}
+	return newHistory(AlgoRandom, cfg.BatchSize, recs), nil
+}

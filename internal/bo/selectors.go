@@ -1,0 +1,187 @@
+package bo
+
+import (
+	"math/rand"
+
+	"easybo/internal/acq"
+	"easybo/internal/core"
+	"easybo/internal/gp"
+	"easybo/internal/optimize"
+)
+
+// batchSelector picks the next batch of query points for the synchronous
+// and sequential drivers. bestRaw is the incumbent objective value.
+type batchSelector interface {
+	SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error)
+}
+
+// maximizeAcq maximizes an acquisition over the box on the standardized
+// surrogate view.
+func maximizeAcq(a acq.Func, s acq.Surrogate, lo, hi []float64, rng *rand.Rand, opts optimize.MaximizeOptions) []float64 {
+	x, _ := optimize.Maximize(func(q []float64) float64 { return a.Value(s, q) },
+		lo, hi, rng, opts)
+	return x
+}
+
+// eiSelector is sequential expected improvement.
+type eiSelector struct {
+	xi   float64
+	opts optimize.MaximizeOptions
+}
+
+func (s eiSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error) {
+	out := make([][]float64, 0, b)
+	a := acq.EI{Best: m.StandardizeY(bestRaw), Xi: s.xi}
+	for i := 0; i < b; i++ {
+		out = append(out, maximizeAcq(a, m.Standardized(), lo, hi, rng, s.opts))
+	}
+	return out, nil
+}
+
+// lcbSelector is the sequential confidence-bound strategy.
+type lcbSelector struct {
+	kappa float64
+	opts  optimize.MaximizeOptions
+}
+
+func (s lcbSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+	out := make([][]float64, 0, b)
+	a := acq.LCB{Kappa: s.kappa}
+	for i := 0; i < b; i++ {
+		out = append(out, maximizeAcq(a, m.Standardized(), lo, hi, rng, s.opts))
+	}
+	return out, nil
+}
+
+// pboSelector implements pBO (Eq. 4): one weighted acquisition per fixed
+// ladder weight w_i = (i-1)/(B-1).
+type pboSelector struct {
+	opts optimize.MaximizeOptions
+}
+
+func (s pboSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+	ws := acq.PBOWeights(b)
+	out := make([][]float64, 0, b)
+	for _, w := range ws {
+		out = append(out, maximizeAcq(acq.Weighted{W: w}, m.Standardized(), lo, hi, rng, s.opts))
+	}
+	return out, nil
+}
+
+// phcboSelector implements pHCBO (Eq. 5-6): pBO penalized around the 5 most
+// recent queries of the same weight index, in normalized coordinates.
+type phcboSelector struct {
+	nhc    float64
+	radius float64
+	opts   optimize.MaximizeOptions
+	recent map[int][][]float64 // weight index -> recent normalized queries
+}
+
+func newPHCBOSelector(nhc, radius float64, opts optimize.MaximizeOptions) *phcboSelector {
+	return &phcboSelector{nhc: nhc, radius: radius, opts: opts, recent: map[int][][]float64{}}
+}
+
+// normalize maps x into the unit cube of [lo, hi].
+func normalize(x, lo, hi []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		span := hi[i] - lo[i]
+		if span <= 0 {
+			span = 1
+		}
+		out[i] = (x[i] - lo[i]) / span
+	}
+	return out
+}
+
+func (s *phcboSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+	ws := acq.PBOWeights(b)
+	out := make([][]float64, 0, b)
+	std := m.Standardized()
+	for i, w := range ws {
+		base := acq.Weighted{W: w}
+		pen := acq.HCPenalty{NHC: s.nhc, D: s.radius, Recent: s.recent[i]}
+		x, _ := optimize.Maximize(func(q []float64) float64 {
+			return base.Value(std, q) - pen.Value(normalize(q, lo, hi))
+		}, lo, hi, rng, s.opts)
+		out = append(out, x)
+		// Record for the next iteration: newest first, keep 5.
+		r := append([][]float64{normalize(x, lo, hi)}, s.recent[i]...)
+		if len(r) > 5 {
+			r = r[:5]
+		}
+		s.recent[i] = r
+	}
+	return out, nil
+}
+
+// easySelector adapts core.Proposer to the batch-selector interface
+// (EasyBO-seq, EasyBO-S, EasyBO-SP).
+type easySelector struct {
+	proposer *core.Proposer
+}
+
+func (s easySelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+	return s.proposer.ProposeBatch(m, b, lo, hi, rng)
+}
+
+// tsSelector is (parallel) Thompson sampling: each batch slot maximizes an
+// independent random-Fourier-feature draw from the posterior, which keeps
+// batches diverse without any explicit penalty.
+type tsSelector struct {
+	features int
+	opts     optimize.MaximizeOptions
+}
+
+func (s tsSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+	nf := s.features
+	if nf <= 0 {
+		nf = 400
+	}
+	out := make([][]float64, 0, b)
+	for i := 0; i < b; i++ {
+		sample, err := m.SampleRFF(rng, nf)
+		if err != nil {
+			return nil, err
+		}
+		x, _ := optimize.Maximize(sample, lo, hi, rng, s.opts)
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+// portfolioSelector is sequential GP-Hedge over {EI, PI, UCB}: every round
+// each strategy nominates a point, the hedge samples one nomination in
+// proportion to exponential weights, and all strategies are rewarded by the
+// refreshed posterior mean at their past nominations.
+type portfolioSelector struct {
+	hedge *acq.Portfolio
+	xi    float64
+	kappa float64
+	opts  optimize.MaximizeOptions
+}
+
+func newPortfolioSelector(xi, kappa float64, opts optimize.MaximizeOptions) *portfolioSelector {
+	return &portfolioSelector{hedge: acq.NewPortfolio(3, 1.0), xi: xi, kappa: kappa, opts: opts}
+}
+
+func (s *portfolioSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error) {
+	std := m.Standardized()
+	s.hedge.Update(std) // reward last round's nominations under the new posterior
+	best := m.StandardizeY(bestRaw)
+	strategies := []acq.Func{
+		acq.EI{Best: best, Xi: s.xi},
+		acq.PI{Best: best, Xi: s.xi},
+		acq.UCB{Kappa: s.kappa},
+	}
+	choices := make([][]float64, len(strategies))
+	for i, a := range strategies {
+		choices[i] = maximizeAcq(a, std, lo, hi, rng, s.opts)
+	}
+	s.hedge.RecordChoices(choices)
+	out := make([][]float64, 0, b)
+	for i := 0; i < b; i++ {
+		out = append(out, choices[s.hedge.Pick(rng)])
+	}
+	return out, nil
+}

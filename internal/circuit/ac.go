@@ -1,0 +1,72 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"easybo/internal/linalg"
+)
+
+// ACResult holds the complex node solutions of a frequency sweep.
+type ACResult struct {
+	c     *Circuit
+	Freqs []float64      // Hz
+	X     [][]complex128 // one unknown vector per frequency
+}
+
+// AC runs a small-signal sweep at the given frequencies, linearizing all
+// nonlinear devices at op (which may come from OP or, for linear
+// small-signal macromodels, be a zero vector).
+func (c *Circuit) AC(op *Solution, freqs []float64) (*ACResult, error) {
+	if err := c.Compile(); err != nil {
+		return nil, err
+	}
+	var opX []float64
+	if op != nil {
+		opX = op.X
+	} else {
+		opX = make([]float64, c.unknowns)
+	}
+	res := &ACResult{c: c, Freqs: append([]float64(nil), freqs...), X: make([][]complex128, len(freqs))}
+	n := c.unknowns
+	for k, f := range freqs {
+		e := &acEnv{omega: 2 * math.Pi * f, c: c, op: opX,
+			A: linalg.NewCMatrix(n, n), b: make([]complex128, n)}
+		for _, d := range c.devices {
+			if s, ok := d.(acStamper); ok {
+				s.stampAC(e)
+			}
+		}
+		for i := 0; i < len(c.names)-1; i++ {
+			e.A.Add(i, i, complex(1e-12, 0))
+		}
+		x, err := linalg.SolveComplexLinear(e.A, e.b)
+		if err != nil {
+			return nil, fmt.Errorf("circuit %q: AC solve at %g Hz: %w", c.Name, f, err)
+		}
+		res.X[k] = x
+	}
+	return res, nil
+}
+
+// V returns the complex voltage of a named node at frequency index k.
+func (r *ACResult) V(k int, node string) complex128 {
+	idx, ok := r.c.nodes[node]
+	if !ok || idx == 0 {
+		return 0
+	}
+	return r.X[k][idx-1]
+}
+
+// LogSpace returns n log-spaced frequencies from f0 to f1 inclusive.
+func LogSpace(f0, f1 float64, n int) []float64 {
+	if n < 2 {
+		return []float64{f0}
+	}
+	out := make([]float64, n)
+	l0, l1 := math.Log10(f0), math.Log10(f1)
+	for i := range out {
+		out[i] = math.Pow(10, l0+(l1-l0)*float64(i)/float64(n-1))
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+// Package circuit is a compact SPICE-like analog circuit simulator built on
+// modified nodal analysis (MNA). It supports:
+//
+//   - nonlinear DC operating-point analysis (Newton-Raphson with gmin and
+//     source stepping homotopies),
+//   - complex-valued AC small-signal sweeps linearized at the operating point,
+//   - transient analysis with trapezoidal integration (backward-Euler start),
+//   - waveform measurements (Bode quantities, unity-gain frequency, phase
+//     margin, discrete Fourier coefficients, average power).
+//
+// Devices include resistors, capacitors, inductors, independent V/I sources
+// with DC, sine and pulse waveforms, controlled sources (VCVS, VCCS), diodes,
+// square-law (level-1) MOSFETs, and smooth voltage-controlled switches.
+//
+// The package is the substrate that substitutes for the commercial HSPICE
+// simulator used in the EasyBO paper; see DESIGN.md for the substitution
+// rationale.
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"easybo/internal/linalg"
+)
+
+// Ground is the reference node name. "gnd" is accepted as an alias.
+const Ground = "0"
+
+// Circuit is a netlist under construction. Add devices, then run OP, AC or
+// Tran. A Circuit is not safe for concurrent use; each evaluation should
+// build its own instance (construction is cheap).
+type Circuit struct {
+	Name    string
+	devices []Device
+	nodes   map[string]int // name -> node index; ground = 0
+	names   []string       // node index -> name
+
+	compiled   bool
+	nBranch    int
+	unknowns   int // (#nodes-1) + nBranch
+	branchName []string
+}
+
+// New creates an empty circuit.
+func New(name string) *Circuit {
+	c := &Circuit{
+		Name:  name,
+		nodes: map[string]int{Ground: 0, "gnd": 0, "GND": 0},
+		names: []string{Ground},
+	}
+	return c
+}
+
+// Device is any circuit element. Devices resolve their node indices during
+// Compile and stamp themselves into the Newton iteration matrix (DC and
+// transient) and, if they participate in small-signal analysis, into the
+// complex AC matrix.
+type Device interface {
+	// Label returns the instance name used in error messages.
+	Label() string
+	// init resolves node references and allocates branch unknowns.
+	init(c *Circuit) error
+	// stamp adds the device's linearized companion model to e.A and e.b.
+	stamp(e *env)
+}
+
+// acStamper is implemented by devices that participate in AC analysis.
+type acStamper interface {
+	stampAC(e *acEnv)
+}
+
+// stateful is implemented by devices that carry per-timestep state
+// (capacitor/inductor companion currents). advance is called once after each
+// accepted transient step; reset is called before any analysis starts.
+type stateful interface {
+	reset(e *env)
+	advance(e *env)
+}
+
+// node returns the index for a node name, creating it on first use.
+func (c *Circuit) node(name string) int {
+	if idx, ok := c.nodes[name]; ok {
+		return idx
+	}
+	idx := len(c.names)
+	c.nodes[name] = idx
+	c.names = append(c.names, name)
+	return idx
+}
+
+// AddDevice appends a device built outside the convenience constructors.
+func (c *Circuit) AddDevice(d Device) {
+	c.devices = append(c.devices, d)
+	c.compiled = false
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// NodeNames returns the node names excluding ground, in index order.
+func (c *Circuit) NodeNames() []string {
+	out := make([]string, 0, len(c.names)-1)
+	for _, n := range c.names[1:] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// NodeIndex returns the unknown-vector index of a named node, or -1 for
+// ground / unknown names.
+func (c *Circuit) NodeIndex(name string) int {
+	idx, ok := c.nodes[name]
+	if !ok || idx == 0 {
+		return -1
+	}
+	return idx - 1
+}
+
+// allocBranch reserves a branch-current unknown (voltage sources, VCVS).
+func (c *Circuit) allocBranch(label string) int {
+	idx := c.nBranch
+	c.nBranch++
+	c.branchName = append(c.branchName, label)
+	return idx
+}
+
+// Compile resolves all node references. It is called automatically by the
+// analyses and is idempotent.
+func (c *Circuit) Compile() error {
+	if c.compiled {
+		return nil
+	}
+	c.nBranch = 0
+	c.branchName = c.branchName[:0]
+	for _, d := range c.devices {
+		if err := d.init(c); err != nil {
+			return fmt.Errorf("circuit %q: device %s: %w", c.Name, d.Label(), err)
+		}
+	}
+	c.unknowns = len(c.names) - 1 + c.nBranch
+	if c.unknowns == 0 {
+		return errors.New("circuit: no unknowns (empty netlist?)")
+	}
+	c.compiled = true
+	return nil
+}
+
+// analysisMode distinguishes the Newton stamping context.
+type analysisMode int
+
+const (
+	modeDC analysisMode = iota
+	modeTran
+)
+
+// env is the per-Newton-iteration stamping context shared by DC and
+// transient analysis.
+type env struct {
+	mode      analysisMode
+	time      float64 // time being solved for (transient); 0 in DC
+	dt        float64 // current step size (transient)
+	trapFlag  bool    // true => trapezoidal companion, false => backward Euler
+	firstIter bool    // first Newton iteration of this solve (resets limiters)
+	x         []float64
+	xprev     []float64 // accepted solution at the previous timepoint
+	A         *linalg.Matrix
+	b         []float64
+	gmin      float64
+	srcScale  float64
+	c         *Circuit
+}
+
+// V returns the candidate voltage of node index n (0 = ground).
+func (e *env) V(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return e.x[n-1]
+}
+
+// Vprev returns the previous-timestep voltage of node index n.
+func (e *env) Vprev(n int) float64 {
+	if n == 0 || e.xprev == nil {
+		return 0
+	}
+	return e.xprev[n-1]
+}
+
+// branchIndex maps a branch number to its position in the unknown vector.
+func (e *env) branchIndex(b int) int { return len(e.c.names) - 1 + b }
+
+// addG stamps a conductance g between nodes i and j (node indices, 0=gnd).
+func (e *env) addG(i, j int, g float64) {
+	if i != 0 {
+		e.A.Add(i-1, i-1, g)
+	}
+	if j != 0 {
+		e.A.Add(j-1, j-1, g)
+	}
+	if i != 0 && j != 0 {
+		e.A.Add(i-1, j-1, -g)
+		e.A.Add(j-1, i-1, -g)
+	}
+}
+
+// addTransG stamps a transconductance: current g·(V(cp)-V(cm)) flowing from
+// node i to node j (out of i, into j).
+func (e *env) addTransG(i, j, cp, cm int, g float64) {
+	stampPair := func(row, col int, val float64) {
+		if row != 0 && col != 0 {
+			e.A.Add(row-1, col-1, val)
+		}
+	}
+	stampPair(i, cp, g)
+	stampPair(i, cm, -g)
+	stampPair(j, cp, -g)
+	stampPair(j, cm, g)
+}
+
+// addCurrent stamps a constant current i flowing from node a out into node b
+// (that is, it leaves a and enters b).
+func (e *env) addCurrent(a, b int, i float64) {
+	if a != 0 {
+		e.b[a-1] -= i
+	}
+	if b != 0 {
+		e.b[b-1] += i
+	}
+}
+
+// acEnv is the AC small-signal stamping context.
+type acEnv struct {
+	omega float64
+	A     *linalg.CMatrix
+	b     []complex128
+	op    []float64 // operating-point solution (unknown vector layout)
+	c     *Circuit
+}
+
+// Vop returns the operating-point voltage of node index n.
+func (e *acEnv) Vop(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return e.op[n-1]
+}
+
+func (e *acEnv) branchIndex(b int) int { return len(e.c.names) - 1 + b }
+
+func (e *acEnv) addY(i, j int, y complex128) {
+	if i != 0 {
+		e.A.Add(i-1, i-1, y)
+	}
+	if j != 0 {
+		e.A.Add(j-1, j-1, y)
+	}
+	if i != 0 && j != 0 {
+		e.A.Add(i-1, j-1, -y)
+		e.A.Add(j-1, i-1, -y)
+	}
+}
+
+func (e *acEnv) addTransY(i, j, cp, cm int, y complex128) {
+	stampPair := func(row, col int, val complex128) {
+		if row != 0 && col != 0 {
+			e.A.Add(row-1, col-1, val)
+		}
+	}
+	stampPair(i, cp, y)
+	stampPair(i, cm, -y)
+	stampPair(j, cp, -y)
+	stampPair(j, cm, y)
+}
+
+// Solution is the result of a DC operating-point analysis.
+type Solution struct {
+	c *Circuit
+	X []float64 // node voltages then branch currents
+}
+
+// V returns the voltage of a named node (0 for ground; NaN for unknown).
+func (s *Solution) V(name string) float64 {
+	idx, ok := s.c.nodes[name]
+	if !ok {
+		return math.NaN()
+	}
+	if idx == 0 {
+		return 0
+	}
+	return s.X[idx-1]
+}
+
+// BranchCurrent returns the current through the named voltage source
+// (positive current flows from the + terminal through the source to -,
+// i.e. the conventional SPICE source current).
+func (s *Solution) BranchCurrent(label string) (float64, bool) {
+	for b, n := range s.c.branchName {
+		if n == label {
+			return s.X[len(s.c.names)-1+b], true
+		}
+	}
+	return 0, false
+}

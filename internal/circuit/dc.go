@@ -1,0 +1,160 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"easybo/internal/linalg"
+)
+
+// OPOptions tunes the operating-point solver. The zero value requests the
+// defaults.
+type OPOptions struct {
+	MaxIter int     // Newton iterations per continuation stage (default 150)
+	AbsTol  float64 // absolute voltage tolerance (default 1e-9 V)
+	RelTol  float64 // relative tolerance (default 1e-6)
+	VStep   float64 // maximum Newton voltage update per iteration (default 1 V)
+	Gmin    float64 // final gmin (default 1e-12 S)
+}
+
+func (o *OPOptions) defaults() {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 150
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-9
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-6
+	}
+	if o.VStep <= 0 {
+		o.VStep = 1.0
+	}
+	if o.Gmin <= 0 {
+		o.Gmin = 1e-12
+	}
+}
+
+// ErrNoConvergence is returned when every continuation strategy fails.
+var ErrNoConvergence = errors.New("circuit: operating point did not converge")
+
+// OP computes the DC operating point. It first attempts plain Newton from a
+// zero initial guess, then gmin stepping (relaxing a large conductance to
+// ground on every node), then source stepping (ramping all independent
+// sources from zero). NewtonStats reports the total iteration count, which
+// the testbenches use as a deterministic simulation-cost proxy.
+func (c *Circuit) OP(opts *OPOptions) (*Solution, *NewtonStats, error) {
+	var o OPOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.defaults()
+	if err := c.Compile(); err != nil {
+		return nil, nil, err
+	}
+	stats := &NewtonStats{}
+	x := make([]float64, c.unknowns)
+
+	// Strategy 1: direct Newton.
+	if xs, ok := c.newton(x, o, o.Gmin, 1.0, stats); ok {
+		return &Solution{c: c, X: xs}, stats, nil
+	}
+	// Strategy 2: gmin stepping.
+	x = make([]float64, c.unknowns)
+	ok := true
+	for _, g := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, o.Gmin} {
+		var xs []float64
+		xs, ok = c.newton(x, o, g, 1.0, stats)
+		if !ok {
+			break
+		}
+		x = xs
+	}
+	if ok {
+		return &Solution{c: c, X: x}, stats, nil
+	}
+	// Strategy 3: source stepping.
+	x = make([]float64, c.unknowns)
+	ok = true
+	for _, s := range []float64{0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0} {
+		var xs []float64
+		xs, ok = c.newton(x, o, o.Gmin, s, stats)
+		if !ok {
+			break
+		}
+		x = xs
+	}
+	if ok {
+		return &Solution{c: c, X: x}, stats, nil
+	}
+	return nil, stats, fmt.Errorf("%w (circuit %q)", ErrNoConvergence, c.Name)
+}
+
+// NewtonStats accumulates iteration counts across all Newton solves of an
+// analysis.
+type NewtonStats struct {
+	Iterations int
+	Factors    int // LU factorizations performed
+}
+
+// newton runs damped Newton-Raphson from x0, returning the solution and
+// whether it converged.
+func (c *Circuit) newton(x0 []float64, o OPOptions, gmin, srcScale float64, stats *NewtonStats) ([]float64, bool) {
+	x := linalg.Clone(x0)
+	e := &env{mode: modeDC, c: c, gmin: gmin, srcScale: srcScale}
+	n := c.unknowns
+	for iter := 0; iter < o.MaxIter; iter++ {
+		stats.Iterations++
+		e.firstIter = iter == 0
+		e.A = linalg.NewMatrix(n, n)
+		e.b = make([]float64, n)
+		e.x = x
+		for _, d := range c.devices {
+			d.stamp(e)
+		}
+		// Tiny conductance to ground on every node keeps floating nodes from
+		// making the matrix singular.
+		for i := 0; i < len(c.names)-1; i++ {
+			e.A.Add(i, i, 1e-12)
+		}
+		lu, err := linalg.NewLU(e.A)
+		if err != nil {
+			return nil, false
+		}
+		stats.Factors++
+		xNew := lu.Solve(e.b)
+		if !linalg.AllFinite(xNew) {
+			return nil, false
+		}
+		// Damping: limit the largest voltage change.
+		maxDelta := 0.0
+		nv := len(c.names) - 1
+		for i := 0; i < nv; i++ {
+			if d := math.Abs(xNew[i] - x[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta > o.VStep {
+			f := o.VStep / maxDelta
+			for i := range xNew {
+				xNew[i] = x[i] + f*(xNew[i]-x[i])
+			}
+		}
+		converged := maxDelta <= o.AbsTol
+		if !converged {
+			converged = true
+			for i := 0; i < nv; i++ {
+				if math.Abs(xNew[i]-x[i]) > o.AbsTol+o.RelTol*math.Abs(xNew[i]) {
+					converged = false
+					break
+				}
+			}
+		}
+		x = xNew
+		if converged && iter > 0 {
+			return x, true
+		}
+	}
+	return nil, false
+}

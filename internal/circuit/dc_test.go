@@ -1,0 +1,221 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol*(1+math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestOPVoltageDivider(t *testing.T) {
+	c := New("divider")
+	c.AddV("V1", "in", "0", DC(10))
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddR("R2", "out", "0", 3e3)
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Vout", sol.V("out"), 7.5, 1e-9)
+	i, ok := sol.BranchCurrent("V1")
+	if !ok {
+		t.Fatal("missing branch current")
+	}
+	// SPICE convention: current through the source from + to - is negative
+	// when the source delivers power.
+	approx(t, "I(V1)", math.Abs(i), 10.0/4e3, 1e-9)
+}
+
+func TestOPCurrentSourceAndVCCS(t *testing.T) {
+	c := New("vccs")
+	c.AddI("I1", "0", "a", DC(1e-3)) // inject 1 mA into node a
+	c.AddR("Ra", "a", "0", 2e3)
+	c.AddVCCS("G1", "0", "b", "a", "0", 5e-3) // i = 5m·Va into node b
+	c.AddR("Rb", "b", "0", 1e3)
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The solver's 1e-12 S anti-floating conductance shifts high-impedance
+	// nodes by a few parts per billion; tolerate that.
+	approx(t, "Va", sol.V("a"), 2.0, 1e-7)
+	approx(t, "Vb", sol.V("b"), 10.0, 1e-7)
+}
+
+func TestOPVCVS(t *testing.T) {
+	c := New("vcvs")
+	c.AddV("V1", "in", "0", DC(0.5))
+	c.AddVCVS("E1", "out", "0", "in", "0", 4)
+	c.AddR("RL", "out", "0", 1e3)
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Vout", sol.V("out"), 2.0, 1e-9)
+}
+
+func TestOPDiodeRectifier(t *testing.T) {
+	c := New("diode")
+	c.AddV("V1", "in", "0", DC(5))
+	c.AddR("R1", "in", "a", 1e3)
+	c.AddDiode("D1", "a", "0")
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := sol.V("a")
+	if va < 0.4 || va > 0.8 {
+		t.Fatalf("diode drop %v out of expected range", va)
+	}
+	// KCL at node a: current through R equals diode current.
+	d := &Diode{Is: 1e-14, N: 1}
+	id, _ := d.iv(va)
+	ir := (5 - va) / 1e3
+	approx(t, "KCL", id, ir, 1e-6)
+}
+
+func TestOPNMOSCommonSource(t *testing.T) {
+	// NMOS with resistive load: VDD=1.8, RD=10k, W/L=10µ/1µ, VGS=0.9.
+	c := New("cs")
+	c.AddV("VDD", "vdd", "0", DC(1.8))
+	c.AddV("VG", "g", "0", DC(0.9))
+	c.AddR("RD", "vdd", "d", 10e3)
+	c.AddMOS("M1", "d", "g", "0", DefaultNMOS(10e-6, 1e-6))
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := sol.V("d")
+	if vd <= 0 || vd >= 1.8 {
+		t.Fatalf("Vd = %v out of rails", vd)
+	}
+	// Verify KCL: (VDD-Vd)/RD == Id(Vgs=0.9, Vds=vd).
+	p := DefaultNMOS(10e-6, 1e-6)
+	id, _, _ := p.Eval(0.9, vd)
+	approx(t, "Id", (1.8-vd)/10e3, id, 1e-4)
+}
+
+func TestOPPMOSCommonSource(t *testing.T) {
+	// PMOS source at VDD, gate at VDD-1.0, drain through RD to ground.
+	c := New("csp")
+	c.AddV("VDD", "vdd", "0", DC(1.8))
+	c.AddV("VG", "g", "0", DC(0.8))
+	c.AddMOS("M1", "d", "g", "vdd", DefaultPMOS(20e-6, 1e-6))
+	c.AddR("RD", "d", "0", 10e3)
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := sol.V("d")
+	if vd <= 0 || vd >= 1.8 {
+		t.Fatalf("Vd = %v out of rails", vd)
+	}
+	p := DefaultPMOS(20e-6, 1e-6)
+	// |Vgs| = 1.0, |Vds| = 1.8 - vd in the mirrored frame.
+	id, _, _ := p.Eval(1.0, 1.8-vd)
+	approx(t, "Id", vd/10e3, id, 1e-4)
+}
+
+func TestOPNMOSDiodeConnected(t *testing.T) {
+	// Diode-connected NMOS fed by a current source: Id = 50µA.
+	c := New("diodemos")
+	c.AddI("IB", "0", "d", DC(50e-6))
+	c.AddMOS("M1", "d", "d", "0", DefaultNMOS(20e-6, 1e-6))
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sol.V("d")
+	p := DefaultNMOS(20e-6, 1e-6)
+	id, _, _ := p.Eval(v, v)
+	approx(t, "Id", id, 50e-6, 1e-3)
+	if v < p.VT0 {
+		t.Fatalf("diode-connected device must be above threshold, got %v", v)
+	}
+}
+
+func TestOPCurrentMirror(t *testing.T) {
+	// M1 diode-connected with 20µA; M2 mirrors with double W.
+	c := New("mirror")
+	c.AddI("IB", "0", "g", DC(20e-6))
+	c.AddMOS("M1", "g", "g", "0", DefaultNMOS(10e-6, 2e-6))
+	c.AddMOS("M2", "d2", "g", "0", DefaultNMOS(20e-6, 2e-6))
+	c.AddV("VD", "d2", "0", DC(1.0))
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, ok := sol.BranchCurrent("VD")
+	if !ok {
+		t.Fatal("missing branch current")
+	}
+	// VD absorbs the mirror output current: |i2| ≈ 40µA within λ error.
+	if math.Abs(i2) < 35e-6 || math.Abs(i2) > 48e-6 {
+		t.Fatalf("mirror output %v A, want ≈40µA", i2)
+	}
+}
+
+func TestOPSwitchStates(t *testing.T) {
+	mk := func(vctrl float64) float64 {
+		c := New("sw")
+		c.AddV("VC", "c", "0", DC(vctrl))
+		c.AddV("VS", "in", "0", DC(1))
+		c.AddR("R1", "in", "out", 100)
+		c.AddSwitch("S1", "out", "0", "c", "0", 1, 1e9, 1.0, 0.0)
+		sol, _, err := c.OP(nil)
+		if err != nil {
+			t.Fatalf("vctrl=%v: %v", vctrl, err)
+		}
+		return sol.V("out")
+	}
+	if on := mk(1.5); on > 0.1 {
+		t.Fatalf("switch ON should pull out low, got %v", on)
+	}
+	if off := mk(-0.5); off < 0.9 {
+		t.Fatalf("switch OFF should leave out high, got %v", off)
+	}
+}
+
+func TestOPErrors(t *testing.T) {
+	c := New("bad")
+	if _, _, err := c.OP(nil); err == nil {
+		t.Fatal("empty circuit must fail")
+	}
+	c2 := New("badR")
+	c2.AddR("R1", "a", "0", -5)
+	if _, _, err := c2.OP(nil); err == nil {
+		t.Fatal("negative resistance must fail")
+	}
+	c3 := New("badV")
+	c3.AddV("V1", "a", "0", nil)
+	if _, _, err := c3.OP(nil); err == nil {
+		t.Fatal("nil waveform must fail")
+	}
+}
+
+func TestSolutionAccessors(t *testing.T) {
+	c := New("acc")
+	c.AddV("V1", "a", "0", DC(1))
+	c.AddR("R1", "a", "0", 1e3)
+	sol, stats, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iterations == 0 || stats.Factors == 0 {
+		t.Fatal("stats not recorded")
+	}
+	if !math.IsNaN(sol.V("nope")) {
+		t.Fatal("unknown node must be NaN")
+	}
+	if sol.V("0") != 0 || sol.V("gnd") != 0 {
+		t.Fatal("ground must read 0")
+	}
+	if _, ok := sol.BranchCurrent("nope"); ok {
+		t.Fatal("unknown branch must not be found")
+	}
+}

@@ -1,0 +1,89 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDCSweepLinear(t *testing.T) {
+	c := New("sweepdiv")
+	c.AddV("V1", "in", "0", DC(0))
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddR("R2", "out", "0", 1e3)
+	res, err := c.DCSweep("V1", 0, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.V("out")
+	if len(v) != 11 {
+		t.Fatalf("points = %d", len(v))
+	}
+	for k, val := range res.Values {
+		if math.Abs(v[k]-val/2) > 1e-6 {
+			t.Fatalf("at %v: out=%v want %v", val, v[k], val/2)
+		}
+	}
+	if res.V("nope") != nil {
+		t.Fatal("unknown node must return nil")
+	}
+}
+
+func TestDCSweepInverterTransferCurve(t *testing.T) {
+	// NMOS inverter: as Vin sweeps 0..1.8, Vout falls monotonically from
+	// VDD toward ground; the transition is near VT.
+	c := New("inv")
+	c.AddV("VDD", "vdd", "0", DC(1.8))
+	c.AddV("VIN", "g", "0", DC(0))
+	c.AddR("RD", "vdd", "d", 20e3)
+	c.AddMOS("M1", "d", "g", "0", DefaultNMOS(20e-6, 0.5e-6))
+	res, err := c.DCSweep("VIN", 0, 1.8, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vout := res.V("d")
+	if math.Abs(vout[0]-1.8) > 1e-3 {
+		t.Fatalf("off-state output %v, want 1.8", vout[0])
+	}
+	for k := 1; k < len(vout); k++ {
+		if vout[k] > vout[k-1]+1e-9 {
+			t.Fatalf("transfer curve not monotone at %v", res.Values[k])
+		}
+	}
+	if last := vout[len(vout)-1]; last > 0.4 {
+		t.Fatalf("on-state output %v too high", last)
+	}
+	// The source waveform must be restored after the sweep.
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V("g")) > 1e-9 {
+		t.Fatalf("VIN not restored: %v", sol.V("g"))
+	}
+}
+
+func TestDCSweepCurrentSource(t *testing.T) {
+	c := New("isweep")
+	c.AddI("I1", "0", "a", DC(0))
+	c.AddR("R1", "a", "0", 2e3)
+	res, err := c.DCSweep("I1", 0, 1e-3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.V("a")
+	if math.Abs(v[4]-2.0) > 1e-6 {
+		t.Fatalf("V(a) at 1mA = %v, want 2", v[4])
+	}
+}
+
+func TestDCSweepErrors(t *testing.T) {
+	c := New("bad")
+	c.AddV("V1", "a", "0", DC(1))
+	c.AddR("R1", "a", "0", 1e3)
+	if _, err := c.DCSweep("V1", 0, 1, 1); err == nil {
+		t.Fatal("steps < 2 must fail")
+	}
+	if _, err := c.DCSweep("NOPE", 0, 1, 5); err == nil {
+		t.Fatal("unknown source must fail")
+	}
+}

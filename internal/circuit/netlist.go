@@ -1,0 +1,377 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseNetlist reads a SPICE-flavoured netlist and builds a Circuit.
+// Supported cards (case-insensitive, one device per line, '*' comments,
+// '+' continuations):
+//
+//	Rname n1 n2 value
+//	Cname n1 n2 value
+//	Lname n1 n2 value [esr=value]
+//	Vname n+ n- DC value | SIN(off amp freq [delay phase]) | PULSE(v1 v2 delay rise fall width period)  [AC mag]
+//	Iname n+ n- DC value | SIN(...) | PULSE(...)
+//	Ename out+ out- ctrl+ ctrl- gain          (VCVS)
+//	Gname out+ out- ctrl+ ctrl- gm            (VCCS)
+//	Dname n+ n- [is=value] [n=value]
+//	Mname d g s type w=value l=value [kp=] [vt0=] [lambda=]   (type: nmos|pmos)
+//	Sname n1 n2 c+ c- ron=value roff=value von=value voff=value
+//
+// Engineering suffixes are understood on all numbers: f p n u m k meg g t.
+// The first token of the line selects the device by its leading letter, as
+// in SPICE.
+func ParseNetlist(r io.Reader, name string) (*Circuit, error) {
+	c := New(name)
+	scanner := bufio.NewScanner(r)
+	var lines []string
+	for scanner.Scan() {
+		raw := strings.TrimSpace(scanner.Text())
+		if raw == "" || strings.HasPrefix(raw, "*") || strings.HasPrefix(raw, ".") {
+			continue
+		}
+		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimSpace(raw[1:])
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %w", err)
+	}
+	for i, line := range lines {
+		if err := parseCard(c, line); err != nil {
+			return nil, fmt.Errorf("netlist line %d (%q): %w", i+1, line, err)
+		}
+	}
+	return c, nil
+}
+
+// ParseValue converts a SPICE number with optional engineering suffix
+// ("2.5k", "10u", "1meg", "0.5p") to a float.
+func ParseValue(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "meg"):
+		mult, s = 1e6, s[:len(s)-3]
+	case strings.HasSuffix(s, "mil"):
+		mult, s = 25.4e-6, s[:len(s)-3]
+	default:
+		if n := len(s); n > 1 {
+			switch s[n-1] {
+			case 'f':
+				mult, s = 1e-15, s[:n-1]
+			case 'p':
+				mult, s = 1e-12, s[:n-1]
+			case 'n':
+				mult, s = 1e-9, s[:n-1]
+			case 'u':
+				mult, s = 1e-6, s[:n-1]
+			case 'm':
+				mult, s = 1e-3, s[:n-1]
+			case 'k':
+				mult, s = 1e3, s[:n-1]
+			case 'g':
+				mult, s = 1e9, s[:n-1]
+			case 't':
+				mult, s = 1e12, s[:n-1]
+			}
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v * mult, nil
+}
+
+// kvParams extracts key=value tokens from fields, returning the map and the
+// positional (non key=value) remainder.
+func kvParams(fields []string) (map[string]string, []string) {
+	kv := map[string]string{}
+	var pos []string
+	for _, f := range fields {
+		if i := strings.IndexByte(f, '='); i > 0 {
+			kv[strings.ToLower(f[:i])] = f[i+1:]
+		} else {
+			pos = append(pos, f)
+		}
+	}
+	return kv, pos
+}
+
+func parseCard(c *Circuit, line string) error {
+	// Normalize parentheses so "SIN(0 1 1k)" splits into tokens.
+	norm := strings.NewReplacer("(", " ( ", ")", " ) ", ",", " ").Replace(line)
+	fields := strings.Fields(norm)
+	if len(fields) == 0 {
+		return nil
+	}
+	name := fields[0]
+	switch strings.ToUpper(name[:1]) {
+	case "R":
+		if len(fields) < 4 {
+			return fmt.Errorf("resistor needs 4 fields")
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		c.AddR(name, fields[1], fields[2], v)
+	case "C":
+		if len(fields) < 4 {
+			return fmt.Errorf("capacitor needs 4 fields")
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return err
+		}
+		c.AddC(name, fields[1], fields[2], v)
+	case "L":
+		if len(fields) < 4 {
+			return fmt.Errorf("inductor needs 4 fields")
+		}
+		kv, pos := kvParams(fields[3:])
+		if len(pos) == 0 {
+			return fmt.Errorf("inductor needs a value")
+		}
+		v, err := ParseValue(pos[0])
+		if err != nil {
+			return err
+		}
+		l := c.AddL(name, fields[1], fields[2], v)
+		if esr, ok := kv["esr"]; ok {
+			ev, err := ParseValue(esr)
+			if err != nil {
+				return err
+			}
+			l.ESR = ev
+		}
+	case "V", "I":
+		if len(fields) < 4 {
+			return fmt.Errorf("source needs nodes and a waveform")
+		}
+		wave, acmag, err := parseWaveform(fields[3:])
+		if err != nil {
+			return err
+		}
+		if strings.ToUpper(name[:1]) == "V" {
+			src := c.AddV(name, fields[1], fields[2], wave)
+			src.ACMag = acmag
+		} else {
+			src := c.AddI(name, fields[1], fields[2], wave)
+			src.ACMag = acmag
+		}
+	case "E":
+		if len(fields) < 6 {
+			return fmt.Errorf("VCVS needs 6 fields")
+		}
+		g, err := ParseValue(fields[5])
+		if err != nil {
+			return err
+		}
+		c.AddVCVS(name, fields[1], fields[2], fields[3], fields[4], g)
+	case "G":
+		if len(fields) < 6 {
+			return fmt.Errorf("VCCS needs 6 fields")
+		}
+		g, err := ParseValue(fields[5])
+		if err != nil {
+			return err
+		}
+		c.AddVCCS(name, fields[1], fields[2], fields[3], fields[4], g)
+	case "D":
+		if len(fields) < 3 {
+			return fmt.Errorf("diode needs 3 fields")
+		}
+		d := c.AddDiode(name, fields[1], fields[2])
+		kv, _ := kvParams(fields[3:])
+		if is, ok := kv["is"]; ok {
+			v, err := ParseValue(is)
+			if err != nil {
+				return err
+			}
+			d.Is = v
+		}
+		if n, ok := kv["n"]; ok {
+			v, err := ParseValue(n)
+			if err != nil {
+				return err
+			}
+			d.N = v
+		}
+	case "M":
+		if len(fields) < 5 {
+			return fmt.Errorf("MOSFET needs d g s and a type")
+		}
+		kv, pos := kvParams(fields[4:])
+		if len(pos) == 0 {
+			return fmt.Errorf("MOSFET needs a type (nmos|pmos)")
+		}
+		w, err := kvValue(kv, "w", 10e-6)
+		if err != nil {
+			return err
+		}
+		l, err := kvValue(kv, "l", 1e-6)
+		if err != nil {
+			return err
+		}
+		var p MOSParams
+		switch strings.ToLower(pos[0]) {
+		case "nmos":
+			p = DefaultNMOS(w, l)
+		case "pmos":
+			p = DefaultPMOS(w, l)
+		default:
+			return fmt.Errorf("unknown MOSFET type %q", pos[0])
+		}
+		if v, ok := kv["kp"]; ok {
+			if p.KP, err = ParseValue(v); err != nil {
+				return err
+			}
+		}
+		if v, ok := kv["vt0"]; ok {
+			if p.VT0, err = ParseValue(v); err != nil {
+				return err
+			}
+		}
+		if v, ok := kv["lambda"]; ok {
+			if p.Lambda, err = ParseValue(v); err != nil {
+				return err
+			}
+		}
+		c.AddMOS(name, fields[1], fields[2], fields[3], p)
+	case "S":
+		if len(fields) < 5 {
+			return fmt.Errorf("switch needs 4 nodes")
+		}
+		kv, _ := kvParams(fields[5:])
+		ron, err := kvValue(kv, "ron", 1.0)
+		if err != nil {
+			return err
+		}
+		roff, err := kvValue(kv, "roff", 1e9)
+		if err != nil {
+			return err
+		}
+		von, err := kvValue(kv, "von", 1.0)
+		if err != nil {
+			return err
+		}
+		voff, err := kvValue(kv, "voff", 0.0)
+		if err != nil {
+			return err
+		}
+		c.AddSwitch(name, fields[1], fields[2], fields[3], fields[4], ron, roff, von, voff)
+	default:
+		return fmt.Errorf("unsupported device %q", name)
+	}
+	return nil
+}
+
+func kvValue(kv map[string]string, key string, def float64) (float64, error) {
+	s, ok := kv[key]
+	if !ok {
+		return def, nil
+	}
+	return ParseValue(s)
+}
+
+// parseWaveform decodes the source specification after the node fields.
+// Grammar: [DC] value | SIN ( off amp freq [delay phase] ) | PULSE ( v1 v2
+// delay rise fall width period ), optionally followed by "AC mag".
+func parseWaveform(fields []string) (Waveform, float64, error) {
+	var acmag float64
+	// Strip a trailing "AC mag" clause first.
+	for i := 0; i+1 < len(fields); i++ {
+		if strings.EqualFold(fields[i], "AC") && !strings.EqualFold(fields[0], "AC") || (i == len(fields)-2 && strings.EqualFold(fields[i], "AC")) {
+			v, err := ParseValue(fields[i+1])
+			if err != nil {
+				return nil, 0, err
+			}
+			acmag = v
+			fields = fields[:i]
+			break
+		}
+	}
+	if len(fields) == 0 {
+		return DC(0), acmag, nil
+	}
+	head := strings.ToUpper(fields[0])
+	switch head {
+	case "DC":
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("DC needs a value")
+		}
+		v, err := ParseValue(fields[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		return DC(v), acmag, nil
+	case "SIN":
+		args, err := parenArgs(fields[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(args) < 3 {
+			return nil, 0, fmt.Errorf("SIN needs at least off amp freq")
+		}
+		s := Sine{Offset: args[0], Amp: args[1], Freq: args[2]}
+		if len(args) > 3 {
+			s.Delay = args[3]
+		}
+		if len(args) > 4 {
+			s.Phase = args[4]
+		}
+		return s, acmag, nil
+	case "PULSE":
+		args, err := parenArgs(fields[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(args) < 7 {
+			return nil, 0, fmt.Errorf("PULSE needs v1 v2 delay rise fall width period")
+		}
+		return Pulse{V1: args[0], V2: args[1], Delay: args[2], Rise: args[3],
+			Fall: args[4], Width: args[5], Period: args[6]}, acmag, nil
+	default:
+		// Bare value means DC.
+		v, err := ParseValue(fields[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		return DC(v), acmag, nil
+	}
+}
+
+// parenArgs parses "( a b c )" into numbers.
+func parenArgs(fields []string) ([]float64, error) {
+	var args []float64
+	depth := 0
+	for _, f := range fields {
+		switch f {
+		case "(":
+			depth++
+		case ")":
+			depth--
+		default:
+			if depth > 0 || len(args) > 0 || depth == 0 && f != "" {
+				v, err := ParseValue(f)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, v)
+			}
+		}
+	}
+	return args, nil
+}

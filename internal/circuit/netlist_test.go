@@ -1,0 +1,212 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1}, {"2.5k", 2500}, {"10u", 10e-6}, {"1meg", 1e6},
+		{"0.5p", 0.5e-12}, {"3n", 3e-9}, {"1m", 1e-3}, {"2g", 2e9},
+		{"4f", 4e-15}, {"1t", 1e12}, {"-3.3", -3.3}, {" 5K ", 5000},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c.in, err)
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Fatalf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x2"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Fatalf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseNetlistDivider(t *testing.T) {
+	src := `
+* simple resistive divider
+V1 in 0 DC 10
+R1 in out 1k
+R2 out 0 3k
+`
+	c, err := ParseNetlist(strings.NewReader(src), "divider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Vout", sol.V("out"), 7.5, 1e-9)
+}
+
+func TestParseNetlistContinuationAndComment(t *testing.T) {
+	src := `
+V1 in 0
++ DC 5
+* a comment between cards
+R1 in out 2k
+R2 out 0 2k
+.end
+`
+	c, err := ParseNetlist(strings.NewReader(src), "cont")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Vout", sol.V("out"), 2.5, 1e-9)
+}
+
+func TestParseNetlistSineTransient(t *testing.T) {
+	src := `
+V1 in 0 SIN(0 1 1meg)
+R1 in out 1k
+C1 out 0 100p
+`
+	c, err := ParseNetlist(strings.NewReader(src), "sine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tran(TranOptions{TStop: 5e-6, TStep: 5e-9, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Node("out")
+	var peak float64
+	for _, v := range out {
+		if v > peak {
+			peak = v
+		}
+	}
+	// fc = 1.59 MHz, driven at 1 MHz: |H| = 1/sqrt(1+(f/fc)^2) = 0.847.
+	if peak < 0.7 || peak > 1.0 {
+		t.Fatalf("peak %v outside expected lowpass range", peak)
+	}
+}
+
+func TestParseNetlistACSource(t *testing.T) {
+	src := `
+V1 in 0 DC 0 AC 1
+R1 in out 1k
+C1 out 0 159.155n
+`
+	c, err := ParseNetlist(strings.NewReader(src), "ac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AC(nil, []float64{1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fc = 1 kHz: |H| = 0.7071.
+	h := res.V(0, "out")
+	if math.Abs(math.Hypot(real(h), imag(h))-1/math.Sqrt2) > 1e-2 {
+		t.Fatalf("|H| = %v", math.Hypot(real(h), imag(h)))
+	}
+}
+
+func TestParseNetlistMOSAndControlled(t *testing.T) {
+	src := `
+VDD vdd 0 DC 1.8
+VG g 0 DC 0.9
+RD vdd d 10k
+M1 d g 0 nmos w=10u l=1u
+E1 buf 0 d 0 2
+G1 0 isink buf 0 1m
+RS isink 0 1k
+`
+	c, err := ParseNetlist(strings.NewReader(src), "mos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd := sol.V("d")
+	if vd <= 0 || vd >= 1.8 {
+		t.Fatalf("Vd = %v", vd)
+	}
+	approx(t, "buf", sol.V("buf"), 2*vd, 1e-6)
+	approx(t, "isink", sol.V("isink"), 2*vd*1e-3*1e3, 1e-6)
+}
+
+func TestParseNetlistDiodeParamsAndSwitch(t *testing.T) {
+	src := `
+V1 a 0 DC 5
+R1 a b 1k
+D1 b 0 is=1e-12 n=2
+VC c 0 DC 2
+S1 a sw c 0 ron=0.5 roff=1e9 von=1 voff=0
+RSW sw 0 50
+`
+	c, err := ParseNetlist(strings.NewReader(src), "dsw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := c.OP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diode with n=2 drops more than an n=1 diode at the same current.
+	if vb := sol.V("b"); vb < 0.7 || vb > 1.4 {
+		t.Fatalf("n=2 diode drop %v out of range", vb)
+	}
+	// Switch is ON (Vc=2 > Von): node sw pulled to a through 0.5 Ω.
+	if vsw := sol.V("sw"); math.Abs(vsw-5*50/50.5) > 0.05 {
+		t.Fatalf("switch ON divider: %v", vsw)
+	}
+}
+
+func TestParseNetlistPulseAndInductor(t *testing.T) {
+	src := `
+V1 in 0 PULSE(0 1 0 1n 1n 0.5u 1u)
+L1 in out 10u esr=0.01
+R1 out 0 100
+`
+	c, err := ParseNetlist(strings.NewReader(src), "pl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Tran(TranOptions{TStop: 3e-6, TStep: 2e-9, UIC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node("out") == nil {
+		t.Fatal("missing waveform")
+	}
+}
+
+func TestParseNetlistErrors(t *testing.T) {
+	bad := []string{
+		"R1 a 0",              // missing value
+		"R1 a 0 abc",          // bad number
+		"X1 a 0 1k",           // unknown device
+		"V1 a 0 SIN(0 1)",     // SIN too short
+		"V1 a 0 PULSE(0 1 0)", // PULSE too short
+		"M1 d g 0 weird w=1u l=1u",
+		"M1 d g 0",
+		"E1 a 0 b 0",
+		"D1 a 0 is=zzz",
+	}
+	for _, src := range bad {
+		if _, err := ParseNetlist(strings.NewReader(src), "bad"); err == nil {
+			t.Fatalf("netlist %q should fail", src)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"easybo/internal/linalg"
+)
+
+// TranOptions configures a transient analysis.
+type TranOptions struct {
+	TStop   float64 // end time (required)
+	TStep   float64 // fixed step size (required)
+	MaxIter int     // Newton iterations per step (default 50)
+	AbsTol  float64 // voltage tolerance (default 1e-6 V)
+	RelTol  float64 // relative tolerance (default 1e-4)
+	UIC     bool    // skip the initial OP; start from zero state
+	// SkipOP starts from the zero vector as operating point without failing
+	// if the OP does not converge (useful for oscillating switch circuits).
+	SkipOP bool
+	// Record lists node names to record. Empty means record all nodes.
+	Record []string
+}
+
+// TranResult holds the recorded waveforms of a transient run.
+type TranResult struct {
+	c     *Circuit
+	T     []float64
+	index map[string]int
+	V     [][]float64 // V[i] is the waveform of recorded node i
+	Stats NewtonStats
+}
+
+// Node returns the recorded waveform for a node name (nil if not recorded).
+func (r *TranResult) Node(name string) []float64 {
+	if i, ok := r.index[name]; ok {
+		return r.V[i]
+	}
+	return nil
+}
+
+// Tran runs a fixed-step transient analysis with trapezoidal integration
+// (backward Euler on the first step to damp the trap start-up ringing).
+func (c *Circuit) Tran(opts TranOptions) (*TranResult, error) {
+	if opts.TStop <= 0 || opts.TStep <= 0 {
+		return nil, errors.New("circuit: Tran requires positive TStop and TStep")
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	if opts.AbsTol <= 0 {
+		opts.AbsTol = 1e-6
+	}
+	if opts.RelTol <= 0 {
+		opts.RelTol = 1e-4
+	}
+	if err := c.Compile(); err != nil {
+		return nil, err
+	}
+
+	// Initial state.
+	var x []float64
+	stats := NewtonStats{}
+	switch {
+	case opts.UIC:
+		x = make([]float64, c.unknowns)
+	default:
+		sol, opStats, err := c.OP(nil)
+		stats.Iterations += opStats.Iterations
+		stats.Factors += opStats.Factors
+		if err != nil {
+			if !opts.SkipOP {
+				return nil, fmt.Errorf("circuit: transient initial OP: %w", err)
+			}
+			x = make([]float64, c.unknowns)
+		} else {
+			x = sol.X
+		}
+	}
+
+	// Which nodes to record.
+	record := opts.Record
+	if len(record) == 0 {
+		record = c.NodeNames()
+	}
+	res := &TranResult{c: c, index: map[string]int{}}
+	recIdx := make([]int, len(record))
+	for i, name := range record {
+		idx, ok := c.nodes[name]
+		if !ok {
+			return nil, fmt.Errorf("circuit: record node %q not in netlist", name)
+		}
+		res.index[name] = i
+		recIdx[i] = idx
+	}
+	res.V = make([][]float64, len(record))
+
+	nSteps := int(math.Ceil(opts.TStop / opts.TStep))
+	res.T = make([]float64, 0, nSteps+1)
+	appendSample := func(t float64, xv []float64) {
+		res.T = append(res.T, t)
+		for i, idx := range recIdx {
+			v := 0.0
+			if idx > 0 {
+				v = xv[idx-1]
+			}
+			res.V[i] = append(res.V[i], v)
+		}
+	}
+
+	// Reset companion states from the initial solution.
+	e := &env{mode: modeTran, c: c, dt: opts.TStep, srcScale: 1, gmin: 1e-12, xprev: x}
+	for _, d := range c.devices {
+		if s, ok := d.(stateful); ok {
+			s.reset(e)
+		}
+	}
+	appendSample(0, x)
+
+	t := 0.0
+	for step := 0; step < nSteps; step++ {
+		tNew := t + opts.TStep
+		e.time = tNew
+		e.trapFlag = step > 0 // BE start, then trapezoidal
+		e.xprev = x
+		xNew, ok := c.tranNewton(x, e, opts, &stats)
+		if !ok {
+			return nil, fmt.Errorf("circuit %q: transient Newton failed at t=%g", c.Name, tNew)
+		}
+		// Advance companion states with the accepted solution.
+		e.x = xNew
+		for _, d := range c.devices {
+			if s, ok := d.(stateful); ok {
+				s.advance(e)
+			}
+		}
+		x = xNew
+		t = tNew
+		appendSample(t, x)
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+func (c *Circuit) tranNewton(x0 []float64, e *env, opts TranOptions, stats *NewtonStats) ([]float64, bool) {
+	x := linalg.Clone(x0)
+	n := c.unknowns
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		stats.Iterations++
+		e.firstIter = iter == 0
+		e.A = linalg.NewMatrix(n, n)
+		e.b = make([]float64, n)
+		e.x = x
+		for _, d := range c.devices {
+			d.stamp(e)
+		}
+		for i := 0; i < len(c.names)-1; i++ {
+			e.A.Add(i, i, 1e-12)
+		}
+		lu, err := linalg.NewLU(e.A)
+		if err != nil {
+			return nil, false
+		}
+		stats.Factors++
+		xNew := lu.Solve(e.b)
+		if !linalg.AllFinite(xNew) {
+			return nil, false
+		}
+		converged := true
+		nv := len(c.names) - 1
+		for i := 0; i < nv; i++ {
+			if math.Abs(xNew[i]-x[i]) > opts.AbsTol+opts.RelTol*math.Abs(xNew[i]) {
+				converged = false
+				break
+			}
+		}
+		x = xNew
+		if converged {
+			return x, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"easybo/internal/gp"
+	"easybo/internal/sched"
+)
+
+// Fitter refreshes the surrogate from all observations so far. Implementors
+// decide how often to re-optimize hyperparameters versus performing a cheap
+// fixed-hyperparameter refit.
+type Fitter func(x [][]float64, y []float64) (*gp.Model, error)
+
+// AsyncConfig configures AsyncLoop.
+type AsyncConfig struct {
+	MaxEvals int                // total evaluations including the initial design
+	Init     [][]float64        // initial design points (raw coordinates)
+	Lo, Hi   []float64          // design box
+	Fit      Fitter             // surrogate refresher (required)
+	Proposer *Proposer          // acquisition engine (required)
+	Rng      *rand.Rand         // drives κ sampling and the inner maximizer
+	OnResult func(sched.Result) // observes every completion in order (optional)
+}
+
+// AsyncLoop is Algorithm 1 of the paper: launch the initial design, then —
+// whenever a worker becomes available — absorb the finished result, refresh
+// the surrogate on the observed data, hallucinate the still-busy points
+// (inside Proposer when Penalize is set), and dispatch the acquisition
+// maximizer. The loop returns after exactly MaxEvals completions.
+func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
+	switch {
+	case cfg.Fit == nil:
+		return errors.New("core: AsyncLoop requires a Fitter")
+	case cfg.Proposer == nil:
+		return errors.New("core: AsyncLoop requires a Proposer")
+	case cfg.Rng == nil:
+		return errors.New("core: AsyncLoop requires an rng")
+	case cfg.MaxEvals < len(cfg.Init):
+		return fmt.Errorf("core: MaxEvals %d smaller than initial design %d", cfg.MaxEvals, len(cfg.Init))
+	case len(cfg.Init) == 0:
+		return errors.New("core: AsyncLoop requires an initial design")
+	}
+
+	launched := 0
+	completed := 0
+	var obsX [][]float64
+	var obsY []float64
+
+	// Fill all workers from the initial design queue.
+	for launched < len(cfg.Init) && launched < cfg.MaxEvals && ex.Idle() > 0 {
+		if err := ex.Launch(cfg.Init[launched]); err != nil {
+			return err
+		}
+		launched++
+	}
+
+	for completed < cfg.MaxEvals {
+		r, ok := ex.Wait()
+		if !ok {
+			return fmt.Errorf("core: executor drained after %d of %d evaluations", completed, cfg.MaxEvals)
+		}
+		completed++
+		obsX = append(obsX, r.X)
+		obsY = append(obsY, r.Y)
+		if cfg.OnResult != nil {
+			cfg.OnResult(r)
+		}
+		if launched >= cfg.MaxEvals {
+			continue // draining the tail of the final batch
+		}
+		// Prefer the remaining initial design; otherwise propose.
+		var next []float64
+		if launched < len(cfg.Init) {
+			next = cfg.Init[launched]
+		} else {
+			m, err := cfg.Fit(obsX, obsY)
+			if err != nil {
+				return fmt.Errorf("core: surrogate refresh: %w", err)
+			}
+			next, _, err = cfg.Proposer.Propose(m, ex.Busy(), cfg.Lo, cfg.Hi, cfg.Rng)
+			if err != nil {
+				return err
+			}
+		}
+		if err := ex.Launch(next); err != nil {
+			return err
+		}
+		launched++
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"easybo/internal/linalg"
+)
+
+// GP is a fitted Gaussian-process regressor over raw (already normalized)
+// inputs and outputs. Use Model for the user-facing wrapper that handles
+// input/output scaling.
+type GP struct {
+	Kern     Kernel
+	X        [][]float64
+	Y        []float64
+	Theta    []float64 // kernel hyperparameters (log space)
+	LogNoise float64   // log σn
+
+	chol  *linalg.Cholesky
+	alpha []float64 // K⁻¹y
+}
+
+// Fit builds the covariance matrix and factors it. X rows are d-dimensional
+// inputs; Y observations. The inputs are retained by reference — callers
+// must not mutate them afterwards.
+func Fit(kern Kernel, x [][]float64, y []float64, theta []float64, logNoise float64) (*GP, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("gp: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("gp: %d inputs but %d observations", n, len(y))
+	}
+	d := len(x[0])
+	validateTheta(kern, theta, d)
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(xi), d)
+		}
+	}
+	k := buildCov(kern, theta, logNoise, x)
+	chol, err := linalg.NewCholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: covariance factorization: %w", err)
+	}
+	g := &GP{Kern: kern, X: x, Y: y, Theta: append([]float64(nil), theta...),
+		LogNoise: logNoise, chol: chol}
+	g.alpha = chol.Solve(y)
+	return g, nil
+}
+
+func buildCov(kern Kernel, theta []float64, logNoise float64, x [][]float64) *linalg.Matrix {
+	n := len(x)
+	k := linalg.NewMatrix(n, n)
+	noise2 := math.Exp(2 * logNoise)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := kern.Eval(theta, x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Add(i, i, noise2)
+	}
+	return k
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.X) }
+
+// Dim returns the input dimension.
+func (g *GP) Dim() int { return len(g.X[0]) }
+
+// Predict returns the posterior mean and standard deviation at x
+// (paper Eq. (2)). The returned deviation excludes observation noise
+// (it is the deviation of the latent function).
+func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	n := g.N()
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.Kern.Eval(g.Theta, x, g.X[i])
+	}
+	mu = linalg.Dot(ks, g.alpha)
+	v := g.chol.SolveLower(ks)
+	kss := g.Kern.Eval(g.Theta, x, x)
+	s2 := kss - linalg.Dot(v, v)
+	if s2 < 0 {
+		s2 = 0
+	}
+	return mu, math.Sqrt(s2)
+}
+
+// PredictMean returns only the posterior mean (cheaper: skips the
+// triangular solve needed for the variance).
+func (g *GP) PredictMean(x []float64) float64 {
+	n := g.N()
+	var mu float64
+	for i := 0; i < n; i++ {
+		mu += g.Kern.Eval(g.Theta, x, g.X[i]) * g.alpha[i]
+	}
+	return mu
+}
+
+// LogMarginalLikelihood returns log p(y | X, θ).
+func (g *GP) LogMarginalLikelihood() float64 {
+	n := float64(g.N())
+	return -0.5*linalg.Dot(g.Y, g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
+}
+
+// LMLGradient returns the gradient of the log marginal likelihood with
+// respect to [kernel hyperparameters…, log σn], using
+// ∂LML/∂θ = ½·tr((ααᵀ − K⁻¹)·∂K/∂θ).
+func (g *GP) LMLGradient() []float64 {
+	n := g.N()
+	nh := g.Kern.NumHyper(g.Dim())
+	grad := make([]float64, nh+1)
+	kinv := g.chol.Inverse()
+	// W = ααᵀ − K⁻¹ (symmetric).
+	w := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, g.alpha[i]*g.alpha[j]-kinv.At(i, j))
+		}
+	}
+	// Kernel hyperparameters: accumulate ½ Σ_ij W_ij ∂K_ij/∂θ.
+	// Use symmetry: off-diagonal pairs count twice.
+	for i := 0; i < n; i++ {
+		g.Kern.AccumGrad(g.Theta, g.X[i], g.X[i], 0.5*w.At(i, i), grad[:nh])
+		for j := i + 1; j < n; j++ {
+			g.Kern.AccumGrad(g.Theta, g.X[i], g.X[j], w.At(i, j), grad[:nh])
+		}
+	}
+	// Noise: ∂K/∂log σn = 2σn² I.
+	noise2 := math.Exp(2 * g.LogNoise)
+	var tr float64
+	for i := 0; i < n; i++ {
+		tr += w.At(i, i)
+	}
+	grad[nh] = 0.5 * tr * 2 * noise2
+	return grad
+}
+
+// WithPseudo returns a new GP whose training set is augmented with pseudo
+// observations (the hallucination device of BUCB / EasyBO §III-C). The
+// hyperparameters are reused without refitting — exactly the paper's usage,
+// where the pseudo targets are the current predictive means and must not
+// distort the model fit.
+func (g *GP) WithPseudo(xp [][]float64, yp []float64) (*GP, error) {
+	if len(xp) == 0 {
+		return g, nil
+	}
+	x := make([][]float64, 0, g.N()+len(xp))
+	x = append(x, g.X...)
+	x = append(x, xp...)
+	y := make([]float64, 0, len(x))
+	y = append(y, g.Y...)
+	y = append(y, yp...)
+	return Fit(g.Kern, x, y, g.Theta, g.LogNoise)
+}

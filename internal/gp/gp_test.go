@@ -1,0 +1,462 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func trainData(rng *rand.Rand, n, d int, f func([]float64) float64) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		xi := make([]float64, d)
+		for j := range xi {
+			xi[j] = rng.Float64()
+		}
+		x[i] = xi
+		y[i] = f(xi)
+	}
+	return x, y
+}
+
+func TestKernelBasicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kern := range []Kernel{SEARD{}, Matern52{}} {
+		d := 4
+		theta := kern.DefaultTheta(d)
+		if len(theta) != kern.NumHyper(d) {
+			t.Fatalf("%s: theta length mismatch", kern.Name())
+		}
+		f := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			a := make([]float64, d)
+			b := make([]float64, d)
+			for i := range a {
+				a[i] = r.Float64()
+				b[i] = r.Float64()
+			}
+			kaa := kern.Eval(theta, a, a)
+			kab := kern.Eval(theta, a, b)
+			kba := kern.Eval(theta, b, a)
+			// Symmetry, positivity, and k(a,a) >= |k(a,b)| (correlation bound).
+			return kab > 0 && math.Abs(kab-kba) < 1e-15 && kaa >= kab-1e-12
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+			t.Fatalf("%s: %v", kern.Name(), err)
+		}
+		// Variance at zero distance is σf².
+		a := []float64{0.3, 0.4, 0.5, 0.6}
+		sf := math.Exp(theta[d])
+		if got := kern.Eval(theta, a, a); math.Abs(got-sf*sf) > 1e-12 {
+			t.Fatalf("%s: k(a,a) = %v, want σf² = %v", kern.Name(), got, sf*sf)
+		}
+	}
+}
+
+func TestKernelGradFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kern := range []Kernel{SEARD{}, Matern52{}} {
+		d := 3
+		theta := kern.DefaultTheta(d)
+		for i := range theta {
+			theta[i] += 0.2 * rng.NormFloat64()
+		}
+		a := []float64{0.1, 0.7, 0.4}
+		b := []float64{0.5, 0.2, 0.9}
+		grad := make([]float64, len(theta))
+		kern.AccumGrad(theta, a, b, 1.0, grad)
+		const h = 1e-6
+		for j := range theta {
+			tp := append([]float64(nil), theta...)
+			tm := append([]float64(nil), theta...)
+			tp[j] += h
+			tm[j] -= h
+			fd := (kern.Eval(tp, a, b) - kern.Eval(tm, a, b)) / (2 * h)
+			if math.Abs(fd-grad[j]) > 1e-6*(1+math.Abs(fd)) {
+				t.Fatalf("%s: grad[%d] = %v, finite difference %v", kern.Name(), j, grad[j], fd)
+			}
+		}
+	}
+}
+
+func TestGPInterpolatesWithLowNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := trainData(rng, 12, 2, func(v []float64) float64 {
+		return math.Sin(3*v[0]) + v[1]*v[1]
+	})
+	g, err := Fit(SEARD{}, x, y, SEARD{}.DefaultTheta(2), math.Log(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xi := range x {
+		mu, sigma := g.Predict(xi)
+		if math.Abs(mu-y[i]) > 1e-3 {
+			t.Fatalf("GP does not interpolate: point %d, mu=%v want %v", i, mu, y[i])
+		}
+		if sigma > 1e-2 {
+			t.Fatalf("posterior deviation at a training point should collapse, got %v", sigma)
+		}
+	}
+}
+
+func TestGPPosteriorVarianceShrinksWithData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(v []float64) float64 { return v[0] }
+	x, y := trainData(rng, 20, 1, f)
+	gSmall, err := Fit(SEARD{}, x[:5], y[:5], SEARD{}.DefaultTheta(1), math.Log(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBig, err := Fit(SEARD{}, x, y, SEARD{}.DefaultTheta(1), math.Log(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average posterior deviation over a grid must not grow with more data.
+	var sSmall, sBig float64
+	for i := 0; i <= 20; i++ {
+		xq := []float64{float64(i) / 20}
+		_, s1 := gSmall.Predict(xq)
+		_, s2 := gBig.Predict(xq)
+		sSmall += s1
+		sBig += s2
+	}
+	if sBig > sSmall+1e-9 {
+		t.Fatalf("variance grew with data: %v -> %v", sSmall, sBig)
+	}
+}
+
+func TestGPPredictMeanMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := trainData(rng, 15, 3, func(v []float64) float64 { return v[0] - 2*v[1] + v[2] })
+	g, err := Fit(SEARD{}, x, y, SEARD{}.DefaultTheta(3), math.Log(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		xq := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		mu1, _ := g.Predict(xq)
+		mu2 := g.PredictMean(xq)
+		if math.Abs(mu1-mu2) > 1e-12 {
+			t.Fatalf("PredictMean mismatch: %v vs %v", mu1, mu2)
+		}
+	}
+}
+
+func TestGPSingleKnownPoint(t *testing.T) {
+	// One observation, zero-ish noise: posterior at that point is the
+	// observation; far away the mean decays toward the prior mean 0 and the
+	// deviation recovers to σf.
+	x := [][]float64{{0.5}}
+	y := []float64{2.0}
+	theta := []float64{math.Log(0.1), 0} // l = 0.1, σf = 1
+	g, err := Fit(SEARD{}, x, y, theta, math.Log(1e-6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := g.Predict([]float64{0.5})
+	if math.Abs(mu-2) > 1e-5 || sigma > 1e-2 {
+		t.Fatalf("at observation: mu=%v sigma=%v", mu, sigma)
+	}
+	muFar, sigmaFar := g.Predict([]float64{0.0})
+	if math.Abs(muFar) > 1e-4 {
+		t.Fatalf("far mean should decay to prior: %v", muFar)
+	}
+	if math.Abs(sigmaFar-1) > 1e-4 {
+		t.Fatalf("far deviation should recover σf=1: %v", sigmaFar)
+	}
+}
+
+func TestLMLGradientFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := trainData(rng, 10, 2, func(v []float64) float64 { return math.Cos(4 * v[0] * v[1]) })
+	theta := SEARD{}.DefaultTheta(2)
+	logNoise := math.Log(5e-2)
+	g, err := Fit(SEARD{}, x, y, theta, logNoise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := g.LMLGradient()
+	const h = 1e-5
+	lmlAt := func(th []float64, ln float64) float64 {
+		gg, err := Fit(SEARD{}, x, y, th, ln)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gg.LogMarginalLikelihood()
+	}
+	for j := 0; j < len(theta); j++ {
+		tp := append([]float64(nil), theta...)
+		tm := append([]float64(nil), theta...)
+		tp[j] += h
+		tm[j] -= h
+		fd := (lmlAt(tp, logNoise) - lmlAt(tm, logNoise)) / (2 * h)
+		if math.Abs(fd-grad[j]) > 1e-4*(1+math.Abs(fd)) {
+			t.Fatalf("LML grad[%d] = %v, finite difference %v", j, grad[j], fd)
+		}
+	}
+	fd := (lmlAt(theta, logNoise+h) - lmlAt(theta, logNoise-h)) / (2 * h)
+	if math.Abs(fd-grad[len(theta)]) > 1e-4*(1+math.Abs(fd)) {
+		t.Fatalf("noise grad = %v, finite difference %v", grad[len(theta)], fd)
+	}
+}
+
+func TestFitHyperImprovesLML(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := trainData(rng, 25, 2, func(v []float64) float64 { return math.Sin(5*v[0]) + 0.5*v[1] })
+	base, err := Fit(SEARD{}, x, y, SEARD{}.DefaultTheta(2), math.Log(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := FitHyper(SEARD{}, x, y, rng, &FitOptions{Iters: 50, Restarts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitted.LogMarginalLikelihood() < base.LogMarginalLikelihood() {
+		t.Fatalf("hyper fit worsened LML: %v -> %v",
+			base.LogMarginalLikelihood(), fitted.LogMarginalLikelihood())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(SEARD{}, nil, nil, nil, 0); err == nil {
+		t.Fatal("empty training set must fail")
+	}
+	if _, err := Fit(SEARD{}, [][]float64{{1}}, []float64{1, 2}, SEARD{}.DefaultTheta(1), 0); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := Fit(SEARD{}, [][]float64{{1}, {1, 2}}, []float64{1, 2}, SEARD{}.DefaultTheta(1), 0); err == nil {
+		t.Fatal("ragged inputs must fail")
+	}
+}
+
+func TestWithPseudoShrinksSigmaKeepsMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := trainData(rng, 15, 2, func(v []float64) float64 { return v[0] + v[1] })
+	g, err := Fit(SEARD{}, x, y, SEARD{}.DefaultTheta(2), math.Log(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := [][]float64{{0.25, 0.75}, {0.8, 0.1}}
+	mus := make([]float64, len(busy))
+	for i, b := range busy {
+		mus[i], _ = g.Predict(b)
+	}
+	g2, err := g.WithPseudo(busy, mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property (paper §III-C): predictive mean is unchanged everywhere
+	// (pseudo targets equal the prior predictive mean), deviation shrinks
+	// near the busy points and never grows anywhere.
+	for i := 0; i < 40; i++ {
+		xq := []float64{rng.Float64(), rng.Float64()}
+		mu1, s1 := g.Predict(xq)
+		mu2, s2 := g2.Predict(xq)
+		if math.Abs(mu1-mu2) > 1e-6*(1+math.Abs(mu1)) {
+			t.Fatalf("hallucination changed the mean at %v: %v -> %v", xq, mu1, mu2)
+		}
+		if s2 > s1+1e-8 {
+			t.Fatalf("hallucination grew the deviation at %v: %v -> %v", xq, s1, s2)
+		}
+	}
+	for i, b := range busy {
+		_, s := g2.Predict(b)
+		if s > 1e-2 {
+			t.Fatalf("deviation at busy point %d should collapse, got %v", i, s)
+		}
+	}
+	// Empty pseudo set returns the same GP.
+	g3, err := g.WithPseudo(nil, nil)
+	if err != nil || g3 != g {
+		t.Fatal("empty pseudo set should be a no-op")
+	}
+}
+
+func TestModelScalingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Raw inputs in a wildly scaled box; outputs with large offset.
+	lo := []float64{-1000, 1e-9}
+	hi := []float64{1000, 1e-6}
+	f := func(v []float64) float64 { return 500 + v[0]/100 + v[1]*1e7 }
+	n := 20
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{lo[0] + rng.Float64()*(hi[0]-lo[0]), lo[1] + rng.Float64()*(hi[1]-lo[1])}
+		y[i] = f(x[i])
+	}
+	m, err := Train(x, y, lo, hi, rng, &TrainOptions{Fit: &FitOptions{Iters: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction at training points should be close in raw units.
+	var worst float64
+	for i := range x {
+		mu, _ := m.Predict(x[i])
+		if e := math.Abs(mu - y[i]); e > worst {
+			worst = e
+		}
+	}
+	spread := 20.0 // output range ≈ [490, 520]
+	if worst > 0.2*spread {
+		t.Fatalf("poor fit in raw units: worst error %v", worst)
+	}
+	if m.N() != n {
+		t.Fatalf("N = %d", m.N())
+	}
+	if len(m.Theta()) != (SEARD{}).NumHyper(2) {
+		t.Fatal("Theta length wrong")
+	}
+}
+
+func TestModelWithPseudo(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lo := []float64{0, 0}
+	hi := []float64{10, 10}
+	x := [][]float64{{1, 1}, {5, 5}, {9, 9}, {2, 8}, {8, 2}}
+	y := []float64{1, 5, 9, 5, 5}
+	m, err := Train(x, y, lo, hi, rng, &TrainOptions{Fit: &FitOptions{Iters: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := [][]float64{{5, 1}}
+	m2, err := m.WithPseudo(busy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s1 := m.Predict(busy[0])
+	_, s2 := m2.Predict(busy[0])
+	if s2 >= s1 {
+		t.Fatalf("pseudo point did not reduce deviation: %v -> %v", s1, s2)
+	}
+	mu1 := m.PredictMean([]float64{3, 3})
+	mu2 := m2.PredictMean([]float64{3, 3})
+	if math.Abs(mu1-mu2) > 1e-6*(1+math.Abs(mu1)) {
+		t.Fatalf("pseudo point changed the mean: %v -> %v", mu1, mu2)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if _, err := Train(nil, nil, nil, nil, rng, nil); err == nil {
+		t.Fatal("empty training must fail")
+	}
+	if _, err := Train([][]float64{{1, 2}}, []float64{1}, []float64{0}, []float64{1}, rng, nil); err == nil {
+		t.Fatal("bounds mismatch must fail")
+	}
+}
+
+func TestTrainConstantOutputs(t *testing.T) {
+	// Degenerate: all observations identical. Must not blow up (ystd guard).
+	rng := rand.New(rand.NewSource(12))
+	x := [][]float64{{0.1}, {0.5}, {0.9}}
+	y := []float64{3, 3, 3}
+	m, err := Train(x, y, []float64{0}, []float64{1}, rng, &TrainOptions{Fit: &FitOptions{Iters: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu, sigma := m.Predict([]float64{0.3})
+	if math.IsNaN(mu) || math.IsNaN(sigma) {
+		t.Fatal("NaN prediction on constant data")
+	}
+	if math.Abs(mu-3) > 0.5 {
+		t.Fatalf("constant-data mean should be ≈3, got %v", mu)
+	}
+}
+
+func TestTrainFixedTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	x := [][]float64{{0.1}, {0.5}, {0.9}}
+	y := []float64{1, 2, 3}
+	theta := SEARD{}.DefaultTheta(1)
+	m, err := Train(x, y, []float64{0}, []float64{1}, rng,
+		&TrainOptions{FixedTheta: theta, FixedNoise: math.Log(1e-3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Theta()
+	for i := range theta {
+		if got[i] != theta[i] {
+			t.Fatal("FixedTheta not respected")
+		}
+	}
+	if m.LogNoise() != math.Log(1e-3) {
+		t.Fatal("FixedNoise not respected")
+	}
+}
+
+func TestTrainRejectsNonFiniteObservations(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := [][]float64{{0.1}, {0.5}, {0.9}}
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		y := []float64{1, bad, 3}
+		if _, err := Train(x, y, []float64{0}, []float64{1}, rng, nil); err == nil {
+			t.Fatalf("non-finite observation %v must be rejected", bad)
+		}
+	}
+}
+
+func TestLeaveOneOutMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	x, y := trainData(rng, 12, 2, func(v []float64) float64 { return math.Sin(4*v[0]) + v[1] })
+	theta := SEARD{}.DefaultTheta(2)
+	logNoise := math.Log(5e-2)
+	g, err := Fit(SEARD{}, x, y, theta, logNoise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loo := g.LeaveOneOut()
+	for i := range x {
+		// Brute force: refit without point i, predict at x[i].
+		var xs [][]float64
+		var ys []float64
+		for j := range x {
+			if j != i {
+				xs = append(xs, x[j])
+				ys = append(ys, y[j])
+			}
+		}
+		gi, err := Fit(SEARD{}, xs, ys, theta, logNoise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, sigma := gi.Predict(x[i])
+		// The LOO identity predicts the latent-plus-noise distribution;
+		// brute-force Predict returns the latent deviation. Compare means
+		// tightly and deviations including the noise term.
+		if math.Abs(mu-loo.Mean[i]) > 1e-6*(1+math.Abs(mu)) {
+			t.Fatalf("LOO mean %d: %v vs brute force %v", i, loo.Mean[i], mu)
+		}
+		noise2 := math.Exp(2 * logNoise)
+		want := math.Sqrt(sigma*sigma + noise2)
+		if math.Abs(want-loo.Sigma[i]) > 1e-6*(1+want) {
+			t.Fatalf("LOO sigma %d: %v vs brute force %v", i, loo.Sigma[i], want)
+		}
+	}
+	if loo.RMSE <= 0 || math.IsNaN(loo.LogPredictiveDensity) {
+		t.Fatalf("bad summary: %+v", loo)
+	}
+}
+
+func TestModelLeaveOneOutRawUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	// Outputs with a big offset: LOO means must come back in raw units.
+	x := [][]float64{{0.1}, {0.4}, {0.6}, {0.9}}
+	y := []float64{1000, 1001, 1002, 1003}
+	m, err := Train(x, y, []float64{0}, []float64{1}, rng,
+		&TrainOptions{Fit: &FitOptions{Iters: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loo := m.LeaveOneOut()
+	for i, mu := range loo.Mean {
+		if mu < 990 || mu > 1013 {
+			t.Fatalf("LOO mean %d = %v not in raw units", i, mu)
+		}
+	}
+	if loo.RMSE > 5 {
+		t.Fatalf("smooth data should cross-validate well, RMSE %v", loo.RMSE)
+	}
+}

@@ -1,0 +1,127 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FitOptions configures hyperparameter optimization.
+type FitOptions struct {
+	Restarts  int       // additional random restarts (default 1)
+	Iters     int       // Adam iterations per start (default 60)
+	LearnRate float64   // Adam step size in log space (default 0.08)
+	InitTheta []float64 // warm start for the kernel hyperparameters
+	InitNoise float64   // warm start for log σn (used when InitTheta != nil)
+	NoiseLo   float64   // lower bound for log σn (default log 1e-4)
+	NoiseHi   float64   // upper bound for log σn (default log 1)
+}
+
+func (o *FitOptions) defaults() {
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.Iters <= 0 {
+		o.Iters = 60
+	}
+	if o.LearnRate <= 0 {
+		o.LearnRate = 0.08
+	}
+	if o.NoiseLo == 0 {
+		o.NoiseLo = math.Log(1e-4)
+	}
+	if o.NoiseHi == 0 {
+		o.NoiseHi = math.Log(1.0)
+	}
+}
+
+// FitHyper fits GP hyperparameters by maximizing the log marginal likelihood
+// with Adam on the analytic gradient, projected to the kernel bounds, over
+// one default start, an optional warm start, and Restarts random starts.
+// It returns the best fitted GP found. rng drives the random restarts and
+// must not be nil.
+func FitHyper(kern Kernel, x [][]float64, y []float64, rng *rand.Rand, opts *FitOptions) (*GP, error) {
+	var o FitOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.defaults()
+	d := len(x[0])
+	lo, hi := kern.Bounds(d)
+
+	type start struct {
+		theta []float64
+		noise float64
+	}
+	starts := []start{{kern.DefaultTheta(d), math.Log(1e-2)}}
+	if o.InitTheta != nil {
+		starts = append([]start{{append([]float64(nil), o.InitTheta...), o.InitNoise}}, starts...)
+	}
+	for r := 0; r < o.Restarts; r++ {
+		th := make([]float64, kern.NumHyper(d))
+		for i := range th {
+			th[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+		}
+		starts = append(starts, start{th, o.NoiseLo + rng.Float64()*(o.NoiseHi-o.NoiseLo)})
+	}
+
+	var best *GP
+	bestLML := math.Inf(-1)
+	for _, st := range starts {
+		g, lml := adamFit(kern, x, y, st.theta, st.noise, lo, hi, o)
+		if g != nil && lml > bestLML {
+			best, bestLML = g, lml
+		}
+	}
+	if best == nil {
+		// Last resort: plain fit at the default hyperparameters with a large
+		// noise floor, which is always positive definite.
+		return Fit(kern, x, y, kern.DefaultTheta(d), math.Log(0.1))
+	}
+	return best, nil
+}
+
+// adamFit runs projected Adam ascent on the LML from one start. It returns
+// the best GP visited and its LML (nil, -Inf if every fit failed).
+func adamFit(kern Kernel, x [][]float64, y []float64, theta0 []float64, noise0 float64,
+	lo, hi []float64, o FitOptions) (*GP, float64) {
+
+	nh := len(theta0)
+	p := make([]float64, nh+1) // parameters: kernel hypers + log noise
+	copy(p, theta0)
+	p[nh] = noise0
+	clamp := func(p []float64) {
+		for i := 0; i < nh; i++ {
+			p[i] = math.Min(math.Max(p[i], lo[i]), hi[i])
+		}
+		p[nh] = math.Min(math.Max(p[nh], o.NoiseLo), o.NoiseHi)
+	}
+	clamp(p)
+
+	m := make([]float64, nh+1)
+	v := make([]float64, nh+1)
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	var best *GP
+	bestLML := math.Inf(-1)
+	for iter := 1; iter <= o.Iters; iter++ {
+		g, err := Fit(kern, x, y, p[:nh], p[nh])
+		if err != nil {
+			break
+		}
+		lml := g.LogMarginalLikelihood()
+		if lml > bestLML {
+			best, bestLML = g, lml
+		}
+		grad := g.LMLGradient()
+		// Adam ascent step.
+		b1t := 1 - math.Pow(beta1, float64(iter))
+		b2t := 1 - math.Pow(beta2, float64(iter))
+		for i := range p {
+			m[i] = beta1*m[i] + (1-beta1)*grad[i]
+			v[i] = beta2*v[i] + (1-beta2)*grad[i]*grad[i]
+			p[i] += o.LearnRate * (m[i] / b1t) / (math.Sqrt(v[i]/b2t) + eps)
+		}
+		clamp(p)
+	}
+	return best, bestLML
+}

@@ -1,0 +1,169 @@
+// Package gp implements Gaussian-process regression — the surrogate model of
+// the EasyBO framework (paper §II-B). It provides the squared-exponential
+// ARD kernel used by the paper (plus a Matérn-5/2 alternative), exact
+// posterior inference via Cholesky factorization, marginal-likelihood
+// hyperparameter fitting with analytic gradients, input/output normalization,
+// and "hallucinated" refits that absorb pseudo-observations at busy points
+// (paper §III-C / Eq. (9)).
+package gp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a positive-definite covariance function with hyperparameters
+// stored in log space.
+type Kernel interface {
+	// NumHyper returns the hyperparameter count for input dimension d.
+	NumHyper(d int) int
+	// DefaultTheta returns a reasonable starting point for inputs scaled to
+	// the unit cube and outputs standardized to unit variance.
+	DefaultTheta(d int) []float64
+	// Bounds returns per-hyperparameter lower and upper bounds (log space).
+	Bounds(d int) (lo, hi []float64)
+	// Eval returns k(a, b | theta).
+	Eval(theta, a, b []float64) float64
+	// AccumGrad adds w·∂k(a,b)/∂θ_j to grad[j] for every hyperparameter j.
+	AccumGrad(theta, a, b []float64, w float64, grad []float64)
+	// Name identifies the kernel in diagnostics.
+	Name() string
+}
+
+// SEARD is the squared-exponential kernel with automatic relevance
+// determination, the paper's choice:
+//
+//	k(a,b) = σf²·exp(−½ Σ_i (a_i−b_i)²/l_i²)
+//
+// theta layout: [log l_1 … log l_d, log σf].
+type SEARD struct{}
+
+// Name implements Kernel.
+func (SEARD) Name() string { return "SE-ARD" }
+
+// NumHyper implements Kernel.
+func (SEARD) NumHyper(d int) int { return d + 1 }
+
+// DefaultTheta implements Kernel.
+func (SEARD) DefaultTheta(d int) []float64 {
+	th := make([]float64, d+1)
+	for i := 0; i < d; i++ {
+		th[i] = math.Log(0.3)
+	}
+	th[d] = 0 // log σf = 0
+	return th
+}
+
+// Bounds implements Kernel.
+func (SEARD) Bounds(d int) (lo, hi []float64) {
+	lo = make([]float64, d+1)
+	hi = make([]float64, d+1)
+	for i := 0; i < d; i++ {
+		lo[i], hi[i] = math.Log(0.01), math.Log(10)
+	}
+	lo[d], hi[d] = math.Log(0.05), math.Log(10)
+	return lo, hi
+}
+
+// Eval implements Kernel.
+func (SEARD) Eval(theta, a, b []float64) float64 {
+	d := len(a)
+	var s float64
+	for i := 0; i < d; i++ {
+		li := math.Exp(theta[i])
+		r := (a[i] - b[i]) / li
+		s += r * r
+	}
+	sf := math.Exp(theta[d])
+	return sf * sf * math.Exp(-0.5*s)
+}
+
+// AccumGrad implements Kernel.
+// ∂k/∂log l_i = k·(a_i−b_i)²/l_i²;  ∂k/∂log σf = 2k.
+func (SEARD) AccumGrad(theta, a, b []float64, w float64, grad []float64) {
+	d := len(a)
+	var s float64
+	ri2 := make([]float64, d)
+	for i := 0; i < d; i++ {
+		li := math.Exp(theta[i])
+		r := (a[i] - b[i]) / li
+		ri2[i] = r * r
+		s += ri2[i]
+	}
+	sf := math.Exp(theta[d])
+	k := sf * sf * math.Exp(-0.5*s)
+	for i := 0; i < d; i++ {
+		grad[i] += w * k * ri2[i]
+	}
+	grad[d] += w * 2 * k
+}
+
+// Matern52 is the Matérn-5/2 ARD kernel, a common alternative surrogate:
+//
+//	k(a,b) = σf²·(1 + √5·r + 5r²/3)·exp(−√5·r),  r = ‖(a−b)/l‖
+//
+// theta layout matches SEARD.
+type Matern52 struct{}
+
+// Name implements Kernel.
+func (Matern52) Name() string { return "Matern-5/2" }
+
+// NumHyper implements Kernel.
+func (Matern52) NumHyper(d int) int { return d + 1 }
+
+// DefaultTheta implements Kernel.
+func (Matern52) DefaultTheta(d int) []float64 { return SEARD{}.DefaultTheta(d) }
+
+// Bounds implements Kernel.
+func (Matern52) Bounds(d int) (lo, hi []float64) { return SEARD{}.Bounds(d) }
+
+// Eval implements Kernel.
+func (Matern52) Eval(theta, a, b []float64) float64 {
+	d := len(a)
+	var s float64
+	for i := 0; i < d; i++ {
+		li := math.Exp(theta[i])
+		r := (a[i] - b[i]) / li
+		s += r * r
+	}
+	r := math.Sqrt(s)
+	sf := math.Exp(theta[d])
+	sr5 := math.Sqrt(5) * r
+	return sf * sf * (1 + sr5 + 5*s/3) * math.Exp(-sr5)
+}
+
+// AccumGrad implements Kernel.
+func (Matern52) AccumGrad(theta, a, b []float64, w float64, grad []float64) {
+	d := len(a)
+	var s float64
+	ri2 := make([]float64, d)
+	for i := 0; i < d; i++ {
+		li := math.Exp(theta[i])
+		r := (a[i] - b[i]) / li
+		ri2[i] = r * r
+		s += ri2[i]
+	}
+	r := math.Sqrt(s)
+	sf := math.Exp(theta[d])
+	sf2 := sf * sf
+	sr5 := math.Sqrt(5) * r
+	e := math.Exp(-sr5)
+	k := sf2 * (1 + sr5 + 5*s/3) * e
+	// dk/dr² where r² = s: k = sf²(1+√5 r+5r²/3)e^{−√5 r}
+	// dk/ds = sf²·e·(−5/6)·(1+√5r)   [standard Matérn-5/2 identity]
+	// and ∂s/∂log l_i = −2·ri2[i]  →  ∂k/∂log l_i = (5/3)·sf²·e·(1+√5r)·ri2[i]
+	dk := (5.0 / 3.0) * sf2 * e * (1 + sr5) / 2 // per unit of ri2, × 2 below
+	for i := 0; i < d; i++ {
+		grad[i] += w * 2 * dk * ri2[i]
+	}
+	grad[d] += w * 2 * k
+}
+
+// validateTheta panics when the hyperparameter slice has the wrong length —
+// always a programming error.
+func validateTheta(k Kernel, theta []float64, d int) {
+	if len(theta) != k.NumHyper(d) {
+		panic(fmt.Sprintf("gp: kernel %s expects %d hyperparameters for d=%d, got %d",
+			k.Name(), k.NumHyper(d), d, len(theta)))
+	}
+}

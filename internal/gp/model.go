@@ -1,0 +1,175 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"easybo/internal/stats"
+)
+
+// Model is the user-facing surrogate: it owns the input box bounds (raw
+// design space), scales inputs to the unit cube, standardizes outputs, and
+// exposes predictions in raw units. It also supports hallucinated variants
+// that share hyperparameters with the base model.
+type Model struct {
+	Lo, Hi []float64 // raw box bounds
+	Kern   Kernel
+
+	ymean, ystd float64
+	gp          *GP
+}
+
+// TrainOptions configures Model training.
+type TrainOptions struct {
+	Kernel Kernel      // default SEARD{}
+	Fit    *FitOptions // hyperparameter-fit options
+	// FixedTheta skips marginal-likelihood optimization and fits at the
+	// given kernel hyperparameters and log-noise (used for fast refits
+	// between scheduled hyperparameter re-optimizations).
+	FixedTheta []float64
+	FixedNoise float64
+}
+
+// Train fits a surrogate on raw inputs/outputs within [lo, hi] bounds.
+func Train(x [][]float64, y []float64, lo, hi []float64, rng *rand.Rand, opts *TrainOptions) (*Model, error) {
+	if len(x) == 0 {
+		return nil, errors.New("gp: empty training set")
+	}
+	if len(lo) != len(hi) || len(lo) != len(x[0]) {
+		return nil, fmt.Errorf("gp: bounds dimension %d/%d vs input dimension %d",
+			len(lo), len(hi), len(x[0]))
+	}
+	var o TrainOptions
+	if opts != nil {
+		o = *opts
+	}
+	if o.Kernel == nil {
+		o.Kernel = SEARD{}
+	}
+	// A single NaN/Inf observation would silently poison the covariance
+	// factorization; fail fast with an actionable message instead (a crashed
+	// simulator run must be mapped to a finite penalty by the caller).
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("gp: observation %d is non-finite (%v) — objectives must return finite values", i, v)
+		}
+	}
+	m := &Model{Lo: append([]float64(nil), lo...), Hi: append([]float64(nil), hi...), Kern: o.Kernel}
+
+	// Standardize outputs.
+	m.ymean = stats.Mean(y)
+	m.ystd = math.Sqrt(stats.Variance(y))
+	if m.ystd < 1e-12 {
+		m.ystd = 1
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - m.ymean) / m.ystd
+	}
+	// Scale inputs.
+	xs := make([][]float64, len(x))
+	for i, xi := range x {
+		xs[i] = m.scale(xi)
+	}
+
+	var g *GP
+	var err error
+	if o.FixedTheta != nil {
+		g, err = Fit(o.Kernel, xs, ys, o.FixedTheta, o.FixedNoise)
+	} else {
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		g, err = FitHyper(o.Kernel, xs, ys, rng, o.Fit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.gp = g
+	return m, nil
+}
+
+// scale maps a raw point into the unit cube.
+func (m *Model) scale(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		span := m.Hi[i] - m.Lo[i]
+		if span <= 0 {
+			span = 1
+		}
+		out[i] = (x[i] - m.Lo[i]) / span
+	}
+	return out
+}
+
+// Predict returns the posterior mean and standard deviation at the raw
+// point x, in raw output units.
+func (m *Model) Predict(x []float64) (mu, sigma float64) {
+	mu, sigma = m.gp.Predict(m.scale(x))
+	return mu*m.ystd + m.ymean, sigma * m.ystd
+}
+
+// PredictMean returns only the posterior mean at the raw point x.
+func (m *Model) PredictMean(x []float64) float64 {
+	return m.gp.PredictMean(m.scale(x))*m.ystd + m.ymean
+}
+
+// Standardized returns a view of the model whose predictions are in
+// standardized output units (zero mean, unit variance over the training
+// set). Acquisition functions that mix µ and σ — the weighted forms of
+// Eq. (4)/(8) — must operate on this view so the two terms stay
+// commensurate.
+func (m *Model) Standardized() StandardizedModel { return StandardizedModel{m} }
+
+// StandardizedModel adapts a Model to predict in standardized output units.
+type StandardizedModel struct{ m *Model }
+
+// Predict returns the standardized posterior mean and deviation at the raw
+// input point x.
+func (s StandardizedModel) Predict(x []float64) (mu, sigma float64) {
+	return s.m.gp.Predict(s.m.scale(x))
+}
+
+// StandardizeY maps a raw objective value into the model's standardized
+// output units (used to express the incumbent best for EI/PI).
+func (m *Model) StandardizeY(y float64) float64 { return (y - m.ymean) / m.ystd }
+
+// Theta returns the fitted kernel hyperparameters (log space) for warm
+// starting subsequent fits.
+func (m *Model) Theta() []float64 { return append([]float64(nil), m.gp.Theta...) }
+
+// LogNoise returns the fitted log observation-noise deviation.
+func (m *Model) LogNoise() float64 { return m.gp.LogNoise }
+
+// LogMarginalLikelihood exposes the underlying fit quality.
+func (m *Model) LogMarginalLikelihood() float64 { return m.gp.LogMarginalLikelihood() }
+
+// N returns the training-set size.
+func (m *Model) N() int { return m.gp.N() }
+
+// WithPseudo returns a hallucinated variant of the model: the busy points xp
+// (raw units) are added as pseudo-observations whose targets are the current
+// predictive means, exactly as in paper §III-C. Hyperparameters are shared
+// with the base model; only the covariance factorization changes, so the
+// predictive mean is unchanged and the predictive deviation shrinks around
+// the busy points.
+func (m *Model) WithPseudo(xp [][]float64) (*Model, error) {
+	if len(xp) == 0 {
+		return m, nil
+	}
+	xs := make([][]float64, len(xp))
+	ys := make([]float64, len(xp))
+	for i, x := range xp {
+		xs[i] = m.scale(x)
+		ys[i], _ = m.gp.Predict(xs[i]) // standardized-space predictive mean
+	}
+	g, err := m.gp.WithPseudo(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	out := *m
+	out.gp = g
+	return &out, nil
+}

@@ -1,0 +1,114 @@
+package gp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"easybo/internal/linalg"
+)
+
+// SampleRFF draws an approximate sample from the GP posterior using random
+// Fourier features (Rahimi & Recht), enabling Thompson-sampling
+// acquisitions: the returned function is a fixed, cheap-to-evaluate draw
+// f̃ ~ GP(µ, k) conditioned on the training data.
+//
+// Only stationary kernels are supported; the spectral density used here is
+// the SE-ARD one, matching the paper's kernel. m is the number of features
+// (a few hundred is plenty for d ≤ 12).
+//
+// The sample is expressed in raw output units.
+func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, error) {
+	if _, ok := mdl.Kern.(SEARD); !ok {
+		return nil, errors.New("gp: SampleRFF requires the SE-ARD kernel")
+	}
+	if m < 8 {
+		m = 8
+	}
+	g := mdl.gp
+	d := g.Dim()
+	theta := g.Theta
+	sf := math.Exp(theta[d])
+	noise := math.Exp(g.LogNoise)
+	noise2 := noise * noise
+	if noise2 < 1e-10 {
+		noise2 = 1e-10
+	}
+
+	// Spectral sample: w_ij ~ N(0, 1/l_j²), b_i ~ U[0, 2π).
+	w := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		wi := make([]float64, d)
+		for j := 0; j < d; j++ {
+			lj := math.Exp(theta[j])
+			wi[j] = rng.NormFloat64() / lj
+		}
+		w[i] = wi
+		b[i] = rng.Float64() * 2 * math.Pi
+	}
+	scale := sf * math.Sqrt(2.0/float64(m))
+	phi := func(x []float64) []float64 {
+		out := make([]float64, m)
+		for i := 0; i < m; i++ {
+			out[i] = scale * math.Cos(linalg.Dot(w[i], x)+b[i])
+		}
+		return out
+	}
+
+	// Bayesian linear regression on the features:
+	//   A = ΦᵀΦ/σn² + I,   mean = A⁻¹ Φᵀ y / σn²,   cov = A⁻¹.
+	n := g.N()
+	phiX := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		phiX[i] = phi(g.X[i])
+	}
+	a := linalg.NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		a.Add(i, i, 1)
+	}
+	for k := 0; k < n; k++ {
+		pk := phiX[k]
+		for i := 0; i < m; i++ {
+			pki := pk[i] / noise2
+			if pki == 0 {
+				continue
+			}
+			row := a.Row(i)
+			for j := 0; j < m; j++ {
+				row[j] += pki * pk[j]
+			}
+		}
+	}
+	rhs := make([]float64, m)
+	for k := 0; k < n; k++ {
+		pk := phiX[k]
+		yk := g.Y[k] / noise2
+		for i := 0; i < m; i++ {
+			rhs[i] += pk[i] * yk
+		}
+	}
+	chol, err := linalg.NewCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	mean := chol.Solve(rhs)
+	// Sample θ = mean + A^{-1/2}·z. With A = LLᵀ, cov = A⁻¹ = L⁻ᵀL⁻¹, so a
+	// valid square root of the covariance is L⁻ᵀ: solve Lᵀ·u = z.
+	z := make([]float64, m)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	u := chol.SolveUpperT(z)
+	thetaS := make([]float64, m)
+	for i := range thetaS {
+		thetaS[i] = mean[i] + u[i]
+	}
+
+	ymean, ystd := mdl.ymean, mdl.ystd
+	mm := mdl
+	return func(x []float64) float64 {
+		f := linalg.Dot(phi(mm.scale(x)), thetaS)
+		return f*ystd + ymean
+	}, nil
+}

@@ -1,0 +1,150 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite even after the allowed jitter.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Cholesky holds the lower-triangular factor L of A = L·Lᵀ, together with the
+// jitter that had to be added to the diagonal to achieve positive
+// definiteness (0 for well-conditioned inputs).
+type Cholesky struct {
+	L      *Matrix
+	N      int
+	Jitter float64
+}
+
+// NewCholesky factors the symmetric positive definite matrix a.
+// The input is not modified. If the bare factorization fails, an adaptive
+// jitter (starting at 1e-12 times the largest diagonal entry, growing by
+// 10× up to maxTries times) is added to the diagonal; this is the standard
+// guard for near-singular Gaussian-process covariance matrices.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrDimension
+	}
+	n := a.Rows
+	scale := a.MaxAbsDiag()
+	if scale == 0 {
+		scale = 1
+	}
+	const maxTries = 10
+	jitter := 0.0
+	for try := 0; try <= maxTries; try++ {
+		L, ok := tryCholesky(a, jitter)
+		if ok {
+			return &Cholesky{L: L, N: n, Jitter: jitter}, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-12 * scale
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	L := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			ljk := L.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		L.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= L.At(i, k) * L.At(j, k)
+			}
+			L.Set(i, j, s/ljj)
+		}
+	}
+	return L, true
+}
+
+// Solve returns x such that A·x = b, reusing the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	y := c.SolveLower(b)
+	return c.solveUpperT(y)
+}
+
+// SolveLower returns y solving L·y = b (forward substitution).
+func (c *Cholesky) SolveLower(b []float64) []float64 {
+	if len(b) != c.N {
+		panic("linalg: Cholesky.SolveLower dimension mismatch")
+	}
+	y := make([]float64, c.N)
+	for i := 0; i < c.N; i++ {
+		s := b[i]
+		row := c.L.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y
+}
+
+// SolveUpperT returns x solving Lᵀ·x = y (back substitution). Because
+// A⁻¹ = L⁻ᵀL⁻¹, this is also the map z ↦ L⁻ᵀz used to draw samples with
+// covariance A⁻¹.
+func (c *Cholesky) SolveUpperT(y []float64) []float64 {
+	return c.solveUpperT(y)
+}
+
+// solveUpperT returns x solving Lᵀ·x = y (back substitution).
+func (c *Cholesky) solveUpperT(y []float64) []float64 {
+	x := make([]float64, c.N)
+	for i := c.N - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < c.N; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// SolveMatrix solves A·X = B column by column, returning X.
+func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != c.N {
+		panic("linalg: Cholesky.SolveMatrix dimension mismatch")
+	}
+	out := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.Solve(col)
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}
+
+// Inverse returns A⁻¹. Prefer Solve when only products are needed.
+func (c *Cholesky) Inverse() *Matrix {
+	return c.SolveMatrix(Identity(c.N))
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.N; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

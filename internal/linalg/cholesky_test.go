@@ -1,0 +1,127 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds A = GᵀG + n·I, which is SPD with probability 1.
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	g := randomMatrix(rng, n, n)
+	a := g.T().Mul(g)
+	a.AddToDiag(float64(n))
+	return a
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewMatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(ch.L.At(0, 0), 2, 1e-14) || !almostEq(ch.L.At(1, 0), 1, 1e-14) ||
+		!almostEq(ch.L.At(1, 1), math.Sqrt2, 1e-14) {
+		t.Fatalf("wrong factor:\n%v", ch.L)
+	}
+	if ch.Jitter != 0 {
+		t.Fatalf("unexpected jitter %v", ch.Jitter)
+	}
+	// log|A| = log(4*3-4) = log 8.
+	if !almostEq(ch.LogDet(), math.Log(8), 1e-12) {
+		t.Fatalf("LogDet = %v want %v", ch.LogDet(), math.Log(8))
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got := ch.Solve(b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyFactorReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 20; n += 4 {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llt := ch.L.Mul(ch.L.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(llt.At(i, j), a.At(i, j), 1e-10) {
+					t.Fatalf("n=%d LLᵀ != A at (%d,%d): %v vs %v", n, i, j, llt.At(i, j), a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyJitterRecovery(t *testing.T) {
+	// A rank-deficient Gram matrix: Cholesky must succeed via jitter.
+	a := NewMatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Jitter <= 0 {
+		t.Fatalf("expected positive jitter, got %v", ch.Jitter)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 0}, {0, -5}})
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("expected failure on indefinite matrix")
+	}
+	if _, err := NewCholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected failure on non-square matrix")
+	}
+}
+
+func TestCholeskySolveMatrixAndInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSPD(rng, 6)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := ch.Inverse()
+	p := a.Mul(inv)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(p.At(i, j), want, 1e-9) {
+				t.Fatalf("A·A⁻¹ not identity at (%d,%d): %v", i, j, p.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[i*Cols+j] == element (i,j)
+}
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices, copying the data.
+func NewMatrixFromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x as a fresh slice.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dims %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Mul returns m·b as a new matrix.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dims %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		arow := m.Row(i)
+		orow := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := arow[k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range orow {
+				orow[j] += a * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// AddMat returns m + b as a new matrix.
+func (m *Matrix) AddMat(b *Matrix) *Matrix {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: AddMat dimension mismatch")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += b.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every entry by alpha.
+func (m *Matrix) ScaleInPlace(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AddToDiag adds v to every diagonal entry (m must be square).
+func (m *Matrix) AddToDiag(v float64) {
+	if m.Rows != m.Cols {
+		panic("linalg: AddToDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+}
+
+// MaxAbsDiag returns the largest absolute diagonal entry of a square matrix.
+func (m *Matrix) MaxAbsDiag() float64 {
+	var mx float64
+	for i := 0; i < m.Rows; i++ {
+		if a := math.Abs(m.At(i, i)); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// SymmetrizeInPlace replaces m with (m + mᵀ)/2. Useful to remove tiny
+// asymmetries before a Cholesky factorization.
+func (m *Matrix) SymmetrizeInPlace() {
+	if m.Rows != m.Cols {
+		panic("linalg: SymmetrizeInPlace on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "% .6g\t", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+// Package linalg provides the dense real and complex linear algebra used by
+// the Gaussian-process surrogate and the circuit simulator: vectors,
+// column-major-free row-major matrices, Cholesky factorization for symmetric
+// positive definite systems (with adaptive jitter), and LU factorization with
+// partial pivoting for general real and complex systems.
+//
+// Sizes in this project are small (GP trains on at most a few hundred points;
+// circuit matrices have a few dozen nodes), so the implementations favour
+// clarity and numerical robustness over blocking or SIMD.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operand shapes do not conform.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// Dot returns the inner product of a and b.
+// It panics if the lengths differ, since that is always a programming error.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow by
+// scaling with the largest absolute entry.
+func Norm2(v []float64) float64 {
+	var maxAbs float64
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) {
+		return maxAbs
+	}
+	var s float64
+	for _, x := range v {
+		r := x / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry of v (0 for an empty vector).
+func NormInf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every entry of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// AddScaled returns a + alpha*b as a fresh slice.
+func AddScaled(a []float64, alpha float64, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: AddScaled length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + alpha*b[i]
+	}
+	return out
+}
+
+// Sub returns a - b as a fresh slice.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("linalg: Sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: SqDist length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// WeightedSqDist returns sum_i ((a_i-b_i)/l_i)^2, the squared distance under
+// per-dimension length scales l. Used by ARD kernels.
+func WeightedSqDist(a, b, l []float64) float64 {
+	if len(a) != len(b) || len(a) != len(l) {
+		panic("linalg: WeightedSqDist length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := (a[i] - b[i]) / l[i]
+		s += d * d
+	}
+	return s
+}
+
+// AllFinite reports whether every entry of v is finite.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

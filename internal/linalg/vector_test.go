@@ -1,0 +1,129 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEq(got, 5, 1e-14) {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v, want 0", got)
+	}
+	// Overflow guard: naive sum of squares would overflow here.
+	big := 1e200
+	if got := Norm2([]float64{big, big}); !almostEq(got, big*math.Sqrt2, 1e-12) {
+		t.Fatalf("Norm2 overflow guard failed: %v", got)
+	}
+}
+
+func TestNormInf(t *testing.T) {
+	if got := NormInf([]float64{-7, 2, 5}); got != 7 {
+		t.Fatalf("NormInf = %v, want 7", got)
+	}
+}
+
+func TestAxpyScaleSubClone(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("Axpy got %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 || y[1] != 4.5 {
+		t.Fatalf("Scale got %v", y)
+	}
+	d := Sub([]float64{5, 5}, y)
+	if d[0] != 1.5 || d[1] != 0.5 {
+		t.Fatalf("Sub got %v", d)
+	}
+	c := Clone(d)
+	c[0] = 99
+	if d[0] == 99 {
+		t.Fatal("Clone did not copy")
+	}
+	a := AddScaled([]float64{1, 2}, 3, []float64{10, 20})
+	if a[0] != 31 || a[1] != 62 {
+		t.Fatalf("AddScaled got %v", a)
+	}
+}
+
+func TestSqDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		d := int(n%16) + 1
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		sd := SqDist(a, b)
+		// Symmetry, non-negativity, and agreement with Norm2.
+		if sd < 0 {
+			return false
+		}
+		if !almostEq(sd, SqDist(b, a), 1e-14) {
+			return false
+		}
+		n2 := Norm2(Sub(a, b))
+		return almostEq(sd, n2*n2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSqDist(t *testing.T) {
+	got := WeightedSqDist([]float64{1, 2}, []float64{3, 5}, []float64{2, 3})
+	if !almostEq(got, 2, 1e-14) { // (2/2)^2 + (3/3)^2 = 2
+		t.Fatalf("WeightedSqDist = %v, want 2", got)
+	}
+	// Unit length scales reduce to plain squared distance.
+	a := []float64{0.3, -1.2, 4}
+	b := []float64{1, 0, -2}
+	if !almostEq(WeightedSqDist(a, b, []float64{1, 1, 1}), SqDist(a, b), 1e-14) {
+		t.Fatal("unit-scale WeightedSqDist != SqDist")
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}

@@ -1,0 +1,194 @@
+// Package optimize provides the derivative-free optimizers used by the BO
+// stack: a box-constrained Nelder–Mead simplex, a multi-start acquisition
+// maximizer (space-filling candidates + simplex refinement), and the
+// differential-evolution global optimizer that serves as the paper's DE
+// baseline [13].
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"easybo/internal/stats"
+)
+
+// Objective is a function to MAXIMIZE over a box.
+type Objective func(x []float64) float64
+
+// clampTo projects x into [lo, hi] in place.
+func clampTo(x, lo, hi []float64) {
+	for i := range x {
+		if x[i] < lo[i] {
+			x[i] = lo[i]
+		}
+		if x[i] > hi[i] {
+			x[i] = hi[i]
+		}
+	}
+}
+
+// NelderMeadOptions tunes the simplex search.
+type NelderMeadOptions struct {
+	MaxEvals int     // evaluation budget (default 80·d)
+	InitStep float64 // initial simplex size as a fraction of the box (default 0.1)
+	Tol      float64 // spread tolerance for early stop (default 1e-9)
+}
+
+// NelderMead maximizes f over the box [lo, hi] starting from x0 using the
+// standard reflect/expand/contract/shrink simplex with projection onto the
+// box. It returns the best point and value found.
+func NelderMead(f Objective, x0, lo, hi []float64, opts NelderMeadOptions) ([]float64, float64) {
+	d := len(x0)
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 80 * d
+	}
+	if opts.InitStep <= 0 {
+		opts.InitStep = 0.1
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	// Initial simplex: x0 plus a step along each axis.
+	type vtx struct {
+		x []float64
+		v float64
+	}
+	simplex := make([]vtx, d+1)
+	base := append([]float64(nil), x0...)
+	clampTo(base, lo, hi)
+	simplex[0] = vtx{base, eval(base)}
+	for i := 0; i < d; i++ {
+		x := append([]float64(nil), base...)
+		step := opts.InitStep * (hi[i] - lo[i])
+		if x[i]+step > hi[i] {
+			step = -step
+		}
+		x[i] += step
+		clampTo(x, lo, hi)
+		simplex[i+1] = vtx{x, eval(x)}
+	}
+	// Sort descending by value (we maximize).
+	sortSimplex := func() {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].v > simplex[b].v })
+	}
+	sortSimplex()
+
+	centroid := make([]float64, d)
+	for evals < opts.MaxEvals {
+		// Convergence: spread of values.
+		if math.Abs(simplex[0].v-simplex[d].v) < opts.Tol*(1+math.Abs(simplex[0].v)) {
+			break
+		}
+		// Centroid of all but the worst.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < d; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(d)
+		}
+		worst := simplex[d]
+		moved := func(coef float64) vtx {
+			x := make([]float64, d)
+			for j := range x {
+				x[j] = centroid[j] + coef*(centroid[j]-worst.x[j])
+			}
+			clampTo(x, lo, hi)
+			return vtx{x, eval(x)}
+		}
+		refl := moved(1.0)
+		switch {
+		case refl.v > simplex[0].v:
+			// Try expansion.
+			exp := moved(2.0)
+			if exp.v > refl.v {
+				simplex[d] = exp
+			} else {
+				simplex[d] = refl
+			}
+		case refl.v > simplex[d-1].v:
+			simplex[d] = refl
+		default:
+			// Contraction.
+			con := moved(-0.5)
+			if con.v > worst.v {
+				simplex[d] = con
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= d; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + 0.5*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].v = eval(simplex[i].x)
+					if evals >= opts.MaxEvals {
+						break
+					}
+				}
+			}
+		}
+		sortSimplex()
+	}
+	return append([]float64(nil), simplex[0].x...), simplex[0].v
+}
+
+// MaximizeOptions tunes the global acquisition maximizer.
+type MaximizeOptions struct {
+	Candidates int // space-filling candidates (default 60·d, min 200)
+	Refine     int // top candidates refined with Nelder-Mead (default 3)
+	RefineEval int // simplex evaluation budget per refinement (default 40·d)
+}
+
+// Maximize performs multi-start global maximization of f over [lo, hi]:
+// a Latin-hypercube candidate sweep followed by simplex refinement of the
+// best candidates. Deterministic given rng.
+func Maximize(f Objective, lo, hi []float64, rng *rand.Rand, opts MaximizeOptions) ([]float64, float64) {
+	d := len(lo)
+	if opts.Candidates <= 0 {
+		opts.Candidates = 60 * d
+		if opts.Candidates < 200 {
+			opts.Candidates = 200
+		}
+	}
+	if opts.Refine <= 0 {
+		opts.Refine = 3
+	}
+	if opts.RefineEval <= 0 {
+		opts.RefineEval = 40 * d
+	}
+
+	unit := stats.LatinHypercube(rng, opts.Candidates, d)
+	type cand struct {
+		x []float64
+		v float64
+	}
+	cands := make([]cand, len(unit))
+	for i, u := range unit {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = lo[j] + u[j]*(hi[j]-lo[j])
+		}
+		cands[i] = cand{x, f(x)}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].v > cands[b].v })
+
+	bestX := cands[0].x
+	bestV := cands[0].v
+	for i := 0; i < opts.Refine && i < len(cands); i++ {
+		x, v := NelderMead(f, cands[i].x, lo, hi, NelderMeadOptions{MaxEvals: opts.RefineEval})
+		if v > bestV {
+			bestX, bestV = x, v
+		}
+	}
+	return append([]float64(nil), bestX...), bestV
+}

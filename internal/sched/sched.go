@@ -1,0 +1,267 @@
+// Package sched provides the parallel-evaluation engines behind batch
+// Bayesian optimization:
+//
+//   - VirtualExecutor runs evaluations on B simulated workers in virtual
+//     time. Each evaluation carries a deterministic duration (the simulated
+//     HSPICE runtime of that design point), so asynchronous-vs-synchronous
+//     wall-clock comparisons (paper Fig. 1, the "Time" columns of Tables
+//     I/II, Figures 4/6) are exactly reproducible on any machine.
+//   - GoExecutor runs evaluations on real goroutines for production use,
+//     with wall-clock timing.
+//
+// Both satisfy Executor, so the BO drivers are agnostic to the engine.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Result is one finished evaluation.
+type Result struct {
+	ID     int       // submission order, starting at 0
+	X      []float64 // evaluated point
+	Y      float64   // objective value
+	Start  float64   // start time, seconds (virtual or wall since creation)
+	End    float64   // finish time, seconds
+	Worker int       // worker index in [0, Workers)
+}
+
+// Executor evaluates points on a pool of workers.
+type Executor interface {
+	// Workers returns the pool size B.
+	Workers() int
+	// Idle returns how many workers are free right now.
+	Idle() int
+	// Launch starts evaluating x on a free worker. It returns an error if no
+	// worker is idle.
+	Launch(x []float64) error
+	// Wait blocks until the earliest running evaluation finishes and returns
+	// it. ok is false when nothing is running.
+	Wait() (r Result, ok bool)
+	// Now returns the current time in seconds (virtual or wall).
+	Now() float64
+	// Busy returns the points currently under evaluation (the X̂ set of
+	// paper §III-C), in launch order.
+	Busy() [][]float64
+}
+
+// ---------------------------------------------------------------- virtual
+
+// VirtualEval is the evaluation function for a VirtualExecutor: it returns
+// the objective value and the simulated duration (seconds) of the run.
+type VirtualEval func(x []float64) (y, cost float64)
+
+// VirtualExecutor is a deterministic discrete-event executor: Launch
+// evaluates the objective immediately (computing y and its simulated cost)
+// but reveals the result only when the virtual clock reaches its finish
+// time. The clock advances inside Wait.
+type VirtualExecutor struct {
+	b    int
+	eval VirtualEval
+	now  float64
+	next int
+
+	running runHeap
+	busySet map[int]*run // keyed by worker
+}
+
+type run struct {
+	res    Result
+	worker int
+}
+
+type runHeap []*run
+
+func (h runHeap) Len() int      { return len(h) }
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].res.End != h[j].res.End {
+		return h[i].res.End < h[j].res.End
+	}
+	return h[i].res.ID < h[j].res.ID // deterministic tie-break
+}
+func (h *runHeap) Push(x any) { *h = append(*h, x.(*run)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewVirtual creates a virtual executor with b workers.
+func NewVirtual(b int, eval VirtualEval) *VirtualExecutor {
+	if b < 1 {
+		panic("sched: need at least one worker")
+	}
+	if eval == nil {
+		panic("sched: nil evaluation function")
+	}
+	return &VirtualExecutor{b: b, eval: eval, busySet: make(map[int]*run)}
+}
+
+// Workers implements Executor.
+func (v *VirtualExecutor) Workers() int { return v.b }
+
+// Idle implements Executor.
+func (v *VirtualExecutor) Idle() int { return v.b - len(v.busySet) }
+
+// Now implements Executor.
+func (v *VirtualExecutor) Now() float64 { return v.now }
+
+// Launch implements Executor.
+func (v *VirtualExecutor) Launch(x []float64) error {
+	if v.Idle() == 0 {
+		return errors.New("sched: no idle worker")
+	}
+	worker := -1
+	for w := 0; w < v.b; w++ {
+		if _, busy := v.busySet[w]; !busy {
+			worker = w
+			break
+		}
+	}
+	xc := append([]float64(nil), x...)
+	y, cost := v.eval(xc)
+	if cost < 0 {
+		return fmt.Errorf("sched: negative cost %g", cost)
+	}
+	r := &run{
+		res: Result{
+			ID: v.next, X: xc, Y: y,
+			Start: v.now, End: v.now + cost, Worker: worker,
+		},
+		worker: worker,
+	}
+	v.next++
+	v.busySet[worker] = r
+	heap.Push(&v.running, r)
+	return nil
+}
+
+// Wait implements Executor: it advances the virtual clock to the earliest
+// finish time and returns that result.
+func (v *VirtualExecutor) Wait() (Result, bool) {
+	if v.running.Len() == 0 {
+		return Result{}, false
+	}
+	r := heap.Pop(&v.running).(*run)
+	if r.res.End > v.now {
+		v.now = r.res.End
+	}
+	delete(v.busySet, r.worker)
+	return r.res, true
+}
+
+// Busy implements Executor.
+func (v *VirtualExecutor) Busy() [][]float64 {
+	out := make([][]float64, 0, len(v.busySet))
+	// Launch order = ascending ID for determinism.
+	for id := 0; id < v.next; id++ {
+		for _, r := range v.busySet {
+			if r.res.ID == id {
+				out = append(out, r.res.X)
+			}
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------------- go
+
+// GoEval is the evaluation function for a GoExecutor.
+type GoEval func(x []float64) float64
+
+// GoExecutor evaluates points on real goroutines; durations are wall-clock.
+// It is safe for use by a single driving goroutine (the BO loop).
+type GoExecutor struct {
+	b     int
+	eval  GoEval
+	t0    time.Time
+	next  int
+	done  chan Result
+	mu    sync.Mutex
+	busy  map[int][]float64 // by ID
+	inUse int
+}
+
+// NewGo creates a goroutine-backed executor with b workers.
+func NewGo(b int, eval GoEval) *GoExecutor {
+	if b < 1 {
+		panic("sched: need at least one worker")
+	}
+	if eval == nil {
+		panic("sched: nil evaluation function")
+	}
+	return &GoExecutor{b: b, eval: eval, t0: time.Now(),
+		done: make(chan Result, b), busy: make(map[int][]float64)}
+}
+
+// Workers implements Executor.
+func (g *GoExecutor) Workers() int { return g.b }
+
+// Idle implements Executor.
+func (g *GoExecutor) Idle() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.b - g.inUse
+}
+
+// Now implements Executor.
+func (g *GoExecutor) Now() float64 { return time.Since(g.t0).Seconds() }
+
+// Launch implements Executor.
+func (g *GoExecutor) Launch(x []float64) error {
+	g.mu.Lock()
+	if g.inUse == g.b {
+		g.mu.Unlock()
+		return errors.New("sched: no idle worker")
+	}
+	id := g.next
+	g.next++
+	g.inUse++
+	xc := append([]float64(nil), x...)
+	g.busy[id] = xc
+	worker := g.inUse - 1
+	g.mu.Unlock()
+
+	go func() {
+		start := g.Now()
+		y := g.eval(xc)
+		g.done <- Result{ID: id, X: xc, Y: y, Start: start, End: g.Now(), Worker: worker}
+	}()
+	return nil
+}
+
+// Wait implements Executor.
+func (g *GoExecutor) Wait() (Result, bool) {
+	g.mu.Lock()
+	if g.inUse == 0 {
+		g.mu.Unlock()
+		return Result{}, false
+	}
+	g.mu.Unlock()
+	r := <-g.done
+	g.mu.Lock()
+	delete(g.busy, r.ID)
+	g.inUse--
+	g.mu.Unlock()
+	return r, true
+}
+
+// Busy implements Executor.
+func (g *GoExecutor) Busy() [][]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([][]float64, 0, len(g.busy))
+	for id := 0; id < g.next; id++ {
+		if x, ok := g.busy[id]; ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitneyU performs the two-sided Mann–Whitney rank-sum test on samples
+// a and b, returning the U statistic (for sample a) and the approximate
+// two-sided p-value under the normal approximation with tie correction.
+// Used by the experiment analysis to state whether one algorithm's
+// best-FOM distribution significantly beats another's.
+//
+// The normal approximation is appropriate for the sample sizes used here
+// (n >= 5 per the paper's repeated runs).
+func MannWhitneyU(a, b []float64) (u, p float64) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, accumulating the tie-correction term Σ(t³−t).
+	ranks := make([]float64, len(all))
+	var tieTerm float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		if t := float64(j - i); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.fromA {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - float64(n1)*float64(n1+1)/2
+
+	mean := float64(n1) * float64(n2) / 2
+	nn := float64(n1 + n2)
+	variance := float64(n1) * float64(n2) / 12 * (nn + 1 - tieTerm/(nn*(nn-1)))
+	if variance <= 0 {
+		return u, 1
+	}
+	// Continuity correction.
+	z := (u - mean)
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	p = 2 * (1 - NormCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}

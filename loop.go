@@ -1,0 +1,192 @@
+package easybo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"easybo/internal/core"
+	"easybo/internal/gp"
+	"easybo/internal/stats"
+)
+
+// Loop is the ask-tell interface to EasyBO: Suggest returns the next point
+// to evaluate, treating every point suggested but not yet observed as busy
+// (hallucinated into the surrogate, paper §III-C); Observe feeds a finished
+// evaluation back. This is Algorithm 1 with the scheduling inverted — the
+// caller owns the workers.
+//
+// A Loop is not safe for concurrent use; serialize Suggest/Observe calls.
+type Loop struct {
+	prob     Problem
+	opts     Options
+	rng      *rand.Rand
+	proposer *core.Proposer
+
+	pendingInit [][]float64
+	busy        [][]float64
+	obsX        [][]float64
+	obsY        []float64
+	bestX       []float64
+	bestY       float64
+
+	model     *gp.Model
+	lastFitN  int
+	lastTheta []float64
+	lastNoise float64
+}
+
+// NewLoop validates the problem and prepares the initial design.
+func NewLoop(p Problem, opts Options) (*Loop, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	if opts.InitPoints <= 0 {
+		opts.InitPoints = 20
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 6
+	}
+	if opts.RefitEvery <= 0 {
+		opts.RefitEvery = 5
+	}
+	if opts.FitIters <= 0 {
+		opts.FitIters = 40
+	}
+	switch opts.Algorithm {
+	case "", EasyBO, EasyBOA:
+	default:
+		return nil, fmt.Errorf("easybo: Loop supports the EasyBO algorithms, not %q", opts.Algorithm)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	l := &Loop{
+		prob: p, opts: opts, rng: rng,
+		proposer: &core.Proposer{
+			Lambda:   opts.Lambda,
+			Penalize: opts.Algorithm != EasyBOA,
+		},
+		bestY: math.Inf(-1),
+	}
+	d := len(p.Lo)
+	for _, u := range stats.LatinHypercube(rng, opts.InitPoints, d) {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = p.Lo[j] + u[j]*(p.Hi[j]-p.Lo[j])
+		}
+		l.pendingInit = append(l.pendingInit, x)
+	}
+	_ = ip
+	return l, nil
+}
+
+// Suggest returns the next point to evaluate. Until the initial design is
+// exhausted it returns design points; afterwards it maximizes the EasyBO
+// acquisition with all currently busy points hallucinated.
+func (l *Loop) Suggest() ([]float64, error) {
+	if len(l.pendingInit) > 0 {
+		x := l.pendingInit[0]
+		l.pendingInit = l.pendingInit[1:]
+		l.busy = append(l.busy, x)
+		return append([]float64(nil), x...), nil
+	}
+	if len(l.obsY) < 2 {
+		// Not enough observations for a surrogate yet (caller suggested more
+		// than it observed): fall back to random points.
+		d := len(l.prob.Lo)
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = l.prob.Lo[j] + l.rng.Float64()*(l.prob.Hi[j]-l.prob.Lo[j])
+		}
+		l.busy = append(l.busy, x)
+		return append([]float64(nil), x...), nil
+	}
+	if err := l.refreshModel(); err != nil {
+		return nil, err
+	}
+	x, _, err := l.proposer.Propose(l.model, l.busy, l.prob.Lo, l.prob.Hi, l.rng)
+	if err != nil {
+		return nil, err
+	}
+	l.busy = append(l.busy, x)
+	return append([]float64(nil), x...), nil
+}
+
+// Observe records a finished evaluation. The point is matched against the
+// busy set (exact coordinates) and removed from it; observing a point that
+// was never suggested is allowed and simply enriches the surrogate.
+func (l *Loop) Observe(x []float64, y float64) error {
+	if len(x) != len(l.prob.Lo) {
+		return errors.New("easybo: observation dimension mismatch")
+	}
+	if math.IsNaN(y) {
+		return errors.New("easybo: NaN observation")
+	}
+	for i, b := range l.busy {
+		if equalPoints(b, x) {
+			l.busy = append(l.busy[:i], l.busy[i+1:]...)
+			break
+		}
+	}
+	xc := append([]float64(nil), x...)
+	l.obsX = append(l.obsX, xc)
+	l.obsY = append(l.obsY, y)
+	if y > l.bestY {
+		l.bestY = y
+		l.bestX = xc
+	}
+	return nil
+}
+
+// Best returns the incumbent (nil, -Inf before any observation).
+func (l *Loop) Best() ([]float64, float64) { return l.bestX, l.bestY }
+
+// Observations returns the number of observed evaluations.
+func (l *Loop) Observations() int { return len(l.obsY) }
+
+// Pending returns the number of suggested-but-unobserved points.
+func (l *Loop) Pending() int { return len(l.busy) }
+
+func (l *Loop) refreshModel() error {
+	n := len(l.obsY)
+	if l.model != nil && n == l.lastFitN {
+		return nil
+	}
+	var opts gp.TrainOptions
+	if l.lastTheta == nil || n-l.lastFitN >= l.opts.RefitEvery || l.model == nil {
+		fo := &gp.FitOptions{Iters: l.opts.FitIters, Restarts: 1}
+		if l.lastTheta != nil {
+			fo.InitTheta = l.lastTheta
+			fo.InitNoise = l.lastNoise
+			fo.Iters = l.opts.FitIters / 2
+			if fo.Iters < 10 {
+				fo.Iters = 10
+			}
+		}
+		opts = gp.TrainOptions{Fit: fo}
+	} else {
+		opts = gp.TrainOptions{FixedTheta: l.lastTheta, FixedNoise: l.lastNoise}
+	}
+	m, err := gp.Train(l.obsX, l.obsY, l.prob.Lo, l.prob.Hi, l.rng, &opts)
+	if err != nil {
+		return err
+	}
+	l.model = m
+	l.lastTheta = m.Theta()
+	l.lastNoise = m.LogNoise()
+	l.lastFitN = n
+	return nil
+}
+
+func equalPoints(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
