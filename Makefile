@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet fmt build test bench-smoke bench
+
+check: vet fmt build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Smoke-run the incremental-engine benchmarks so a regression on the hot
+# path (or a compile error in bench_test.go) fails CI loudly.
+bench-smoke:
+	$(GO) test -run XXX -bench 'GPExtend|GPRefit|Hallucinate' -benchtime 1x .
+
+bench:
+	$(GO) test -run XXX -bench 'GPExtend|GPRefit|Hallucinate|SuggestHotPath' -benchtime 20x .

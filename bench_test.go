@@ -364,3 +364,139 @@ func BenchmarkCircuitTransient(b *testing.B) {
 		testbench.EvalClassE(x)
 	}
 }
+
+// --------------------------------------- incremental surrogate engine
+
+// surrogateData draws a random d-dimensional training set in the unit cube.
+func surrogateData(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		xi := make([]float64, d)
+		for j := range xi {
+			xi[j] = rng.Float64()
+		}
+		x[i] = xi
+		y[i] = xi[0]*xi[1] - xi[2] + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// BenchmarkGPRefit measures what absorbing one observation cost before the
+// incremental engine: a from-scratch covariance build and factorization of
+// all n+1 points (O(n²·d) kernel evaluations + O(n³) Cholesky).
+func BenchmarkGPRefit(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := 10
+			x, y := surrogateData(n+1, d, 1)
+			theta := gp.SEARD{}.DefaultTheta(d)
+			logNoise := -4.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Fit(gp.SEARD{}, x, y, theta, logNoise); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGPExtend measures the same one-observation update through the
+// rank-append path: O(n·d) kernel evaluations + O(n²) factor extension.
+func BenchmarkGPExtend(b *testing.B) {
+	for _, n := range []int{100, 200, 400} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			d := 10
+			x, y := surrogateData(n+1, d, 1)
+			theta := gp.SEARD{}.DefaultTheta(d)
+			logNoise := -4.0
+			base, err := gp.Fit(gp.SEARD{}, x[:n], y[:n], theta, logNoise)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := base.Extend(x[n:], y[n:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHallucinate measures the Suggest-path pseudo-observation refit
+// (paper Eq. 9): 5 busy points against a 200-point surrogate.
+func BenchmarkHallucinate(b *testing.B) {
+	d := 10
+	n := 200
+	x, y := surrogateData(n, d, 2)
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	rng := rand.New(rand.NewSource(3))
+	m, err := gp.Train(x, y, lo, hi, rng, &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	busy, _ := surrogateData(5, d, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.WithPseudo(busy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuggestHotPath measures one full asynchronous suggestion —
+// surrogate refresh, hallucination of 5 busy points, parallel acquisition
+// maximization — on a loop holding 200 observations, the regime where the
+// seed implementation's O(n³) refits dominated.
+func BenchmarkSuggestHotPath(b *testing.B) {
+	p := testbench.OpAmp()
+	loop, err := easybo.NewLoop(easybo.Problem{
+		Name: p.Name, Lo: p.Lo, Hi: p.Hi, Objective: p.Eval, Cost: p.Cost,
+	}, easybo.Options{Seed: 5, InitPoints: 5, FitIters: 12, RefitEvery: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Feed 200 observations directly (Observe accepts unsuggested points).
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		x := make([]float64, len(p.Lo))
+		for j := range x {
+			x[j] = p.Lo[j] + rng.Float64()*(p.Hi[j]-p.Lo[j])
+		}
+		if err := loop.Observe(x, p.Eval(x)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Drain the entire initial design so every timed Suggest goes through
+	// the surrogate, and leave those 5 suggestions outstanding so each one
+	// hallucinates a 5-point busy set.
+	for i := 0; i < 5; i++ {
+		if _, err := loop.Suggest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, err := loop.Suggest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Observing keeps the busy set at 5 but grows n past 200 as
+		// iterations accumulate; keep it off the clock.
+		b.StopTimer()
+		if err := loop.Observe(x, p.Eval(x)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

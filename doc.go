@@ -30,4 +30,31 @@
 // a two-stage operational amplifier and a class-E power amplifier, both
 // evaluated by the built-in SPICE-like simulator — plus classic synthetic
 // test functions.
+//
+// # Performance
+//
+// The suggestion path is built on an incremental surrogate engine, so the
+// cost of keeping B simulators busy does not grow cubically with the
+// observation count n:
+//
+//   - Absorbing a finished observation extends the existing Cholesky factor
+//     by one row (O(n²)) instead of rebuilding and refactoring the
+//     covariance (O(n²·d) kernel evaluations + O(n³)). The incremental
+//     posterior is identical — bitwise, for the built-in kernels — to a
+//     from-scratch refit at the same hyperparameters.
+//   - Hallucinating the b busy points (the σ̂ of Eq. 9) appends b rows to
+//     the factor, O(b·n²) per suggestion.
+//   - Hyperparameter re-optimization still pays for full refits, but only on
+//     the RefitEvery cadence, warm-started from the previous optimum, and
+//     over a pairwise-distance cache that turns every Gram build of the fit
+//     into one exponential per entry instead of d+1.
+//   - The acquisition maximizer fans its multistart out across goroutines,
+//     each worker owning an allocation-free predictor; results are
+//     bit-identical for any worker count.
+//
+// In aggregate a suggestion against n observations costs O(n²) between
+// hyperparameter refits, which is what lets the reproduction run far past
+// the paper's evaluation budgets. See bench_test.go (BenchmarkGPExtend,
+// BenchmarkGPRefit, BenchmarkHallucinate, BenchmarkSuggestHotPath) for the
+// measured asymptotics.
 package easybo

@@ -1,0 +1,3 @@
+module easybo
+
+go 1.21

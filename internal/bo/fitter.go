@@ -37,47 +37,45 @@ func newModelManager(lo, hi []float64, rng *rand.Rand, cfg Config) *modelManager
 
 // fit returns a surrogate trained on the observations, re-optimizing
 // hyperparameters on the configured cadence. Observations are append-only
-// across a run, so a cached model is valid while the count is unchanged.
+// across a run, so a cached model is valid while the count is unchanged and
+// can absorb new points through the incremental rank-append update — between
+// hyperparameter refits no covariance rebuild or refactorization happens.
 func (mm *modelManager) fit(x [][]float64, y []float64) (*gp.Model, error) {
 	n := len(y)
 	if mm.cached != nil && n == mm.cachedN {
 		return mm.cached, nil
 	}
-	needHyper := mm.theta == nil || n-mm.lastHyperN >= mm.refitEvery
-	var opts gp.TrainOptions
-	if needHyper {
-		fo := &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}
-		if mm.theta != nil {
-			// Warm start: fewer iterations, no random restarts.
-			fo.InitTheta = mm.theta
-			fo.InitNoise = mm.logNoise
-			fo.Iters = mm.fitIters / 2
-			if fo.Iters < 10 {
-				fo.Iters = 10
-			}
-			fo.Restarts = 1
+	if mm.theta != nil && n-mm.lastHyperN < mm.refitEvery {
+		// Between hyperparameter refits: absorb the new points through the
+		// rank-append update. Failure means the frozen hyperparameters or
+		// standardization became numerically unusable for the grown dataset
+		// (e.g. duplicate points with tiny noise); fall through to a fresh
+		// hyperparameter fit in that case.
+		m, err := mm.cached.Extend(x[mm.cachedN:n], y[mm.cachedN:n])
+		if err == nil {
+			mm.cached = m
+			mm.cachedN = n
+			return m, nil
 		}
-		opts = gp.TrainOptions{Kernel: mm.kernel, Fit: fo}
-	} else {
-		opts = gp.TrainOptions{Kernel: mm.kernel, FixedTheta: mm.theta, FixedNoise: mm.logNoise}
 	}
-	m, err := gp.Train(x, y, mm.lo, mm.hi, mm.rng, &opts)
-	if err != nil && !needHyper {
-		// The fixed hyperparameters may have become numerically unusable for
-		// the grown dataset (e.g. duplicate points with tiny noise); fall
-		// back to a fresh hyperparameter fit.
-		needHyper = true
-		m, err = gp.Train(x, y, mm.lo, mm.hi, mm.rng,
-			&gp.TrainOptions{Kernel: mm.kernel, Fit: &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}})
+	fo := &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}
+	if mm.theta != nil {
+		// Warm start: fewer iterations, no default or random restarts.
+		fo.InitTheta = mm.theta
+		fo.InitNoise = mm.logNoise
+		fo.WarmOnly = true
+		fo.Iters = mm.fitIters / 2
+		if fo.Iters < 10 {
+			fo.Iters = 10
+		}
 	}
+	m, err := gp.Train(x, y, mm.lo, mm.hi, mm.rng, &gp.TrainOptions{Kernel: mm.kernel, Fit: fo})
 	if err != nil {
 		return nil, err
 	}
-	if needHyper {
-		mm.theta = m.Theta()
-		mm.logNoise = m.LogNoise()
-		mm.lastHyperN = n
-	}
+	mm.theta = m.Theta()
+	mm.logNoise = m.LogNoise()
+	mm.lastHyperN = n
 	mm.cached = m
 	mm.cachedN = n
 	return m, nil

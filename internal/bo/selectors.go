@@ -15,11 +15,14 @@ type batchSelector interface {
 	SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error)
 }
 
-// maximizeAcq maximizes an acquisition over the box on the standardized
-// surrogate view.
-func maximizeAcq(a acq.Func, s acq.Surrogate, lo, hi []float64, rng *rand.Rand, opts optimize.MaximizeOptions) []float64 {
-	x, _ := optimize.Maximize(func(q []float64) float64 { return a.Value(s, q) },
-		lo, hi, rng, opts)
+// maximizeAcq maximizes an acquisition over the box on the model's
+// standardized view, fanning the multistart out across goroutines — each
+// worker owns an allocation-free predictor over the shared posterior.
+func maximizeAcq(a acq.Func, m *gp.Model, lo, hi []float64, rng *rand.Rand, opts optimize.MaximizeOptions) []float64 {
+	x, _ := optimize.MaximizeParallel(func() optimize.Objective {
+		s := m.StandardizedPredictor()
+		return func(q []float64) float64 { return a.Value(s, q) }
+	}, lo, hi, rng, opts)
 	return x
 }
 
@@ -33,7 +36,7 @@ func (s eiSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw fl
 	out := make([][]float64, 0, b)
 	a := acq.EI{Best: m.StandardizeY(bestRaw), Xi: s.xi}
 	for i := 0; i < b; i++ {
-		out = append(out, maximizeAcq(a, m.Standardized(), lo, hi, rng, s.opts))
+		out = append(out, maximizeAcq(a, m, lo, hi, rng, s.opts))
 	}
 	return out, nil
 }
@@ -48,7 +51,7 @@ func (s lcbSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64
 	out := make([][]float64, 0, b)
 	a := acq.LCB{Kappa: s.kappa}
 	for i := 0; i < b; i++ {
-		out = append(out, maximizeAcq(a, m.Standardized(), lo, hi, rng, s.opts))
+		out = append(out, maximizeAcq(a, m, lo, hi, rng, s.opts))
 	}
 	return out, nil
 }
@@ -63,7 +66,7 @@ func (s pboSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64
 	ws := acq.PBOWeights(b)
 	out := make([][]float64, 0, b)
 	for _, w := range ws {
-		out = append(out, maximizeAcq(acq.Weighted{W: w}, m.Standardized(), lo, hi, rng, s.opts))
+		out = append(out, maximizeAcq(acq.Weighted{W: w}, m, lo, hi, rng, s.opts))
 	}
 	return out, nil
 }
@@ -83,7 +86,11 @@ func newPHCBOSelector(nhc, radius float64, opts optimize.MaximizeOptions) *phcbo
 
 // normalize maps x into the unit cube of [lo, hi].
 func normalize(x, lo, hi []float64) []float64 {
-	out := make([]float64, len(x))
+	return normalizeInto(make([]float64, len(x)), x, lo, hi)
+}
+
+// normalizeInto is normalize writing into a caller-provided buffer.
+func normalizeInto(out, x, lo, hi []float64) []float64 {
 	for i := range x {
 		span := hi[i] - lo[i]
 		if span <= 0 {
@@ -97,12 +104,15 @@ func normalize(x, lo, hi []float64) []float64 {
 func (s *phcboSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
 	ws := acq.PBOWeights(b)
 	out := make([][]float64, 0, b)
-	std := m.Standardized()
 	for i, w := range ws {
 		base := acq.Weighted{W: w}
 		pen := acq.HCPenalty{NHC: s.nhc, D: s.radius, Recent: s.recent[i]}
-		x, _ := optimize.Maximize(func(q []float64) float64 {
-			return base.Value(std, q) - pen.Value(normalize(q, lo, hi))
+		x, _ := optimize.MaximizeParallel(func() optimize.Objective {
+			std := m.StandardizedPredictor()
+			nbuf := make([]float64, len(lo))
+			return func(q []float64) float64 {
+				return base.Value(std, q) - pen.Value(normalizeInto(nbuf, q, lo, hi))
+			}
 		}, lo, hi, rng, s.opts)
 		out = append(out, x)
 		// Record for the next iteration: newest first, keep 5.
@@ -144,7 +154,10 @@ func (s tsSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64,
 		if err != nil {
 			return nil, err
 		}
-		x, _ := optimize.Maximize(sample, lo, hi, rng, s.opts)
+		// The RFF draw is a pure function of fixed weights, so all workers
+		// may share it.
+		x, _ := optimize.MaximizeParallel(func() optimize.Objective { return sample },
+			lo, hi, rng, s.opts)
 		out = append(out, x)
 	}
 	return out, nil
@@ -176,7 +189,7 @@ func (s *portfolioSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, be
 	}
 	choices := make([][]float64, len(strategies))
 	for i, a := range strategies {
-		choices[i] = maximizeAcq(a, std, lo, hi, rng, s.opts)
+		choices[i] = maximizeAcq(a, m, lo, hi, rng, s.opts)
 	}
 	s.hedge.RecordChoices(choices)
 	out := make([][]float64, 0, b)

@@ -38,7 +38,10 @@ type Proposer struct {
 
 // Propose returns the next query point given the fitted surrogate, the busy
 // set (points still under evaluation, raw coordinates), and the design box.
-// It also reports the sampled weight for diagnostics.
+// It also reports the sampled weight for diagnostics. The hallucinated
+// variant extends the surrogate's Cholesky factor incrementally — O(b·n²)
+// for b busy points — and the acquisition maximization fans its multistart
+// out across goroutines, each with its own allocation-free predictor.
 func (p *Proposer) Propose(m *gp.Model, busy [][]float64, lo, hi []float64, rng *rand.Rand) (x []float64, w float64, err error) {
 	if m == nil {
 		return nil, 0, errors.New("core: nil surrogate")
@@ -50,11 +53,17 @@ func (p *Proposer) Propose(m *gp.Model, busy [][]float64, lo, hi []float64, rng 
 			return nil, 0, fmt.Errorf("core: hallucinated refit: %w", err)
 		}
 	}
+	return p.proposeOn(view, lo, hi, rng)
+}
+
+// proposeOn maximizes the randomized-weight acquisition on an already
+// hallucinated surrogate view.
+func (p *Proposer) proposeOn(view *gp.Model, lo, hi []float64, rng *rand.Rand) (x []float64, w float64, err error) {
 	w = acq.SampleWeight(rng, p.Lambda)
 	a := acq.Weighted{W: w}
-	s := view.Standardized()
-	x, _ = optimize.Maximize(func(q []float64) float64 {
-		return a.Value(s, q)
+	x, _ = optimize.MaximizeParallel(func() optimize.Objective {
+		s := view.StandardizedPredictor()
+		return func(q []float64) float64 { return a.Value(s, q) }
 	}, lo, hi, rng, p.MaxOpts)
 	return x, w, nil
 }
@@ -62,18 +71,31 @@ func (p *Proposer) Propose(m *gp.Model, busy [][]float64, lo, hi []float64, rng 
 // ProposeBatch selects b points synchronously (EasyBO-S when Penalize is
 // false, EasyBO-SP when true). With penalization each selected point is
 // immediately hallucinated so that later selections in the same batch are
-// pushed away from it — the in-batch diversity device of §III-C.
+// pushed away from it — the in-batch diversity device of §III-C. The
+// hallucinations accumulate on one incrementally extended view (each step
+// appends a single row to the factor), so a batch costs O(b·n²) instead of
+// the O(b·n³) of per-step refits.
 func (p *Proposer) ProposeBatch(m *gp.Model, b int, lo, hi []float64, rng *rand.Rand) ([][]float64, error) {
 	if b < 1 {
 		return nil, errors.New("core: batch size must be >= 1")
 	}
+	if m == nil {
+		return nil, errors.New("core: nil surrogate")
+	}
 	batch := make([][]float64, 0, b)
+	view := m
 	for i := 0; i < b; i++ {
-		x, _, err := p.Propose(m, batch, lo, hi, rng)
+		x, _, err := p.proposeOn(view, lo, hi, rng)
 		if err != nil {
 			return nil, err
 		}
 		batch = append(batch, x)
+		if p.Penalize && i+1 < b {
+			view, err = view.WithPseudo(batch[i : i+1])
+			if err != nil {
+				return nil, fmt.Errorf("core: hallucinated refit: %w", err)
+			}
+		}
 	}
 	return batch, nil
 }

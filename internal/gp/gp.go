@@ -20,12 +20,25 @@ type GP struct {
 
 	chol  *linalg.Cholesky
 	alpha []float64 // K⁻¹y
+
+	// dk/st are the stationary-kernel fast path: prepared once per fit so
+	// every covariance evaluation costs a single exponential. nil dk means
+	// the kernel only supports the generic Eval path.
+	dk distKernel
+	st distState
 }
 
 // Fit builds the covariance matrix and factors it. X rows are d-dimensional
 // inputs; Y observations. The inputs are retained by reference — callers
 // must not mutate them afterwards.
 func Fit(kern Kernel, x [][]float64, y []float64, theta []float64, logNoise float64) (*GP, error) {
+	return fitCached(kern, x, y, theta, logNoise, nil)
+}
+
+// fitCached is Fit with an optional precomputed pairwise-distance cache over
+// the same x (used by the hyperparameter optimizer, which rebuilds the Gram
+// matrix many times over a fixed training set).
+func fitCached(kern Kernel, x [][]float64, y []float64, theta []float64, logNoise float64, cache *gramCache) (*GP, error) {
 	n := len(x)
 	if n == 0 {
 		return nil, errors.New("gp: empty training set")
@@ -40,24 +53,47 @@ func Fit(kern Kernel, x [][]float64, y []float64, theta []float64, logNoise floa
 			return nil, fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(xi), d)
 		}
 	}
-	k := buildCov(kern, theta, logNoise, x)
+	g := &GP{Kern: kern, X: x, Y: y, Theta: append([]float64(nil), theta...), LogNoise: logNoise}
+	g.prepKernel()
+	var k *linalg.Matrix
+	if cache != nil && g.dk != nil && cache.n == n {
+		k = cache.buildCov(g.dk, &g.st, logNoise)
+	} else {
+		k = g.buildCov()
+	}
 	chol, err := linalg.NewCholesky(k)
 	if err != nil {
 		return nil, fmt.Errorf("gp: covariance factorization: %w", err)
 	}
-	g := &GP{Kern: kern, X: x, Y: y, Theta: append([]float64(nil), theta...),
-		LogNoise: logNoise, chol: chol}
+	g.chol = chol
 	g.alpha = chol.Solve(y)
 	return g, nil
 }
 
-func buildCov(kern Kernel, theta []float64, logNoise float64, x [][]float64) *linalg.Matrix {
-	n := len(x)
+// prepKernel resolves the stationary fast path for the fitted kernel.
+func (g *GP) prepKernel() {
+	if dk, ok := g.Kern.(distKernel); ok {
+		g.dk = dk
+		g.st = prepDist(g.Theta, len(g.X[0]))
+	}
+}
+
+// kernEval evaluates k(a, b) through the fast path when available.
+func (g *GP) kernEval(a, b []float64) float64 {
+	if g.dk != nil {
+		return g.dk.evalScaled(&g.st, g.st.scaledSq(a, b))
+	}
+	return g.Kern.Eval(g.Theta, a, b)
+}
+
+// buildCov assembles K + σn²I over the training inputs.
+func (g *GP) buildCov() *linalg.Matrix {
+	n := len(g.X)
 	k := linalg.NewMatrix(n, n)
-	noise2 := math.Exp(2 * logNoise)
+	noise2 := math.Exp(2 * g.LogNoise)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			v := kern.Eval(theta, x[i], x[j])
+			v := g.kernEval(g.X[i], g.X[j])
 			k.Set(i, j, v)
 			k.Set(j, i, v)
 		}
@@ -72,19 +108,45 @@ func (g *GP) N() int { return len(g.X) }
 // Dim returns the input dimension.
 func (g *GP) Dim() int { return len(g.X[0]) }
 
+// PredictBuf holds reusable scratch for allocation-free predictions. A buf
+// belongs to one goroutine at a time; create one per worker.
+type PredictBuf struct {
+	ks []float64
+}
+
+// NewPredictBuf returns scratch sized for the GP's current training set; it
+// grows automatically if the GP is extended.
+func (g *GP) NewPredictBuf() *PredictBuf {
+	return &PredictBuf{ks: make([]float64, 0, g.N()+16)}
+}
+
+func (b *PredictBuf) sized(n int) []float64 {
+	if cap(b.ks) < n {
+		b.ks = make([]float64, n, n+n/2+8)
+	}
+	return b.ks[:n]
+}
+
 // Predict returns the posterior mean and standard deviation at x
 // (paper Eq. (2)). The returned deviation excludes observation noise
 // (it is the deviation of the latent function).
 func (g *GP) Predict(x []float64) (mu, sigma float64) {
+	var buf PredictBuf
+	return g.PredictWith(&buf, x)
+}
+
+// PredictWith is Predict reusing caller-provided scratch: zero allocations
+// once the buf has grown to the training-set size.
+func (g *GP) PredictWith(buf *PredictBuf, x []float64) (mu, sigma float64) {
 	n := g.N()
-	ks := make([]float64, n)
+	ks := buf.sized(n)
 	for i := 0; i < n; i++ {
-		ks[i] = g.Kern.Eval(g.Theta, x, g.X[i])
+		ks[i] = g.kernEval(x, g.X[i])
 	}
 	mu = linalg.Dot(ks, g.alpha)
-	v := g.chol.SolveLower(ks)
-	kss := g.Kern.Eval(g.Theta, x, x)
-	s2 := kss - linalg.Dot(v, v)
+	g.chol.SolveLowerInto(ks, ks) // v = L⁻¹·ks, in place
+	kss := g.kernEval(x, x)
+	s2 := kss - linalg.Dot(ks, ks)
 	if s2 < 0 {
 		s2 = 0
 	}
@@ -96,6 +158,12 @@ func (g *GP) Predict(x []float64) (mu, sigma float64) {
 func (g *GP) PredictMean(x []float64) float64 {
 	n := g.N()
 	var mu float64
+	if g.dk != nil {
+		for i := 0; i < n; i++ {
+			mu += g.dk.evalScaled(&g.st, g.st.scaledSq(x, g.X[i])) * g.alpha[i]
+		}
+		return mu
+	}
 	for i := 0; i < n; i++ {
 		mu += g.Kern.Eval(g.Theta, x, g.X[i]) * g.alpha[i]
 	}
@@ -112,49 +180,131 @@ func (g *GP) LogMarginalLikelihood() float64 {
 // respect to [kernel hyperparameters…, log σn], using
 // ∂LML/∂θ = ½·tr((ααᵀ − K⁻¹)·∂K/∂θ).
 func (g *GP) LMLGradient() []float64 {
+	return g.lmlGradient(nil)
+}
+
+// lmlGradient computes the LML gradient, optionally reusing a pairwise
+// distance cache over the training inputs. The weight matrix
+// W = ααᵀ − K⁻¹ is symmetric and never materialized: the inverse (itself
+// computed exploiting symmetry) is consumed entry by entry, and only the
+// upper triangle is visited — off-diagonal pairs count twice.
+func (g *GP) lmlGradient(cache *gramCache) []float64 {
 	n := g.N()
-	nh := g.Kern.NumHyper(g.Dim())
+	d := g.Dim()
+	nh := g.Kern.NumHyper(d)
 	grad := make([]float64, nh+1)
 	kinv := g.chol.Inverse()
-	// W = ααᵀ − K⁻¹ (symmetric).
-	w := linalg.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			w.Set(i, j, g.alpha[i]*g.alpha[j]-kinv.At(i, j))
-		}
+	var trW float64
+	useDist := g.dk != nil
+	var zero, scratch []float64
+	if useDist {
+		zero = make([]float64, d)
+		scratch = make([]float64, 0, d)
 	}
-	// Kernel hyperparameters: accumulate ½ Σ_ij W_ij ∂K_ij/∂θ.
-	// Use symmetry: off-diagonal pairs count twice.
 	for i := 0; i < n; i++ {
-		g.Kern.AccumGrad(g.Theta, g.X[i], g.X[i], 0.5*w.At(i, i), grad[:nh])
-		for j := i + 1; j < n; j++ {
-			g.Kern.AccumGrad(g.Theta, g.X[i], g.X[j], w.At(i, j), grad[:nh])
+		ai := g.alpha[i]
+		wii := ai*ai - kinv.At(i, i)
+		trW += wii
+		kinvRow := kinv.Row(i)
+		if useDist {
+			g.dk.accumGradDiff(&g.st, zero, 0.5*wii, grad[:nh])
+			for j := i + 1; j < n; j++ {
+				wij := ai*g.alpha[j] - kinvRow[j]
+				var diff2 []float64
+				if cache != nil && cache.n == n {
+					diff2 = cache.pair(i, j)
+				} else {
+					diff2 = pairDiff2(g.X[i], g.X[j], scratch[:0])
+				}
+				g.dk.accumGradDiff(&g.st, diff2, wij, grad[:nh])
+			}
+		} else {
+			g.Kern.AccumGrad(g.Theta, g.X[i], g.X[i], 0.5*wii, grad[:nh])
+			for j := i + 1; j < n; j++ {
+				wij := ai*g.alpha[j] - kinvRow[j]
+				g.Kern.AccumGrad(g.Theta, g.X[i], g.X[j], wij, grad[:nh])
+			}
 		}
 	}
 	// Noise: ∂K/∂log σn = 2σn² I.
 	noise2 := math.Exp(2 * g.LogNoise)
-	var tr float64
-	for i := 0; i < n; i++ {
-		tr += w.At(i, i)
-	}
-	grad[nh] = 0.5 * tr * 2 * noise2
+	grad[nh] = 0.5 * trW * 2 * noise2
 	return grad
+}
+
+// pairDiff2 appends the per-dimension squared differences of (a, b) to dst.
+func pairDiff2(a, b, dst []float64) []float64 {
+	for i, ai := range a {
+		r := ai - b[i]
+		dst = append(dst, r*r)
+	}
+	return dst
+}
+
+// Extend returns a new GP whose training set is augmented with the given
+// observations at unchanged hyperparameters, extending the existing
+// Cholesky factor by rank-append instead of refactoring: O(k·n²) for k new
+// points against the O(n³) of a fresh Fit. The receiver is unchanged and
+// remains usable. The posterior is identical (bitwise, for the built-in
+// kernels) to a from-scratch Fit on the concatenated data; if the appended
+// factorization loses positive definiteness the full refit is performed
+// transparently.
+func (g *GP) Extend(xNew [][]float64, yNew []float64) (*GP, error) {
+	k := len(xNew)
+	if k == 0 {
+		return g, nil
+	}
+	if len(yNew) != k {
+		return nil, fmt.Errorf("gp: %d new inputs but %d new observations", k, len(yNew))
+	}
+	d := g.Dim()
+	for i, xi := range xNew {
+		if len(xi) != d {
+			return nil, fmt.Errorf("gp: new input %d has dimension %d, want %d", i, len(xi), d)
+		}
+	}
+	n := g.N()
+	x := make([][]float64, 0, n+k)
+	x = append(x, g.X...)
+	x = append(x, xNew...)
+	y := make([]float64, 0, n+k)
+	y = append(y, g.Y...)
+	y = append(y, yNew...)
+
+	noise2 := math.Exp(2 * g.LogNoise)
+	rows := make([][]float64, k)
+	diag := make([]float64, k)
+	for i := 0; i < k; i++ {
+		row := make([]float64, n+i)
+		for j := 0; j < n+i; j++ {
+			// Argument order matches buildCov (existing point first) so the
+			// appended factor is bitwise identical to a from-scratch one.
+			row[j] = g.kernEval(x[j], xNew[i])
+		}
+		rows[i] = row
+		diag[i] = g.kernEval(xNew[i], xNew[i]) + noise2
+	}
+	chol, err := g.chol.Append(rows, diag)
+	if err != nil {
+		// The fixed jitter no longer suffices for the grown matrix; pay for
+		// one full refactorization, which re-runs the adaptive jitter ladder.
+		return fitCached(g.Kern, x, y, g.Theta, g.LogNoise, nil)
+	}
+	out := &GP{Kern: g.Kern, X: x, Y: y, Theta: g.Theta, LogNoise: g.LogNoise,
+		chol: chol, dk: g.dk, st: g.st}
+	out.alpha = chol.Solve(y)
+	return out, nil
 }
 
 // WithPseudo returns a new GP whose training set is augmented with pseudo
 // observations (the hallucination device of BUCB / EasyBO §III-C). The
 // hyperparameters are reused without refitting — exactly the paper's usage,
 // where the pseudo targets are the current predictive means and must not
-// distort the model fit.
+// distort the model fit. Built on Extend, the cost is O(b·n²) for b busy
+// points rather than the O(n³) of a covariance rebuild.
 func (g *GP) WithPseudo(xp [][]float64, yp []float64) (*GP, error) {
 	if len(xp) == 0 {
 		return g, nil
 	}
-	x := make([][]float64, 0, g.N()+len(xp))
-	x = append(x, g.X...)
-	x = append(x, xp...)
-	y := make([]float64, 0, len(x))
-	y = append(y, g.Y...)
-	y = append(y, yp...)
-	return Fit(g.Kern, x, y, g.Theta, g.LogNoise)
+	return g.Extend(xp, yp)
 }

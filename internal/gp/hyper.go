@@ -14,6 +14,11 @@ type FitOptions struct {
 	InitNoise float64   // warm start for log σn (used when InitTheta != nil)
 	NoiseLo   float64   // lower bound for log σn (default log 1e-4)
 	NoiseHi   float64   // upper bound for log σn (default log 1)
+	// WarmOnly restricts the optimization to the InitTheta start alone —
+	// no default start, no random restarts. This is the cadenced-refit
+	// configuration: the previous optimum is almost always in the right
+	// basin, and the extra starts triple the cost of the hot path.
+	WarmOnly bool
 }
 
 func (o *FitOptions) defaults() {
@@ -52,22 +57,34 @@ func FitHyper(kern Kernel, x [][]float64, y []float64, rng *rand.Rand, opts *Fit
 		theta []float64
 		noise float64
 	}
-	starts := []start{{kern.DefaultTheta(d), math.Log(1e-2)}}
+	var starts []start
 	if o.InitTheta != nil {
-		starts = append([]start{{append([]float64(nil), o.InitTheta...), o.InitNoise}}, starts...)
+		starts = append(starts, start{append([]float64(nil), o.InitTheta...), o.InitNoise})
 	}
-	for r := 0; r < o.Restarts; r++ {
-		th := make([]float64, kern.NumHyper(d))
-		for i := range th {
-			th[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+	if o.InitTheta == nil || !o.WarmOnly {
+		starts = append(starts, start{kern.DefaultTheta(d), math.Log(1e-2)})
+		for r := 0; r < o.Restarts; r++ {
+			th := make([]float64, kern.NumHyper(d))
+			for i := range th {
+				th[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			}
+			starts = append(starts, start{th, o.NoiseLo + rng.Float64()*(o.NoiseHi-o.NoiseLo)})
 		}
-		starts = append(starts, start{th, o.NoiseLo + rng.Float64()*(o.NoiseHi-o.NoiseLo)})
+	}
+
+	// One pairwise-distance cache serves every start and every Adam
+	// iteration: the training inputs never change during a hyperparameter
+	// fit, so the O(n²·d) coordinate differences are computed exactly once
+	// instead of once per Gram build.
+	var cache *gramCache
+	if _, ok := kern.(distKernel); ok {
+		cache = newGramCache(x)
 	}
 
 	var best *GP
 	bestLML := math.Inf(-1)
 	for _, st := range starts {
-		g, lml := adamFit(kern, x, y, st.theta, st.noise, lo, hi, o)
+		g, lml := adamFit(kern, x, y, st.theta, st.noise, lo, hi, o, cache)
 		if g != nil && lml > bestLML {
 			best, bestLML = g, lml
 		}
@@ -83,7 +100,7 @@ func FitHyper(kern Kernel, x [][]float64, y []float64, rng *rand.Rand, opts *Fit
 // adamFit runs projected Adam ascent on the LML from one start. It returns
 // the best GP visited and its LML (nil, -Inf if every fit failed).
 func adamFit(kern Kernel, x [][]float64, y []float64, theta0 []float64, noise0 float64,
-	lo, hi []float64, o FitOptions) (*GP, float64) {
+	lo, hi []float64, o FitOptions, cache *gramCache) (*GP, float64) {
 
 	nh := len(theta0)
 	p := make([]float64, nh+1) // parameters: kernel hypers + log noise
@@ -104,7 +121,7 @@ func adamFit(kern Kernel, x [][]float64, y []float64, theta0 []float64, noise0 f
 	var best *GP
 	bestLML := math.Inf(-1)
 	for iter := 1; iter <= o.Iters; iter++ {
-		g, err := Fit(kern, x, y, p[:nh], p[nh])
+		g, err := fitCached(kern, x, y, p[:nh], p[nh], cache)
 		if err != nil {
 			break
 		}
@@ -112,7 +129,10 @@ func adamFit(kern Kernel, x [][]float64, y []float64, theta0 []float64, noise0 f
 		if lml > bestLML {
 			best, bestLML = g, lml
 		}
-		grad := g.LMLGradient()
+		if iter == o.Iters {
+			break // the step below would only produce a never-fitted point
+		}
+		grad := g.lmlGradient(cache)
 		// Adam ascent step.
 		b1t := 1 - math.Pow(beta1, float64(iter))
 		b2t := 1 - math.Pow(beta2, float64(iter))

@@ -1,0 +1,262 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkPosteriorEqual asserts that two GPs over the same data agree on mean,
+// deviation and LML to within tol at random query points.
+func checkPosteriorEqual(t *testing.T, rng *rand.Rand, a, b *GP, d int, tol float64, label string) {
+	t.Helper()
+	if la, lb := a.LogMarginalLikelihood(), b.LogMarginalLikelihood(); math.Abs(la-lb) > tol*(1+math.Abs(la)) {
+		t.Fatalf("%s: LML %v vs %v", label, la, lb)
+	}
+	for q := 0; q < 25; q++ {
+		xq := make([]float64, d)
+		for j := range xq {
+			xq[j] = rng.Float64()
+		}
+		mu1, s1 := a.Predict(xq)
+		mu2, s2 := b.Predict(xq)
+		if math.Abs(mu1-mu2) > tol*(1+math.Abs(mu1)) {
+			t.Fatalf("%s: mean %v vs %v at %v", label, mu1, mu2, xq)
+		}
+		if math.Abs(s1-s2) > tol*(1+s1) {
+			t.Fatalf("%s: sigma %v vs %v at %v", label, s1, s2, xq)
+		}
+	}
+}
+
+// TestExtendMatchesBatchFit is the incremental-vs-batch equivalence
+// guarantee: growing a GP one (or several) observations at a time through
+// the rank-append factor update must reproduce a from-scratch Fit on the
+// full data within 1e-9, across random problems and both kernels.
+func TestExtendMatchesBatchFit(t *testing.T) {
+	for _, kern := range []Kernel{SEARD{}, Matern52{}} {
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(100 + seed))
+			d := 1 + rng.Intn(6)
+			n := 8 + rng.Intn(20)
+			k := 1 + rng.Intn(6)
+			x, y := trainData(rng, n+k, d, func(v []float64) float64 {
+				return math.Sin(3*v[0]) + rng.NormFloat64()*0.05
+			})
+			theta := kern.DefaultTheta(d)
+			for i := range theta {
+				theta[i] += 0.3 * rng.NormFloat64()
+			}
+			logNoise := math.Log(1e-3 + rng.Float64()*1e-1)
+
+			base, err := Fit(kern, x[:n], y[:n], theta, logNoise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inc, err := base.Extend(x[n:], y[n:])
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch, err := Fit(kern, x, y, theta, logNoise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPosteriorEqual(t, rng, inc, batch, d, 1e-9, kern.Name())
+
+			// One-at-a-time extension must agree too.
+			g := base
+			for i := n; i < n+k; i++ {
+				g, err = g.Extend(x[i:i+1], y[i:i+1])
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			checkPosteriorEqual(t, rng, g, batch, d, 1e-9, kern.Name()+"/one-at-a-time")
+
+			// The base GP must remain untouched by the extensions.
+			if base.N() != n {
+				t.Fatalf("%s: Extend mutated the receiver: N=%d", kern.Name(), base.N())
+			}
+		}
+	}
+}
+
+// TestExtendMatchesBatchFitNearSingular covers the jittered path: duplicated
+// inputs with essentially-zero noise force the adaptive jitter ladder, and
+// the appended factor must still match the from-scratch factorization.
+func TestExtendMatchesBatchFitNearSingular(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	d := 3
+	n := 10
+	x, y := trainData(rng, n, d, func(v []float64) float64 { return v[0] + v[1] })
+	// Duplicate several points exactly: K becomes numerically singular at
+	// tiny noise, so the base factorization needs jitter.
+	x[4] = append([]float64(nil), x[1]...)
+	y[4] = y[1]
+	x[7] = append([]float64(nil), x[2]...)
+	y[7] = y[2]
+	theta := SEARD{}.DefaultTheta(d)
+	logNoise := math.Log(1e-9)
+
+	base, err := Fit(SEARD{}, x, y, theta, logNoise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.chol.Jitter <= 0 {
+		t.Fatal("test setup: expected the base fit to require jitter")
+	}
+	// Extend with another exact duplicate plus a fresh point.
+	xNew := [][]float64{append([]float64(nil), x[0]...), {0.42, 0.13, 0.77}}
+	yNew := []float64{y[0], 0.55}
+	inc, err := base.Extend(xNew, yNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa := append(append([][]float64{}, x...), xNew...)
+	ya := append(append([]float64{}, y...), yNew...)
+	batch, err := Fit(SEARD{}, xa, ya, theta, logNoise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPosteriorEqual(t, rng, inc, batch, d, 1e-9, "near-singular")
+}
+
+// TestWithPseudoMatchesBatchFit pins the hallucination path (the Suggest hot
+// path) to the from-scratch behaviour it replaced.
+func TestWithPseudoMatchesBatchFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	d := 4
+	x, y := trainData(rng, 30, d, func(v []float64) float64 { return v[0]*v[1] - v[2] })
+	g, err := Fit(SEARD{}, x, y, SEARD{}.DefaultTheta(d), math.Log(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, _ := trainData(rng, 5, d, func(v []float64) float64 { return 0 })
+	mus := make([]float64, len(busy))
+	for i, b := range busy {
+		mus[i], _ = g.Predict(b)
+	}
+	inc, err := g.WithPseudo(busy, mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa := append(append([][]float64{}, x...), busy...)
+	ya := append(append([]float64{}, y...), mus...)
+	batch, err := Fit(SEARD{}, xa, ya, SEARD{}.DefaultTheta(d), math.Log(1e-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPosteriorEqual(t, rng, inc, batch, d, 1e-9, "with-pseudo")
+}
+
+// TestModelExtendMatchesPredictions checks the raw-unit wrapper: extending a
+// model keeps hyperparameters and standardization frozen, so predictions
+// must match a gp-level batch fit mapped through the same constants.
+func TestModelExtendMatchesPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(400))
+	lo := []float64{-5, 0}
+	hi := []float64{5, 10}
+	n, k := 20, 4
+	x := make([][]float64, n+k)
+	y := make([]float64, n+k)
+	for i := range x {
+		x[i] = []float64{lo[0] + rng.Float64()*10, hi[1] * rng.Float64()}
+		y[i] = 100 + x[i][0]*x[i][1]
+	}
+	m, err := Train(x[:n], y[:n], lo, hi, rng, &TrainOptions{Fit: &FitOptions{Iters: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := m.Extend(x[n:], y[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != n || ext.N() != n+k {
+		t.Fatalf("sizes: base %d ext %d", m.N(), ext.N())
+	}
+	// Same data refit with the frozen hyperparameters and the SAME
+	// standardization constants: Train would re-standardize, so compare
+	// against a manual gp.Fit through the model's own scaling.
+	batchGP, err := Fit(m.Kern, ext.gp.X, ext.gp.Y, m.Theta(), m.LogNoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 20; q++ {
+		xq := []float64{lo[0] + rng.Float64()*10, hi[1] * rng.Float64()}
+		mu1, s1 := ext.Predict(xq)
+		mu2, s2 := batchGP.Predict(ext.scaledQuery(xq))
+		mu2 = mu2*ext.ystd + ext.ymean
+		s2 *= ext.ystd
+		if math.Abs(mu1-mu2) > 1e-9*(1+math.Abs(mu1)) || math.Abs(s1-s2) > 1e-9*(1+s1) {
+			t.Fatalf("model extend mismatch: (%v,%v) vs (%v,%v)", mu1, s1, mu2, s2)
+		}
+	}
+	// NaN observations must be rejected.
+	if _, err := m.Extend([][]float64{{0, 0}}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN observation must be rejected")
+	}
+}
+
+// scaledQuery exposes input scaling for the white-box equivalence test.
+func (m *Model) scaledQuery(x []float64) []float64 { return m.scale(x) }
+
+// TestPredictWithMatchesPredict pins the scratch-based prediction variants
+// and the Predictor wrapper to the allocating originals.
+func TestPredictWithMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	for _, kern := range []Kernel{SEARD{}, Matern52{}} {
+		d := 5
+		x, y := trainData(rng, 25, d, func(v []float64) float64 { return v[0] - v[3] })
+		g, err := Fit(kern, x, y, kern.DefaultTheta(d), math.Log(1e-2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := g.NewPredictBuf()
+		for q := 0; q < 20; q++ {
+			xq := make([]float64, d)
+			for j := range xq {
+				xq[j] = rng.Float64()
+			}
+			mu1, s1 := g.Predict(xq)
+			mu2, s2 := g.PredictWith(buf, xq)
+			if mu1 != mu2 || s1 != s2 {
+				t.Fatalf("%s: PredictWith differs: (%v,%v) vs (%v,%v)", kern.Name(), mu1, s1, mu2, s2)
+			}
+			if mu3 := g.PredictMean(xq); math.Abs(mu3-mu1) > 1e-12*(1+math.Abs(mu1)) {
+				t.Fatalf("%s: PredictMean differs: %v vs %v", kern.Name(), mu3, mu1)
+			}
+		}
+	}
+
+	// Model-level predictors, raw and standardized views.
+	lo := []float64{0, 0, 0}
+	hi := []float64{1, 2, 3}
+	x := make([][]float64, 15)
+	y := make([]float64, 15)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), 2 * rng.Float64(), 3 * rng.Float64()}
+		y[i] = 10 + x[i][0] + x[i][1]*x[i][2]
+	}
+	m, err := Train(x, y, lo, hi, rng, &TrainOptions{Fit: &FitOptions{Iters: 15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := m.Predictor()
+	ps := m.StandardizedPredictor()
+	for q := 0; q < 20; q++ {
+		xq := []float64{rng.Float64(), 2 * rng.Float64(), 3 * rng.Float64()}
+		mu1, s1 := m.Predict(xq)
+		mu2, s2 := pr.Predict(xq)
+		if mu1 != mu2 || s1 != s2 {
+			t.Fatalf("Predictor differs: (%v,%v) vs (%v,%v)", mu1, s1, mu2, s2)
+		}
+		if pm := pr.PredictMean(xq); math.Abs(pm-m.PredictMean(xq)) > 1e-12*(1+math.Abs(pm)) {
+			t.Fatalf("Predictor mean differs")
+		}
+		mu3, s3 := m.Standardized().Predict(xq)
+		mu4, s4 := ps.Predict(xq)
+		if mu3 != mu4 || s3 != s4 {
+			t.Fatalf("StandardizedPredictor differs: (%v,%v) vs (%v,%v)", mu3, s3, mu4, s4)
+		}
+	}
+}

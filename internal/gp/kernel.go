@@ -159,6 +159,90 @@ func (Matern52) AccumGrad(theta, a, b []float64, w float64, grad []float64) {
 	grad[d] += w * 2 * k
 }
 
+// distState caches the theta-derived quantities every pairwise evaluation of
+// a stationary ARD kernel needs: the inverse squared lengthscales and the
+// signal variance. Preparing it once per covariance build (instead of
+// exponentiating d+1 hyperparameters per matrix entry) is what makes the
+// cached Gram path cheap.
+type distState struct {
+	invl2 []float64 // exp(−2·log lᵢ)
+	sf2   float64   // exp(2·log σf)
+}
+
+func prepDist(theta []float64, d int) distState {
+	invl2 := make([]float64, d)
+	for i := 0; i < d; i++ {
+		invl2[i] = math.Exp(-2 * theta[i])
+	}
+	return distState{invl2: invl2, sf2: math.Exp(2 * theta[d])}
+}
+
+// scaledSq returns Σᵢ (aᵢ−bᵢ)²/lᵢ² from raw coordinates.
+func (st *distState) scaledSq(a, b []float64) float64 {
+	var s float64
+	for i, ai := range a {
+		r := ai - b[i]
+		s += r * r * st.invl2[i]
+	}
+	return s
+}
+
+// scaledSqFromDiff returns the same from precomputed per-dimension squared
+// coordinate differences (a gramCache row), with the identical summation
+// order so both paths are bitwise interchangeable.
+func (st *distState) scaledSqFromDiff(diff2 []float64) float64 {
+	var s float64
+	for i, d2 := range diff2 {
+		s += d2 * st.invl2[i]
+	}
+	return s
+}
+
+// distKernel is implemented by stationary ARD kernels that can evaluate
+// covariances and hyperparameter gradients from a prepared distState —
+// either from raw coordinates or from cached per-dimension squared
+// differences. Both built-in kernels implement it; kernels that do not fall
+// back to the generic Eval/AccumGrad path.
+type distKernel interface {
+	// evalScaled returns k given the scaled squared distance s = Σ rᵢ².
+	evalScaled(st *distState, s float64) float64
+	// accumGradDiff adds w·∂k/∂θ to grad from per-dimension squared
+	// differences (lengthscale gradients need the per-dimension split).
+	accumGradDiff(st *distState, diff2 []float64, w float64, grad []float64)
+}
+
+func (SEARD) evalScaled(st *distState, s float64) float64 {
+	return st.sf2 * math.Exp(-0.5*s)
+}
+
+func (SEARD) accumGradDiff(st *distState, diff2 []float64, w float64, grad []float64) {
+	s := st.scaledSqFromDiff(diff2)
+	k := st.sf2 * math.Exp(-0.5*s)
+	wk := w * k
+	for i, d2 := range diff2 {
+		grad[i] += wk * d2 * st.invl2[i]
+	}
+	grad[len(diff2)] += 2 * wk
+}
+
+func (Matern52) evalScaled(st *distState, s float64) float64 {
+	sr5 := math.Sqrt(5) * math.Sqrt(s)
+	return st.sf2 * (1 + sr5 + 5*s/3) * math.Exp(-sr5)
+}
+
+func (Matern52) accumGradDiff(st *distState, diff2 []float64, w float64, grad []float64) {
+	s := st.scaledSqFromDiff(diff2)
+	r := math.Sqrt(s)
+	sr5 := math.Sqrt(5) * r
+	e := math.Exp(-sr5)
+	k := st.sf2 * (1 + sr5 + 5*s/3) * e
+	dk := (5.0 / 3.0) * st.sf2 * e * (1 + sr5) / 2
+	for i, d2 := range diff2 {
+		grad[i] += w * 2 * dk * d2 * st.invl2[i]
+	}
+	grad[len(diff2)] += w * 2 * k
+}
+
 // validateTheta panics when the hyperparameter slice has the wrong length —
 // always a programming error.
 func validateTheta(k Kernel, theta []float64, d int) {

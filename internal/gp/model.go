@@ -149,12 +149,98 @@ func (m *Model) LogMarginalLikelihood() float64 { return m.gp.LogMarginalLikelih
 // N returns the training-set size.
 func (m *Model) N() int { return m.gp.N() }
 
+// Extend returns a new model whose training set is augmented with the given
+// raw observations at unchanged hyperparameters and output standardization,
+// using the incremental rank-append factor update: O(k·n²) for k new points
+// instead of a full O(n³) refit. The receiver remains valid. Output
+// standardization constants are frozen at the last full Train — the cadenced
+// hyperparameter refit re-derives them.
+func (m *Model) Extend(x [][]float64, y []float64) (*Model, error) {
+	if len(x) == 0 {
+		return m, nil
+	}
+	if len(y) != len(x) {
+		return nil, fmt.Errorf("gp: %d new inputs but %d new observations", len(x), len(y))
+	}
+	xs := make([][]float64, len(x))
+	ys := make([]float64, len(y))
+	for i, xi := range x {
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("gp: observation %d is non-finite (%v) — objectives must return finite values", i, y[i])
+		}
+		xs[i] = m.scale(xi)
+		ys[i] = (y[i] - m.ymean) / m.ystd
+	}
+	g, err := m.gp.Extend(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	out := *m
+	out.gp = g
+	return &out, nil
+}
+
+// Predictor is a reusable prediction context over a model: it owns the
+// kernel-vector and input-scaling scratch, so repeated predictions (the
+// acquisition maximizer evaluates hundreds per proposal) allocate nothing.
+// A Predictor is for use by a single goroutine; create one per worker.
+type Predictor struct {
+	m            *Model
+	standardized bool
+	buf          PredictBuf
+	xs           []float64
+}
+
+// Predictor returns a raw-unit prediction context.
+func (m *Model) Predictor() *Predictor {
+	return &Predictor{m: m, xs: make([]float64, len(m.Lo))}
+}
+
+// StandardizedPredictor returns a prediction context in standardized output
+// units (the view acquisition functions must consume).
+func (m *Model) StandardizedPredictor() *Predictor {
+	return &Predictor{m: m, standardized: true, xs: make([]float64, len(m.Lo))}
+}
+
+// scaleInto maps a raw point into the unit cube using the predictor's buffer.
+func (p *Predictor) scaleInto(x []float64) []float64 {
+	m := p.m
+	for i := range x {
+		span := m.Hi[i] - m.Lo[i]
+		if span <= 0 {
+			span = 1
+		}
+		p.xs[i] = (x[i] - m.Lo[i]) / span
+	}
+	return p.xs
+}
+
+// Predict returns the posterior mean and deviation at the raw point x,
+// in raw or standardized output units per the predictor's view.
+func (p *Predictor) Predict(x []float64) (mu, sigma float64) {
+	mu, sigma = p.m.gp.PredictWith(&p.buf, p.scaleInto(x))
+	if p.standardized {
+		return mu, sigma
+	}
+	return mu*p.m.ystd + p.m.ymean, sigma * p.m.ystd
+}
+
+// PredictMean returns only the posterior mean at the raw point x.
+func (p *Predictor) PredictMean(x []float64) float64 {
+	mu := p.m.gp.PredictMean(p.scaleInto(x))
+	if p.standardized {
+		return mu
+	}
+	return mu*p.m.ystd + p.m.ymean
+}
+
 // WithPseudo returns a hallucinated variant of the model: the busy points xp
 // (raw units) are added as pseudo-observations whose targets are the current
 // predictive means, exactly as in paper §III-C. Hyperparameters are shared
 // with the base model; only the covariance factorization changes, so the
 // predictive mean is unchanged and the predictive deviation shrinks around
-// the busy points.
+// the busy points. The factor is extended incrementally (rank-append), so
+// hallucinating b busy points costs O(b·n²), not a refit.
 func (m *Model) WithPseudo(xp [][]float64) (*Model, error) {
 	if len(xp) == 0 {
 		return m, nil

@@ -73,50 +73,136 @@ func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
 	return L, true
 }
 
+// Append returns a new factorization extended by k rows in O(k·n²) instead
+// of the O(n³) a full refactorization would cost. rows[i] holds the
+// covariances of appended point i with the n existing points followed by the
+// already-appended points 0..i-1 (length n+i); diag[i] is its own variance
+// (diagonal entry, jitter excluded — the factor's existing Jitter is applied
+// so the result matches what NewCholesky would produce on the full matrix
+// at the same jitter level).
+//
+// The receiver is not modified. If the extended matrix is not positive
+// definite at the current jitter, ErrNotPositiveDefinite is returned and the
+// caller should fall back to a full refactorization.
+func (c *Cholesky) Append(rows [][]float64, diag []float64) (*Cholesky, error) {
+	k := len(rows)
+	if k == 0 {
+		return c, nil
+	}
+	if len(diag) != k {
+		return nil, ErrDimension
+	}
+	for i, r := range rows {
+		if len(r) != c.N+i {
+			return nil, ErrDimension
+		}
+	}
+	n := c.N
+	nk := n + k
+	L := NewMatrix(nk, nk)
+	for i := 0; i < n; i++ {
+		copy(L.Row(i)[:n], c.L.Row(i))
+	}
+	// Each appended row is one more step of the standard Cholesky recurrence,
+	// with the same operation order as tryCholesky so an Append-built factor
+	// is bitwise identical to a from-scratch one at the same jitter.
+	for i := 0; i < k; i++ {
+		m := n + i
+		row := rows[i]
+		lm := L.Row(m)
+		for j := 0; j < m; j++ {
+			s := row[j]
+			lj := L.Row(j)
+			for t := 0; t < j; t++ {
+				s -= lm[t] * lj[t]
+			}
+			lm[j] = s / lj[j]
+		}
+		d := diag[i] + c.Jitter
+		for t := 0; t < m; t++ {
+			d -= lm[t] * lm[t]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		lm[m] = math.Sqrt(d)
+	}
+	return &Cholesky{L: L, N: nk, Jitter: c.Jitter}, nil
+}
+
 // Solve returns x such that A·x = b, reusing the factorization.
 func (c *Cholesky) Solve(b []float64) []float64 {
-	y := c.SolveLower(b)
-	return c.solveUpperT(y)
+	x := make([]float64, c.N)
+	c.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A·x = b into dst without allocating. dst may alias b.
+func (c *Cholesky) SolveInto(dst, b []float64) {
+	c.SolveLowerInto(dst, b)
+	c.SolveUpperTInto(dst, dst)
 }
 
 // SolveLower returns y solving L·y = b (forward substitution).
 func (c *Cholesky) SolveLower(b []float64) []float64 {
-	if len(b) != c.N {
-		panic("linalg: Cholesky.SolveLower dimension mismatch")
-	}
 	y := make([]float64, c.N)
+	c.SolveLowerInto(y, b)
+	return y
+}
+
+// SolveLowerInto solves L·y = b into dst without allocating (forward
+// substitution over the contiguous rows of L). dst may alias b.
+func (c *Cholesky) SolveLowerInto(dst, b []float64) {
+	if len(b) != c.N || len(dst) != c.N {
+		panic("linalg: Cholesky.SolveLowerInto dimension mismatch")
+	}
 	for i := 0; i < c.N; i++ {
 		s := b[i]
 		row := c.L.Row(i)
 		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+			s -= row[k] * dst[k]
 		}
-		y[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
-	return y
 }
 
 // SolveUpperT returns x solving Lᵀ·x = y (back substitution). Because
 // A⁻¹ = L⁻ᵀL⁻¹, this is also the map z ↦ L⁻ᵀz used to draw samples with
 // covariance A⁻¹.
 func (c *Cholesky) SolveUpperT(y []float64) []float64 {
-	return c.solveUpperT(y)
-}
-
-// solveUpperT returns x solving Lᵀ·x = y (back substitution).
-func (c *Cholesky) solveUpperT(y []float64) []float64 {
 	x := make([]float64, c.N)
-	for i := c.N - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < c.N; k++ {
-			s -= c.L.At(k, i) * x[k]
-		}
-		x[i] = s / c.L.At(i, i)
-	}
+	c.SolveUpperTInto(x, y)
 	return x
 }
 
-// SolveMatrix solves A·X = B column by column, returning X.
+// SolveUpperTInto solves Lᵀ·x = y into dst without allocating. dst may
+// alias y. Instead of the textbook inner product over a column of L (a
+// strided, cache-hostile walk of the row-major factor), it sweeps rows of L:
+// as each x[i] is resolved, its contribution L[i][k]·x[i] is subtracted from
+// the still-pending entries k < i, so every memory access is contiguous.
+func (c *Cholesky) SolveUpperTInto(dst, y []float64) {
+	n := c.N
+	if len(y) != n || len(dst) != n {
+		panic("linalg: Cholesky.SolveUpperTInto dimension mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if &dst[0] != &y[0] {
+		copy(dst, y)
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := c.L.Row(i)
+		xi := dst[i] / row[i]
+		dst[i] = xi
+		for k := 0; k < i; k++ {
+			dst[k] -= row[k] * xi
+		}
+	}
+}
+
+// SolveMatrix solves A·X = B column by column, returning X. A single column
+// buffer is reused across columns; no per-column allocation.
 func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
 	if b.Rows != c.N {
 		panic("linalg: Cholesky.SolveMatrix dimension mismatch")
@@ -127,17 +213,66 @@ func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
 		for i := 0; i < b.Rows; i++ {
 			col[i] = b.At(i, j)
 		}
-		x := c.Solve(col)
+		c.SolveInto(col, col)
 		for i := 0; i < b.Rows; i++ {
-			out.Set(i, j, x[i])
+			out.Set(i, j, col[i])
 		}
 	}
 	return out
 }
 
-// Inverse returns A⁻¹. Prefer Solve when only products are needed.
+// Inverse returns A⁻¹ exploiting symmetry, LAPACK dpotri-style: first
+// G = L⁻¹ (lower triangular, built row by row with contiguous axpy updates),
+// then A⁻¹ = GᵀG accumulated rank-1 row by row into the upper triangle and
+// mirrored — ~n³/3 streaming work against the n³ of a column-by-column
+// solve. The result is exactly symmetric. Prefer Solve when only products
+// are needed.
 func (c *Cholesky) Inverse() *Matrix {
-	return c.SolveMatrix(Identity(c.N))
+	n := c.N
+	// G = L⁻¹: row i solves G[i][:] from the rows above it,
+	//   G[i][j] = (δ_ij − Σ_{k<i} L[i][k]·G[k][j]) / L[i][i].
+	g := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		lrow := c.L.Row(i)
+		grow := g.Row(i)
+		grow[i] = 1
+		for k := 0; k < i; k++ {
+			coef := lrow[k]
+			if coef == 0 {
+				continue
+			}
+			gk := g.Row(k)[: k+1 : k+1]
+			for j, gkj := range gk {
+				grow[j] -= coef * gkj
+			}
+		}
+		inv := 1 / lrow[i]
+		for j := 0; j <= i; j++ {
+			grow[j] *= inv
+		}
+	}
+	// A⁻¹ = GᵀG: accumulate each row of G as a rank-1 update of the upper
+	// triangle (row k only touches the leading (k+1)×(k+1) block).
+	out := NewMatrix(n, n)
+	for k := 0; k < n; k++ {
+		gk := g.Row(k)[: k+1 : k+1]
+		for i, gki := range gk {
+			if gki == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j := i; j <= k; j++ {
+				orow[j] += gki * gk[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		orow := out.Row(i)
+		for j := i + 1; j < n; j++ {
+			out.Set(j, i, orow[j])
+		}
+	}
+	return out
 }
 
 // LogDet returns log|A| = 2·Σ log L_ii.

@@ -125,3 +125,198 @@ func TestCholeskySolveMatrixAndInverse(t *testing.T) {
 		}
 	}
 }
+
+// leadingBlock returns the leading n×n principal submatrix of a (SPD
+// whenever a is SPD).
+func leadingBlock(a *Matrix, n int) *Matrix {
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.Row(i), a.Row(i)[:n])
+	}
+	return out
+}
+
+func TestCholeskyAppendMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, k := range []int{1, 2, 5} {
+		for n := 1; n <= 17; n += 4 {
+			big := randomSPD(rng, n+k)
+			a := leadingBlock(big, n)
+			base, err := NewCholesky(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := make([][]float64, k)
+			diag := make([]float64, k)
+			for i := 0; i < k; i++ {
+				rows[i] = append([]float64(nil), big.Row(n + i)[:n+i]...)
+				diag[i] = big.At(n+i, n+i)
+			}
+			got, err := base.Append(rows, diag)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			want, err := NewCholesky(big)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N != n+k || got.Jitter != want.Jitter {
+				t.Fatalf("n=%d k=%d: N=%d jitter %v vs %v", n, k, got.N, got.Jitter, want.Jitter)
+			}
+			for i := 0; i < n+k; i++ {
+				for j := 0; j <= i; j++ {
+					if !almostEq(got.L.At(i, j), want.L.At(i, j), 1e-12) {
+						t.Fatalf("n=%d k=%d: L(%d,%d) = %v want %v", n, k, i, j, got.L.At(i, j), want.L.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyAppendJittered(t *testing.T) {
+	// Base matrix is rank deficient: the factor carries a positive jitter.
+	// Appending must reproduce the from-scratch factorization of the larger
+	// matrix, which walks the identical jitter ladder.
+	a := NewMatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	base, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Jitter <= 0 {
+		t.Fatal("expected jittered base factor")
+	}
+	big := NewMatrixFromRows([][]float64{{1, 1, 0.5}, {1, 1, 0.5}, {0.5, 0.5, 1}})
+	got, err := base.Append([][]float64{{0.5, 0.5}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewCholesky(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jitter != want.Jitter {
+		t.Fatalf("jitter %v vs from-scratch %v", got.Jitter, want.Jitter)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j <= i; j++ {
+			if !almostEq(got.L.At(i, j), want.L.At(i, j), 1e-12) {
+				t.Fatalf("L(%d,%d) = %v want %v", i, j, got.L.At(i, j), want.L.At(i, j))
+			}
+		}
+	}
+	// The appended factor must reconstruct the jittered matrix.
+	llt := got.L.Mul(got.L.T())
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			wantV := big.At(i, j)
+			if i == j {
+				wantV += got.Jitter
+			}
+			if !almostEq(llt.At(i, j), wantV, 1e-10) {
+				t.Fatalf("LLᵀ(%d,%d) = %v want %v", i, j, llt.At(i, j), wantV)
+			}
+		}
+	}
+}
+
+func TestCholeskyAppendRejectsBadInput(t *testing.T) {
+	a := randomSPD(rand.New(rand.NewSource(21)), 4)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ch.Append(nil, nil); err != nil || got != ch {
+		t.Fatal("empty append should be a no-op")
+	}
+	if _, err := ch.Append([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Fatal("short row must be rejected")
+	}
+	if _, err := ch.Append([][]float64{{1, 2, 3, 4}}, nil); err == nil {
+		t.Fatal("diag length mismatch must be rejected")
+	}
+	// Appending a row that destroys positive definiteness must fail cleanly.
+	if _, err := ch.Append([][]float64{{1e9, 0, 0, 0}}, []float64{1e-12}); err == nil {
+		t.Fatal("indefinite extension must be rejected")
+	}
+}
+
+func TestCholeskySolveIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for n := 1; n <= 13; n += 3 {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := ch.Solve(b)
+		// In-place: dst aliases b.
+		got := append([]float64(nil), b...)
+		ch.SolveInto(got, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: aliased SolveInto differs at %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+		// Separate destination.
+		dst := make([]float64, n)
+		ch.SolveInto(dst, b)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: SolveInto differs at %d", n, i)
+			}
+		}
+		// SolveLowerInto / SolveUpperTInto round-trip against the factor.
+		y := make([]float64, n)
+		ch.SolveLowerInto(y, b)
+		ly := ch.L.MulVec(y)
+		for i := range b {
+			if !almostEq(ly[i], b[i], 1e-9) {
+				t.Fatalf("n=%d: L·y != b at %d", n, i)
+			}
+		}
+		x := make([]float64, n)
+		ch.SolveUpperTInto(x, y)
+		ltx := ch.L.T().MulVec(x)
+		for i := range y {
+			if !almostEq(ltx[i], y[i], 1e-9) {
+				t.Fatalf("n=%d: Lᵀ·x != y at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestCholeskyInverseSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for n := 1; n <= 17; n += 4 {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := ch.Inverse()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if inv.At(i, j) != inv.At(j, i) {
+					t.Fatalf("n=%d: inverse not exactly symmetric at (%d,%d)", n, i, j)
+				}
+			}
+		}
+		p := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(p.At(i, j), want, 1e-9) {
+					t.Fatalf("n=%d: A·A⁻¹ not identity at (%d,%d): %v", n, i, j, p.At(i, j))
+				}
+			}
+		}
+	}
+}

@@ -9,8 +9,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-
-	"easybo/internal/stats"
 )
 
 // Objective is a function to MAXIMIZE over a box.
@@ -147,48 +145,36 @@ type MaximizeOptions struct {
 	Candidates int // space-filling candidates (default 60·d, min 200)
 	Refine     int // top candidates refined with Nelder-Mead (default 3)
 	RefineEval int // simplex evaluation budget per refinement (default 40·d)
+	// Workers is the number of goroutines evaluating candidates and running
+	// simplex refinements concurrently (default GOMAXPROCS). The result is
+	// identical for every worker count: all randomness is drawn before the
+	// fan-out and the reduction is order-independent. Set 1 to force the
+	// serial path.
+	Workers int
+}
+
+func (o *MaximizeOptions) defaults(d int) {
+	if o.Candidates <= 0 {
+		o.Candidates = 60 * d
+		if o.Candidates < 200 {
+			o.Candidates = 200
+		}
+	}
+	if o.Refine <= 0 {
+		o.Refine = 3
+	}
+	if o.RefineEval <= 0 {
+		o.RefineEval = 40 * d
+	}
 }
 
 // Maximize performs multi-start global maximization of f over [lo, hi]:
 // a Latin-hypercube candidate sweep followed by simplex refinement of the
-// best candidates. Deterministic given rng.
+// best candidates. Deterministic given rng. It runs serially — f may be
+// stateful — and returns exactly what MaximizeParallel would for any worker
+// count; use MaximizeParallel with an ObjectiveFactory to opt into the
+// concurrent fan-out.
 func Maximize(f Objective, lo, hi []float64, rng *rand.Rand, opts MaximizeOptions) ([]float64, float64) {
-	d := len(lo)
-	if opts.Candidates <= 0 {
-		opts.Candidates = 60 * d
-		if opts.Candidates < 200 {
-			opts.Candidates = 200
-		}
-	}
-	if opts.Refine <= 0 {
-		opts.Refine = 3
-	}
-	if opts.RefineEval <= 0 {
-		opts.RefineEval = 40 * d
-	}
-
-	unit := stats.LatinHypercube(rng, opts.Candidates, d)
-	type cand struct {
-		x []float64
-		v float64
-	}
-	cands := make([]cand, len(unit))
-	for i, u := range unit {
-		x := make([]float64, d)
-		for j := range x {
-			x[j] = lo[j] + u[j]*(hi[j]-lo[j])
-		}
-		cands[i] = cand{x, f(x)}
-	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].v > cands[b].v })
-
-	bestX := cands[0].x
-	bestV := cands[0].v
-	for i := 0; i < opts.Refine && i < len(cands); i++ {
-		x, v := NelderMead(f, cands[i].x, lo, hi, NelderMeadOptions{MaxEvals: opts.RefineEval})
-		if v > bestV {
-			bestX, bestV = x, v
-		}
-	}
-	return append([]float64(nil), bestX...), bestV
+	opts.Workers = 1
+	return MaximizeParallel(func() Objective { return f }, lo, hi, rng, opts)
 }

@@ -162,3 +162,58 @@ func TestDERespectsBounds(t *testing.T) {
 		return x[0] + x[1]
 	}, lo, hi, rng, DEOptions{PopSize: 12, MaxEvals: 500}, nil)
 }
+
+// TestMaximizeParallelDeterministicAcrossWorkers pins the parallel
+// multistart's core guarantee: the result is bit-identical for every worker
+// count, because all randomness is drawn before the fan-out and the
+// reduction is order-independent.
+func TestMaximizeParallelDeterministicAcrossWorkers(t *testing.T) {
+	f := func(x []float64) float64 {
+		s := 0.0
+		for i := range x {
+			d := x[i] - 0.3*float64(i+1)
+			s -= d * d
+		}
+		return s + 0.05*math.Sin(40*x[0])
+	}
+	lo := []float64{-1, -1, -1}
+	hi := []float64{2, 2, 2}
+	var refX []float64
+	refV := 0.0
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		rng := rand.New(rand.NewSource(42))
+		x, v := MaximizeParallel(func() Objective { return f }, lo, hi, rng,
+			MaximizeOptions{Candidates: 120, Refine: 4, Workers: workers})
+		if refX == nil {
+			refX, refV = x, v
+			continue
+		}
+		if v != refV {
+			t.Fatalf("workers=%d: value %v != reference %v", workers, v, refV)
+		}
+		for i := range x {
+			if x[i] != refX[i] {
+				t.Fatalf("workers=%d: x[%d] = %v != reference %v", workers, i, x[i], refX[i])
+			}
+		}
+	}
+	if refV < -0.2 {
+		t.Fatalf("optimum quality too poor: %v", refV)
+	}
+}
+
+// TestMaximizeMatchesParallelSerial pins the Maximize wrapper to the
+// factory-based entry point.
+func TestMaximizeMatchesParallelSerial(t *testing.T) {
+	f := func(x []float64) float64 { return -(x[0]-0.5)*(x[0]-0.5) - x[1]*x[1] }
+	lo := []float64{-1, -1}
+	hi := []float64{1, 1}
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	x1, v1 := Maximize(f, lo, hi, r1, MaximizeOptions{Candidates: 80, Workers: 1})
+	x2, v2 := MaximizeParallel(func() Objective { return f }, lo, hi, r2,
+		MaximizeOptions{Candidates: 80, Workers: 4})
+	if v1 != v2 || x1[0] != x2[0] || x1[1] != x2[1] {
+		t.Fatalf("serial (%v,%v) vs parallel (%v,%v)", x1, v1, x2, v2)
+	}
+}

@@ -1,0 +1,127 @@
+package optimize
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"easybo/internal/stats"
+)
+
+// ObjectiveFactory builds an Objective for exclusive use by one worker
+// goroutine. Factories let objectives carry per-worker scratch (e.g. a
+// gp.Predictor) so the hot loop allocates nothing while staying safe under
+// concurrency.
+type ObjectiveFactory func() Objective
+
+// MaximizeParallel is the multi-start global maximizer with the candidate
+// sweep and the simplex refinements fanned out across Workers goroutines:
+// a Latin-hypercube candidate sweep, then Nelder-Mead refinement of the best
+// candidates, reduced to the single best point found.
+//
+// Determinism: every random draw happens up front on the caller's rng
+// (candidate locations), candidate values are written by index, the top
+// candidates are ranked with an explicit index tie-break, and the final
+// reduction prefers the lower-ranked start on equal values — so the result
+// is bit-identical for any worker count, including 1.
+func MaximizeParallel(newF ObjectiveFactory, lo, hi []float64, rng *rand.Rand, opts MaximizeOptions) ([]float64, float64) {
+	d := len(lo)
+	opts.defaults(d)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opts.Candidates {
+		workers = opts.Candidates
+	}
+
+	unit := stats.LatinHypercube(rng, opts.Candidates, d)
+	pts := make([][]float64, len(unit))
+	for i, u := range unit {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = lo[j] + u[j]*(hi[j]-lo[j])
+		}
+		pts[i] = x
+	}
+
+	vals := make([]float64, len(pts))
+	if workers == 1 {
+		f := newF()
+		for i, x := range pts {
+			vals[i] = f(x)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				f := newF()
+				for i := w; i < len(pts); i += workers {
+					vals[i] = f(pts[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if vals[ia] != vals[ib] {
+			return vals[ia] > vals[ib]
+		}
+		return ia < ib
+	})
+
+	nref := opts.Refine
+	if nref > len(order) {
+		nref = len(order)
+	}
+	type refined struct {
+		x []float64
+		v float64
+	}
+	res := make([]refined, nref)
+	refine := func(r int, f Objective) {
+		x, v := NelderMead(f, pts[order[r]], lo, hi, NelderMeadOptions{MaxEvals: opts.RefineEval})
+		res[r] = refined{x, v}
+	}
+	if workers == 1 || nref <= 1 {
+		f := newF()
+		for r := 0; r < nref; r++ {
+			refine(r, f)
+		}
+	} else {
+		var wg sync.WaitGroup
+		rw := workers
+		if rw > nref {
+			rw = nref
+		}
+		for w := 0; w < rw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				f := newF()
+				for r := w; r < nref; r += rw {
+					refine(r, f)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	bestX := pts[order[0]]
+	bestV := vals[order[0]]
+	for r := 0; r < nref; r++ {
+		if res[r].v > bestV {
+			bestX, bestV = res[r].x, res[r].v
+		}
+	}
+	return append([]float64(nil), bestX...), bestV
+}

@@ -8,6 +8,7 @@ import (
 
 	"easybo/internal/core"
 	"easybo/internal/gp"
+	"easybo/internal/objective"
 	"easybo/internal/stats"
 )
 
@@ -19,7 +20,7 @@ import (
 //
 // A Loop is not safe for concurrent use; serialize Suggest/Observe calls.
 type Loop struct {
-	prob     Problem
+	ip       *objective.Problem // validated internal problem (bounds, cost)
 	opts     Options
 	rng      *rand.Rand
 	proposer *core.Proposer
@@ -31,10 +32,11 @@ type Loop struct {
 	bestX       []float64
 	bestY       float64
 
-	model     *gp.Model
-	lastFitN  int
-	lastTheta []float64
-	lastNoise float64
+	model      *gp.Model
+	lastFitN   int // dataset size the surrogate currently reflects
+	lastHyperN int // dataset size at the last hyperparameter optimization
+	lastTheta  []float64
+	lastNoise  float64
 }
 
 // NewLoop validates the problem and prepares the initial design.
@@ -62,22 +64,21 @@ func NewLoop(p Problem, opts Options) (*Loop, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	l := &Loop{
-		prob: p, opts: opts, rng: rng,
+		ip: ip, opts: opts, rng: rng,
 		proposer: &core.Proposer{
 			Lambda:   opts.Lambda,
 			Penalize: opts.Algorithm != EasyBOA,
 		},
 		bestY: math.Inf(-1),
 	}
-	d := len(p.Lo)
+	d := ip.Dim()
 	for _, u := range stats.LatinHypercube(rng, opts.InitPoints, d) {
 		x := make([]float64, d)
 		for j := range x {
-			x[j] = p.Lo[j] + u[j]*(p.Hi[j]-p.Lo[j])
+			x[j] = ip.Lo[j] + u[j]*(ip.Hi[j]-ip.Lo[j])
 		}
 		l.pendingInit = append(l.pendingInit, x)
 	}
-	_ = ip
 	return l, nil
 }
 
@@ -94,10 +95,10 @@ func (l *Loop) Suggest() ([]float64, error) {
 	if len(l.obsY) < 2 {
 		// Not enough observations for a surrogate yet (caller suggested more
 		// than it observed): fall back to random points.
-		d := len(l.prob.Lo)
+		d := len(l.ip.Lo)
 		x := make([]float64, d)
 		for j := range x {
-			x[j] = l.prob.Lo[j] + l.rng.Float64()*(l.prob.Hi[j]-l.prob.Lo[j])
+			x[j] = l.ip.Lo[j] + l.rng.Float64()*(l.ip.Hi[j]-l.ip.Lo[j])
 		}
 		l.busy = append(l.busy, x)
 		return append([]float64(nil), x...), nil
@@ -105,7 +106,7 @@ func (l *Loop) Suggest() ([]float64, error) {
 	if err := l.refreshModel(); err != nil {
 		return nil, err
 	}
-	x, _, err := l.proposer.Propose(l.model, l.busy, l.prob.Lo, l.prob.Hi, l.rng)
+	x, _, err := l.proposer.Propose(l.model, l.busy, l.ip.Lo, l.ip.Hi, l.rng)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +118,7 @@ func (l *Loop) Suggest() ([]float64, error) {
 // busy set (exact coordinates) and removed from it; observing a point that
 // was never suggested is allowed and simply enriches the surrogate.
 func (l *Loop) Observe(x []float64, y float64) error {
-	if len(x) != len(l.prob.Lo) {
+	if len(x) != len(l.ip.Lo) {
 		return errors.New("easybo: observation dimension mismatch")
 	}
 	if math.IsNaN(y) {
@@ -148,27 +149,37 @@ func (l *Loop) Observations() int { return len(l.obsY) }
 // Pending returns the number of suggested-but-unobserved points.
 func (l *Loop) Pending() int { return len(l.busy) }
 
+// refreshModel keeps the surrogate in sync with the observations. On the
+// hyperparameter cadence (every RefitEvery observations) it pays for a full
+// marginal-likelihood fit; in between, new observations are absorbed by the
+// incremental rank-append update — O(k·n²) per refresh with no covariance
+// rebuild or refactorization on the Suggest hot path.
 func (l *Loop) refreshModel() error {
 	n := len(l.obsY)
 	if l.model != nil && n == l.lastFitN {
 		return nil
 	}
-	var opts gp.TrainOptions
-	if l.lastTheta == nil || n-l.lastFitN >= l.opts.RefitEvery || l.model == nil {
-		fo := &gp.FitOptions{Iters: l.opts.FitIters, Restarts: 1}
-		if l.lastTheta != nil {
-			fo.InitTheta = l.lastTheta
-			fo.InitNoise = l.lastNoise
-			fo.Iters = l.opts.FitIters / 2
-			if fo.Iters < 10 {
-				fo.Iters = 10
-			}
+	if l.model != nil && l.lastTheta != nil && n-l.lastHyperN < l.opts.RefitEvery {
+		m, err := l.model.Extend(l.obsX[l.lastFitN:n], l.obsY[l.lastFitN:n])
+		if err == nil {
+			l.model = m
+			l.lastFitN = n
+			return nil
 		}
-		opts = gp.TrainOptions{Fit: fo}
-	} else {
-		opts = gp.TrainOptions{FixedTheta: l.lastTheta, FixedNoise: l.lastNoise}
+		// Numerically unusable extension (e.g. duplicate points at tiny
+		// noise): fall through to a full warm-started refit.
 	}
-	m, err := gp.Train(l.obsX, l.obsY, l.prob.Lo, l.prob.Hi, l.rng, &opts)
+	fo := &gp.FitOptions{Iters: l.opts.FitIters, Restarts: 1}
+	if l.lastTheta != nil {
+		fo.InitTheta = l.lastTheta
+		fo.InitNoise = l.lastNoise
+		fo.WarmOnly = true
+		fo.Iters = l.opts.FitIters / 2
+		if fo.Iters < 10 {
+			fo.Iters = 10
+		}
+	}
+	m, err := gp.Train(l.obsX, l.obsY, l.ip.Lo, l.ip.Hi, l.rng, &gp.TrainOptions{Fit: fo})
 	if err != nil {
 		return err
 	}
@@ -176,6 +187,7 @@ func (l *Loop) refreshModel() error {
 	l.lastTheta = m.Theta()
 	l.lastNoise = m.LogNoise()
 	l.lastFitN = n
+	l.lastHyperN = n
 	return nil
 }
 
