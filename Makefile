@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet fmt build test bench-smoke bench
+.PHONY: check vet fmt build test race bench-smoke bench
 
-check: vet fmt build test bench-smoke
+check: vet fmt build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +18,11 @@ build:
 
 test: build
 	$(GO) test ./...
+
+# The async evaluation stack (executor slot pool, failure paths, AsyncLoop)
+# must stay race-free: these packages spawn real goroutines.
+race:
+	$(GO) test -race ./internal/sched/... ./internal/core/...
 
 # Smoke-run the incremental-engine benchmarks so a regression on the hot
 # path (or a compile error in bench_test.go) fails CI loudly.

@@ -6,13 +6,22 @@
 //	easybo -problem opamp -algo easybo -workers 10 -evals 150 -seed 1
 //	easybo -problem classe -algo pbo -workers 5 -evals 450
 //	easybo -problem branin -algo ei -evals 60 -trace
+//
+// With -parallel the run executes on real goroutines (wall-clock time)
+// through the fault-tolerant executor; -faults injects simulator crashes and
+// NaN results to exercise it:
+//
+//	easybo -problem branin -parallel -workers 8 -evals 80 -faults 0.2 -onfail retry -retries 2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"strings"
+	"sync"
 
 	"easybo"
 	"easybo/circuits"
@@ -28,6 +37,13 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		trace   = flag.Bool("trace", false, "print every evaluation")
 		dim     = flag.Int("dim", 6, "dimension for ackley/rosenbrock")
+
+		parallel = flag.Bool("parallel", false, "evaluate on real goroutines (wall-clock) instead of virtual time")
+		onfail   = flag.String("onfail", "abort", "failed-evaluation policy: abort | skip | retry")
+		retries  = flag.Int("retries", 0, "extra attempts per failed evaluation before the policy applies")
+		timeout  = flag.Duration("timeout", 0, "per-evaluation timeout for -parallel (0 = none)")
+		maxfail  = flag.Int("maxfail", 0, "abort after this many failures (0 = policy default)")
+		faults   = flag.Float64("faults", 0, "inject faults: fraction of evaluations that crash or return NaN (demo)")
 	)
 	flag.Parse()
 
@@ -49,6 +65,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
 		os.Exit(2)
 	}
+	if *faults > 0 {
+		// The virtual engine's only failure mode is NaN; panics are a real
+		// goroutine-pool concern, so they are injected only under -parallel.
+		p.Objective = injectFaults(p.Objective, *faults, *parallel)
+	}
+
+	var policy easybo.FailurePolicy
+	switch strings.ToLower(*onfail) {
+	case "abort":
+		policy = easybo.AbortOnFailure
+	case "skip":
+		policy = easybo.SkipFailures
+	case "retry":
+		policy = easybo.RetryFailures
+	default:
+		fmt.Fprintf(os.Stderr, "unknown failure policy %q\n", *onfail)
+		os.Exit(2)
+	}
 
 	opts := easybo.Options{
 		Algorithm:  easybo.Algorithm(*algo),
@@ -56,8 +90,22 @@ func main() {
 		MaxEvals:   *evals,
 		InitPoints: *initN,
 		Seed:       *seed,
+		Async: easybo.AsyncOptions{
+			Policy:      policy,
+			Retries:     *retries,
+			EvalTimeout: *timeout,
+			MaxFailures: *maxfail,
+		},
 	}
-	res, err := easybo.Optimize(p, opts)
+	var (
+		res *easybo.Result
+		err error
+	)
+	if *parallel {
+		res, err = easybo.OptimizeParallel(p, opts)
+	} else {
+		res, err = easybo.Optimize(p, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "easybo:", err)
 		os.Exit(1)
@@ -69,11 +117,20 @@ func main() {
 			fmt.Printf("%4d %8d %10.1f %10.1f %12.4f\n", i, e.Worker, e.Start, e.End, e.Y)
 		}
 	}
+	unit := "virtual"
+	if *parallel {
+		unit = "wall-clock"
+	}
 	fmt.Printf("problem:   %s (%d variables)\n", p.Name, len(p.Lo))
-	fmt.Printf("algorithm: %s, B=%d, %d evaluations\n", *algo, *workers, len(res.Evaluations))
+	fmt.Printf("algorithm: %s, B=%d, %d evaluations (%d failed)\n",
+		*algo, *workers, len(res.Evaluations), len(res.Failed))
 	fmt.Printf("best FOM:  %.4f\n", res.BestY)
-	fmt.Printf("sim time:  %.0f virtual seconds\n", res.Seconds)
+	fmt.Printf("sim time:  %.3g %s seconds\n", res.Seconds, unit)
 	fmt.Printf("best x:    %v\n", res.BestX)
+	if len(res.Failed) > 0 {
+		fmt.Printf("failures:  %d handled with policy %q\n", len(res.Failed), *onfail)
+	}
+	fmt.Print(formatUtilization(res.WorkerUtilization()))
 
 	switch strings.ToLower(*problem) {
 	case "opamp":
@@ -83,4 +140,52 @@ func main() {
 		pout, pae, valid := circuits.ClassEPerformance(res.BestX)
 		fmt.Printf("           Pout %.3f W | PAE %.1f%% | valid=%v\n", pout, 100*pae, valid)
 	}
+}
+
+// injectFaults wraps an objective so a deterministic, coordinate-keyed
+// fraction of design points fail their first attempt — half by panicking (a
+// crashed simulator, only when panics can be recovered, i.e. the goroutine
+// pool) and half by returning NaN (a diverged one). Faults are transient:
+// a retry or resubmission of the same point succeeds, mimicking flaky
+// simulator infrastructure. Deterministic so virtual-time runs stay
+// reproducible.
+func injectFaults(obj func([]float64) float64, frac float64, panics bool) func([]float64) float64 {
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	return func(x []float64) float64 {
+		h := fnv.New64a()
+		for _, v := range x {
+			b := math.Float64bits(v)
+			var buf [8]byte
+			for i := range buf {
+				buf[i] = byte(b >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		key := h.Sum64()
+		u := float64(key%1_000_000) / 1_000_000
+		mu.Lock()
+		first := !seen[key]
+		seen[key] = true
+		mu.Unlock()
+		switch {
+		case !first || u >= frac:
+			return obj(x)
+		case u < frac/2 && panics:
+			panic("injected simulator crash")
+		default:
+			return math.NaN()
+		}
+	}
+}
+
+// formatUtilization renders a per-worker busy-fraction bar chart.
+func formatUtilization(util []float64) string {
+	var b strings.Builder
+	b.WriteString("worker utilization:\n")
+	for w, u := range util {
+		bars := int(u*30 + 0.5)
+		fmt.Fprintf(&b, "  w%-3d %5.1f%% %s\n", w, 100*u, strings.Repeat("█", bars))
+	}
+	return b.String()
 }

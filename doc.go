@@ -57,4 +57,30 @@
 // the paper's evaluation budgets. See bench_test.go (BenchmarkGPExtend,
 // BenchmarkGPRefit, BenchmarkHallucinate, BenchmarkSuggestHotPath) for the
 // measured asymptotics.
+//
+// # Fault tolerance
+//
+// Real simulator pools fail: a SPICE run segfaults, diverges to NaN, hangs,
+// or the whole campaign is cancelled. The evaluation executors treat all of
+// these as first-class failed evaluations, never as crashed runs or leaked
+// workers:
+//
+//   - Every evaluation runs on an explicit worker slot; the slot is released
+//     when its result (successful or failed) is absorbed, so worker indices
+//     of concurrently running evaluations are always distinct and a crashed
+//     evaluation can never deadlock the run.
+//   - Panics inside the objective are recovered into failed evaluations;
+//     NaN objective values are classified the same way.
+//   - Options.Async configures per-evaluation timeouts, bounded retries on
+//     the same worker, and context-based cancellation (OptimizeParallel),
+//     plus the failure policy shared with virtual runs: AbortOnFailure
+//     (default), SkipFailures (the failure consumes budget but never reaches
+//     the surrogate), or RetryFailures (the point is resubmitted, bounded by
+//     MaxFailures).
+//   - Result reports failed evaluations separately from successes, and
+//     Result.WorkerUtilization exposes how busy each worker slot was.
+//
+// For caller-owned pools (NewLoop), Loop.Forget removes a suggested point
+// whose evaluation failed permanently, so it stops being hallucinated into
+// the surrogate.
 package easybo

@@ -1,10 +1,13 @@
 package easybo
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"easybo/internal/bo"
+	"easybo/internal/core"
 	"easybo/internal/objective"
 	"easybo/internal/sched"
 )
@@ -43,6 +46,49 @@ const (
 	GPHedge      Algorithm = "hedge"     // portfolio of EI/PI/UCB with hedge weights
 )
 
+// FailurePolicy decides what an optimization run does when an evaluation
+// fails: the objective panics, returns NaN, exceeds AsyncOptions.EvalTimeout,
+// or the run's context is cancelled.
+type FailurePolicy int
+
+const (
+	// AbortOnFailure stops the run with an error on the first failed
+	// evaluation (default).
+	AbortOnFailure FailurePolicy = iota
+	// SkipFailures drops failed evaluations: they consume evaluation budget
+	// (a worker ran them) but never reach the surrogate. The run completes
+	// with fewer observations than MaxEvals.
+	SkipFailures
+	// RetryFailures resubmits the failed point on the freed worker without
+	// consuming extra budget, bounded by AsyncOptions.MaxFailures.
+	RetryFailures
+)
+
+// AsyncOptions tunes the fault tolerance of asynchronous execution. The
+// zero value preserves strict behavior: no timeout, no retries, abort on
+// the first failure.
+//
+// For Optimize (virtual time), Context, Policy, and MaxFailures apply — the
+// only virtual failure mode is a NaN objective. For OptimizeParallel every
+// field applies, and panics inside the objective are recovered into
+// failures instead of crashing the run.
+type AsyncOptions struct {
+	// Context cancels the run between completions; nil means never.
+	Context context.Context
+	// EvalTimeout bounds each objective call in OptimizeParallel; a call
+	// exceeding it is abandoned and treated as failed.
+	EvalTimeout time.Duration
+	// Retries is how many extra attempts a failed objective call gets on
+	// its worker before the failure surfaces to the policy.
+	Retries int
+	// Policy selects what happens to evaluations that still fail.
+	Policy FailurePolicy
+	// MaxFailures aborts the run after this many failed evaluations
+	// (0 = policy default: unlimited for SkipFailures, MaxEvals for
+	// RetryFailures).
+	MaxFailures int
+}
+
 // Options tunes an optimization run. The zero value requests the paper's
 // defaults (EasyBO, 20 initial points, λ = 6).
 type Options struct {
@@ -56,24 +102,43 @@ type Options struct {
 	// Surrogate cost control (defaults match the experiment harness).
 	RefitEvery int // hyperparameter refit cadence in observations
 	FitIters   int // optimizer iterations per hyperparameter fit
+
+	// Async tunes failure handling, cancellation, timeouts, and retries.
+	Async AsyncOptions
 }
 
 // Evaluation is one completed objective evaluation.
 type Evaluation struct {
 	X          []float64
-	Y          float64
+	Y          float64 // NaN when Err != nil
 	Start, End float64 // seconds (virtual for Optimize, wall for OptimizeParallel)
 	Worker     int
+	Err        error // non-nil when the evaluation failed
+	Attempts   int   // objective calls spent (1 + retries; 0 reported as 1)
 }
 
 // Result is the outcome of an optimization run.
 type Result struct {
 	BestX       []float64
 	BestY       float64
-	Evaluations []Evaluation // completion order
+	Evaluations []Evaluation // successful evaluations, completion order
+	Failed      []Evaluation // failed evaluations (skipped or exhausted retries)
+	Workers     int          // pool size B of the run
 	// Seconds is the makespan: virtual simulator seconds for Optimize,
 	// wall-clock seconds for OptimizeParallel.
 	Seconds float64
+}
+
+// WorkerUtilization returns, per worker slot, the fraction of the makespan
+// spent evaluating (failed evaluations occupied their slot and count too).
+func (r *Result) WorkerUtilization() []float64 {
+	all := make([]sched.Result, 0, len(r.Evaluations)+len(r.Failed))
+	for _, set := range [][]Evaluation{r.Evaluations, r.Failed} {
+		for _, e := range set {
+			all = append(all, sched.Result{Worker: e.Worker, Start: e.Start, End: e.End})
+		}
+	}
+	return sched.Utilization(all, r.Workers)
 }
 
 func (p Problem) toInternal() (*objective.Problem, error) {
@@ -89,16 +154,36 @@ func (o Options) toConfig() (bo.Config, error) {
 	if err != nil {
 		return bo.Config{}, err
 	}
+	failure, err := o.Async.Policy.toCore()
+	if err != nil {
+		return bo.Config{}, err
+	}
 	return bo.Config{
-		Algo:       algo,
-		BatchSize:  o.Workers,
-		InitPoints: o.InitPoints,
-		MaxEvals:   o.MaxEvals,
-		Seed:       o.Seed,
-		Lambda:     o.Lambda,
-		RefitEvery: o.RefitEvery,
-		FitIters:   o.FitIters,
+		Algo:        algo,
+		BatchSize:   o.Workers,
+		InitPoints:  o.InitPoints,
+		MaxEvals:    o.MaxEvals,
+		Seed:        o.Seed,
+		Lambda:      o.Lambda,
+		RefitEvery:  o.RefitEvery,
+		FitIters:    o.FitIters,
+		Failure:     failure,
+		MaxFailures: o.Async.MaxFailures,
+		Ctx:         o.Async.Context,
 	}, nil
+}
+
+func (p FailurePolicy) toCore() (core.FailurePolicy, error) {
+	switch p {
+	case AbortOnFailure:
+		return core.FailAbort, nil
+	case SkipFailures:
+		return core.FailSkip, nil
+	case RetryFailures:
+		return core.FailResubmit, nil
+	default:
+		return 0, fmt.Errorf("easybo: unknown failure policy %d", int(p))
+	}
 }
 
 func (o Options) algorithm() (bo.Algorithm, error) {
@@ -135,12 +220,24 @@ func (o Options) algorithm() (bo.Algorithm, error) {
 	}
 }
 
+func evalFromResult(r sched.Result) Evaluation {
+	attempts := r.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	return Evaluation{
+		X: r.X, Y: r.Y, Start: r.Start, End: r.End, Worker: r.Worker,
+		Err: r.Err, Attempts: attempts,
+	}
+}
+
 func resultFromHistory(h *bo.History) *Result {
-	res := &Result{BestX: h.BestX, BestY: h.BestY, Seconds: h.Makespan}
+	res := &Result{BestX: h.BestX, BestY: h.BestY, Seconds: h.Makespan, Workers: h.BatchSize}
 	for _, r := range h.Records {
-		res.Evaluations = append(res.Evaluations, Evaluation{
-			X: r.X, Y: r.Y, Start: r.Start, End: r.End, Worker: r.Worker,
-		})
+		res.Evaluations = append(res.Evaluations, evalFromResult(r))
+	}
+	for _, r := range h.Failed {
+		res.Failed = append(res.Failed, evalFromResult(r))
 	}
 	return res
 }
@@ -170,6 +267,11 @@ func Optimize(p Problem, opts Options) (*Result, error) {
 // moment one returns. Use it when evaluations are genuinely expensive. The
 // suggestion sequence is seeded by Options.Seed, but completion order (and
 // therefore the trajectory) depends on real execution times.
+//
+// Evaluations are fault-isolated: a panicking objective, a NaN value, or a
+// call exceeding Options.Async.EvalTimeout becomes a failed evaluation
+// handled per Options.Async.Policy (abort by default, or skip/retry), never
+// a crashed run or a leaked worker.
 func OptimizeParallel(p Problem, opts Options) (*Result, error) {
 	ip, err := p.toInternal()
 	if err != nil {
@@ -185,9 +287,18 @@ func OptimizeParallel(p Problem, opts Options) (*Result, error) {
 	if opts.MaxEvals <= 0 {
 		opts.MaxEvals = 150
 	}
-	ex := sched.NewGo(opts.Workers, ip.Eval)
+	a := opts.Async
+	policy, err := a.Policy.toCore()
+	if err != nil {
+		return nil, err
+	}
+	fh := core.NewFailureHandler(policy, a.MaxFailures, opts.MaxEvals)
+	ex := sched.NewGoCtx(opts.Workers, func(_ context.Context, x []float64) (float64, error) {
+		return ip.Eval(x), nil
+	}, sched.GoOptions{Context: a.Context, Timeout: a.EvalTimeout, Retries: a.Retries})
+
 	launched, completed := 0, 0
-	var evals []Evaluation
+	var evals, failed []Evaluation
 	for launched < opts.MaxEvals && ex.Idle() > 0 {
 		x, err := loop.Suggest()
 		if err != nil {
@@ -203,11 +314,28 @@ func OptimizeParallel(p Problem, opts Options) (*Result, error) {
 		if !ok {
 			return nil, errors.New("easybo: worker pool drained early")
 		}
-		completed++
-		if err := loop.Observe(r.X, r.Y); err != nil {
-			return nil, err
+		if r.Err != nil {
+			failed = append(failed, evalFromResult(r))
+			action, ferr := fh.Handle(r)
+			switch action {
+			case core.ActionSkip:
+				loop.Forget(r.X)
+				completed++ // the failure consumed one budget slot
+			case core.ActionResubmit:
+				if err := ex.Launch(r.X); err != nil {
+					return nil, fmt.Errorf("easybo: resubmit of failed evaluation %d: %w", r.ID, err)
+				}
+				continue
+			default: // core.ActionAbort
+				return nil, fmt.Errorf("easybo: %w", ferr)
+			}
+		} else {
+			completed++
+			if err := loop.Observe(r.X, r.Y); err != nil {
+				return nil, err
+			}
+			evals = append(evals, evalFromResult(r))
 		}
-		evals = append(evals, Evaluation{X: r.X, Y: r.Y, Start: r.Start, End: r.End, Worker: r.Worker})
 		if launched < opts.MaxEvals {
 			x, err := loop.Suggest()
 			if err != nil {
@@ -221,10 +349,16 @@ func OptimizeParallel(p Problem, opts Options) (*Result, error) {
 	}
 	bestX, bestY := loop.Best()
 	var makespan float64
-	for _, e := range evals {
-		if e.End > makespan {
-			makespan = e.End
+	for _, set := range [][]Evaluation{evals, failed} {
+		for _, e := range set {
+			if e.End > makespan {
+				makespan = e.End
+			}
 		}
 	}
-	return &Result{BestX: bestX, BestY: bestY, Evaluations: evals, Seconds: makespan}, nil
+	return &Result{
+		BestX: bestX, BestY: bestY,
+		Evaluations: evals, Failed: failed,
+		Workers: opts.Workers, Seconds: makespan,
+	}, nil
 }

@@ -1,7 +1,11 @@
 package easybo_test
 
 import (
+	"context"
 	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"easybo"
@@ -294,5 +298,185 @@ func TestLoopHyperRefitCadence(t *testing.T) {
 	}
 	if loop.Observations() != 14 || loop.Pending() != 0 {
 		t.Fatalf("obs=%d pending=%d", loop.Observations(), loop.Pending())
+	}
+}
+
+func TestOptimizeParallelFaultTolerance(t *testing.T) {
+	// A flaky objective: panics and NaNs on a deterministic slice of calls.
+	// SkipFailures must absorb both without crashing the run or leaking a
+	// worker, and the failures must be reported.
+	p := circuits.Branin()
+	base := p.Objective
+	var calls atomic.Int64
+	p.Objective = func(x []float64) float64 {
+		switch calls.Add(1) % 5 {
+		case 0:
+			panic("simulator crash")
+		case 3:
+			return math.NaN()
+		}
+		return base(x)
+	}
+	opts := easybo.Options{
+		Workers: 4, MaxEvals: 30, Seed: 8, InitPoints: 10, FitIters: 10,
+		Async: easybo.AsyncOptions{Policy: easybo.SkipFailures},
+	}
+	res, err := easybo.OptimizeParallel(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations)+len(res.Failed) != 30 {
+		t.Fatalf("ok %d + failed %d != 30", len(res.Evaluations), len(res.Failed))
+	}
+	if len(res.Failed) == 0 {
+		t.Fatal("expected injected failures to be reported")
+	}
+	for _, e := range res.Evaluations {
+		if e.Err != nil || math.IsNaN(e.Y) {
+			t.Fatalf("failure leaked into successes: %+v", e)
+		}
+	}
+	util := res.WorkerUtilization()
+	if len(util) != 4 {
+		t.Fatalf("utilization len = %d", len(util))
+	}
+}
+
+func TestOptimizeParallelAbortsOnFailureByDefault(t *testing.T) {
+	p := circuits.Branin()
+	p.Objective = func(x []float64) float64 { panic("always down") }
+	_, err := easybo.OptimizeParallel(p, easybo.Options{
+		Workers: 2, MaxEvals: 10, Seed: 9, InitPoints: 4, FitIters: 10,
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("default policy must abort, got %v", err)
+	}
+}
+
+func TestOptimizeParallelRetriesTransientFailures(t *testing.T) {
+	// Every objective call fails on its first attempt per point; with
+	// executor-level retries every evaluation eventually succeeds.
+	p := circuits.Branin()
+	base := p.Objective
+	var mu sync.Mutex
+	seen := map[[2]float64]bool{}
+	p.Objective = func(x []float64) float64 {
+		k := [2]float64{x[0], x[1]}
+		mu.Lock()
+		first := !seen[k]
+		seen[k] = true
+		mu.Unlock()
+		if first {
+			panic("transient fault")
+		}
+		return base(x)
+	}
+	res, err := easybo.OptimizeParallel(p, easybo.Options{
+		Workers: 3, MaxEvals: 20, Seed: 10, InitPoints: 8, FitIters: 10,
+		Async: easybo.AsyncOptions{Policy: easybo.RetryFailures, Retries: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Evaluations) != 20 {
+		t.Fatalf("evaluations = %d, want 20", len(res.Evaluations))
+	}
+	for _, e := range res.Evaluations {
+		if e.Attempts < 2 {
+			t.Fatalf("first attempt always fails, yet attempts = %d", e.Attempts)
+		}
+	}
+}
+
+func TestOptimizeVirtualSkipsNaN(t *testing.T) {
+	// The virtual engine's failure path through the public API: a slice of
+	// the box returns NaN; SkipFailures completes the budget and reports
+	// the failures, deterministically.
+	p := circuits.Branin()
+	base := p.Objective
+	p.Objective = func(x []float64) float64 {
+		if x[0] > 9 {
+			return math.NaN()
+		}
+		return base(x)
+	}
+	opts := easybo.Options{
+		Workers: 4, MaxEvals: 40, Seed: 1, // seed 1 visits x[0] > 9 in its design
+		Async: easybo.AsyncOptions{Policy: easybo.SkipFailures},
+	}
+	brainFast(&opts)
+	r1, err := easybo.Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := easybo.Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Evaluations)+len(r1.Failed) != 40 {
+		t.Fatalf("ok %d + failed %d != 40", len(r1.Evaluations), len(r1.Failed))
+	}
+	if len(r1.Failed) == 0 {
+		t.Fatal("expected NaN failures on this seed")
+	}
+	if r1.BestY != r2.BestY || len(r1.Failed) != len(r2.Failed) || r1.Seconds != r2.Seconds {
+		t.Fatal("virtual failure handling must stay deterministic")
+	}
+	for _, e := range r1.Failed {
+		if e.Err == nil || !math.IsNaN(e.Y) {
+			t.Fatalf("failed evaluation malformed: %+v", e)
+		}
+	}
+}
+
+func TestLoopForget(t *testing.T) {
+	p := circuits.Branin()
+	loop, err := easybo.NewLoop(p, easybo.Options{Seed: 12, InitPoints: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1, err := loop.Suggest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := loop.Suggest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loop.Pending() != 2 {
+		t.Fatalf("pending = %d", loop.Pending())
+	}
+	if !loop.Forget(x1) {
+		t.Fatal("Forget must find the pending point")
+	}
+	if loop.Forget(x1) {
+		t.Fatal("second Forget of the same point must report false")
+	}
+	if loop.Pending() != 1 {
+		t.Fatalf("pending after Forget = %d", loop.Pending())
+	}
+	if err := loop.Observe(x2, p.Objective(x2)); err != nil {
+		t.Fatal(err)
+	}
+	if loop.Pending() != 0 || loop.Observations() != 1 {
+		t.Fatalf("pending %d obs %d", loop.Pending(), loop.Observations())
+	}
+}
+
+func TestOptimizeHonorsCancelledContext(t *testing.T) {
+	// Options.Async.Context is threaded into every virtual driver — async,
+	// sync, random, and DE: a cancelled context stops the run with an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []easybo.Algorithm{
+		easybo.EasyBO, easybo.PBO, easybo.RandomSearch, easybo.DE,
+	} {
+		opts := easybo.Options{Algorithm: algo, Workers: 4, MaxEvals: 40, Seed: 1,
+			Async: easybo.AsyncOptions{Context: ctx}}
+		brainFast(&opts)
+		if _, err := easybo.Optimize(circuits.Branin(), opts); err == nil ||
+			!strings.Contains(err.Error(), "cancelled") {
+			t.Fatalf("%s: cancelled context must abort the virtual run, got %v", algo, err)
+		}
 	}
 }

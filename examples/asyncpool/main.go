@@ -1,6 +1,7 @@
 // Asyncpool: embedding EasyBO in your own job system with the ask-tell
 // Loop, plus OptimizeParallel for genuinely expensive objectives evaluated
-// on real goroutines.
+// on real goroutines — including a flaky simulator whose crashes, NaN
+// results, and hangs are absorbed by the fault-tolerant executor.
 //
 //	go run ./examples/asyncpool
 package main
@@ -8,6 +9,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"easybo"
@@ -69,4 +71,43 @@ func main() {
 	if math.Abs(bx[0]-0.3) > 0.2 || math.Abs(bx[1]-0.6) > 0.2 {
 		fmt.Println("(a longer run would tighten this further)")
 	}
+
+	// Route 3: a flaky simulator. Every 7th call panics, every 11th returns
+	// NaN, every 13th hangs past the timeout. The executor recovers all three
+	// into failed evaluations; SkipFailures keeps the run alive and the
+	// surrogate clean. A crash is one lost evaluation, not a lost worker or
+	// a crashed run.
+	var calls atomic.Int64
+	flaky := problem
+	flaky.Name = "flaky-sim"
+	flaky.Objective = func(x []float64) float64 {
+		n := calls.Add(1)
+		switch {
+		case n%7 == 0:
+			panic("simulator segfault")
+		case n%11 == 0:
+			return math.NaN()
+		case n%13 == 0:
+			time.Sleep(200 * time.Millisecond) // exceeds the timeout below
+		}
+		return slowObjective(x)
+	}
+	res, err = easybo.OptimizeParallel(flaky, easybo.Options{
+		Workers: 8, MaxEvals: 60, Seed: 3,
+		Async: easybo.AsyncOptions{
+			Policy:      easybo.SkipFailures,
+			EvalTimeout: 100 * time.Millisecond,
+			Retries:     1,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("flaky simulator:  best %.5f with %d ok / %d failed evaluations\n",
+		res.BestY, len(res.Evaluations), len(res.Failed))
+	fmt.Print("  per-worker utilization:")
+	for _, u := range res.WorkerUtilization() {
+		fmt.Printf(" %3.0f%%", 100*u)
+	}
+	fmt.Println()
 }

@@ -10,10 +10,12 @@
 package bo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"easybo/internal/core"
 	"easybo/internal/gp"
 	"easybo/internal/sched"
 )
@@ -70,6 +72,14 @@ type Config struct {
 	// pHCBO knobs (Eq. 6).
 	NHC      float64 // penalty scale (default 100)
 	HCRadius float64 // veto radius in normalized space (default 0.1)
+
+	// Failure policy for the virtual-engine drivers: what to do when an
+	// evaluation fails (its objective returned NaN). Default core.FailAbort.
+	Failure     core.FailurePolicy
+	MaxFailures int // bound on tolerated failures (0 = policy default)
+	// Ctx cancels the run between completions (nil = never). Honored by
+	// every driver (async, sync, random, DE).
+	Ctx context.Context
 }
 
 func (c *Config) defaults(dim int) {
@@ -119,15 +129,16 @@ func (c *Config) defaults(dim int) {
 type History struct {
 	Algo      Algorithm
 	BatchSize int
-	Records   []sched.Result // in completion order
+	Records   []sched.Result // successful completions, in completion order
+	Failed    []sched.Result // failed evaluations (skipped or resubmitted)
 	BestY     float64
 	BestX     []float64
 	Makespan  float64 // virtual seconds from start to last completion
 }
 
-// newHistory finalizes a record list into a History.
-func newHistory(algo Algorithm, b int, recs []sched.Result) *History {
-	h := &History{Algo: algo, BatchSize: b, Records: recs, BestY: math.Inf(-1)}
+// newHistory finalizes the successful and failed record lists into a History.
+func newHistory(algo Algorithm, b int, recs, failed []sched.Result) *History {
+	h := &History{Algo: algo, BatchSize: b, Records: recs, Failed: failed, BestY: math.Inf(-1)}
 	for _, r := range recs {
 		if r.Y > h.BestY {
 			h.BestY = r.Y
@@ -137,7 +148,22 @@ func newHistory(algo Algorithm, b int, recs []sched.Result) *History {
 			h.Makespan = r.End
 		}
 	}
+	for _, r := range failed {
+		if r.End > h.Makespan {
+			h.Makespan = r.End
+		}
+	}
 	return h
+}
+
+// WorkerUtilization returns the fraction of the makespan each of the B
+// workers spent evaluating, counting failed evaluations (they occupied
+// their slot too).
+func (h *History) WorkerUtilization() []float64 {
+	all := make([]sched.Result, 0, len(h.Records)+len(h.Failed))
+	all = append(all, h.Records...)
+	all = append(all, h.Failed...)
+	return sched.Utilization(all, h.BatchSize)
 }
 
 // BestSoFar returns the running maximum of Y in completion order.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"easybo/internal/core"
 	"easybo/internal/objective"
 	"easybo/internal/sched"
 )
@@ -170,7 +171,7 @@ func TestHistoryCurves(t *testing.T) {
 		{ID: 1, Y: 3, End: 5},
 		{ID: 2, Y: 2, End: 20},
 	}
-	h := newHistory(AlgoRandom, 1, recs)
+	h := newHistory(AlgoRandom, 1, recs, nil)
 	if h.BestY != 3 || h.Makespan != 20 {
 		t.Fatalf("history %+v", h)
 	}
@@ -356,5 +357,99 @@ func TestNaNObjectiveFailsFast(t *testing.T) {
 	_, err := Run(p, fastCfg(AlgoEasyBO, 3, 30, 1))
 	if err == nil {
 		t.Fatal("NaN objective must surface an error")
+	}
+}
+
+func TestRunAsyncSkipsFailedEvaluations(t *testing.T) {
+	// A problem whose objective diverges (NaN) on part of the box: with
+	// FailSkip the run completes, failures are recorded separately, and the
+	// surrogate/modelManager only ever see successful observations even
+	// though the observation count diverges from the launch count.
+	p := objective.Branin()
+	base := p.Eval
+	p = &objective.Problem{Name: "flaky-branin", Lo: p.Lo, Hi: p.Hi,
+		Cost: func(x []float64) float64 { return 1 + x[1]/10 },
+		Eval: func(x []float64) float64 {
+			if x[0] < -3 { // a slice of the box always fails
+				return math.NaN()
+			}
+			return base(x)
+		},
+	}
+	cfg := fastCfg(AlgoEasyBO, 4, 30, 13)
+	cfg.Failure = core.FailSkip
+	h, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Records)+len(h.Failed) != 30 {
+		t.Fatalf("records %d + failed %d != 30", len(h.Records), len(h.Failed))
+	}
+	if len(h.Failed) == 0 {
+		t.Fatal("expected some failed evaluations on this seed")
+	}
+	for _, r := range h.Records {
+		if math.IsNaN(r.Y) || r.Err != nil {
+			t.Fatalf("failed evaluation leaked into Records: %+v", r)
+		}
+	}
+	for _, r := range h.Failed {
+		if r.Err == nil {
+			t.Fatalf("healthy evaluation in Failed: %+v", r)
+		}
+	}
+	util := h.WorkerUtilization()
+	if len(util) != 4 {
+		t.Fatalf("utilization workers = %d", len(util))
+	}
+	var totalBusy float64
+	for _, u := range util {
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("utilization out of range: %v", util)
+		}
+		totalBusy += u
+	}
+	if totalBusy <= 0 {
+		t.Fatal("no busy time accounted")
+	}
+}
+
+func TestRunSyncHonorsFailurePolicy(t *testing.T) {
+	// The synchronous drivers share the failure contract: NaN evaluations
+	// abort by default, and under FailSkip they consume budget without
+	// reaching the surrogate or Records.
+	flaky := func() *objective.Problem {
+		p := objective.Branin()
+		base := p.Eval
+		return &objective.Problem{Name: "flaky", Lo: p.Lo, Hi: p.Hi,
+			Eval: func(x []float64) float64 {
+				if x[0] < -3 {
+					return math.NaN()
+				}
+				return base(x)
+			},
+		}
+	}
+	for _, algo := range []Algorithm{AlgoPBO, AlgoRandom, AlgoDE} {
+		cfg := fastCfg(algo, 4, 30, 13)
+		if _, err := Run(flaky(), cfg); err == nil {
+			t.Fatalf("%s: NaN evaluation must abort by default", algo)
+		}
+		cfg.Failure = core.FailSkip
+		h, err := Run(flaky(), cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(h.Records)+len(h.Failed) != 30 {
+			t.Fatalf("%s: records %d + failed %d != 30", algo, len(h.Records), len(h.Failed))
+		}
+		if len(h.Failed) == 0 {
+			t.Fatalf("%s: expected failures on this seed", algo)
+		}
+		for _, r := range h.Records {
+			if math.IsNaN(r.Y) || r.Err != nil {
+				t.Fatalf("%s: failure leaked into Records: %+v", algo, r)
+			}
+		}
 	}
 }

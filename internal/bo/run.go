@@ -3,6 +3,7 @@ package bo
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"easybo/internal/core"
@@ -92,7 +93,10 @@ func (c Config) selectorFor(dim int) (batchSelector, error) {
 }
 
 // runSync implements the synchronous (and sequential, B=1) drivers: fit,
-// select a batch, evaluate it in parallel, wait for the whole batch.
+// select a batch, evaluate it in parallel, wait for the whole batch. Failed
+// evaluations (NaN objectives) are handled per cfg.Failure like the async
+// drivers: a skipped failure consumes budget without reaching the
+// surrogate, a resubmitted one re-runs inside its batch barrier.
 func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
 	sel, err := cfg.selectorFor(p.Dim())
 	if err != nil {
@@ -100,10 +104,12 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 	}
 	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
 	mm := newModelManager(p.Lo, p.Hi, rng, cfg)
+	fh := core.NewFailureHandler(cfg.Failure, cfg.MaxFailures, cfg.MaxEvals)
 
-	var recs []sched.Result
+	var recs, failed []sched.Result
 	var obsX [][]float64
 	var obsY []float64
+	completed := 0
 	best := 0.0
 	haveBest := false
 
@@ -113,11 +119,32 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 				return err
 			}
 		}
-		for range batch {
+		for pending := len(batch); pending > 0; {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				return fmt.Errorf("bo: cancelled after %d of %d evaluations: %w", completed, cfg.MaxEvals, cfg.Ctx.Err())
+			}
 			r, ok := ex.Wait()
 			if !ok {
 				return errors.New("bo: executor drained unexpectedly")
 			}
+			if r.Err != nil {
+				failed = append(failed, r)
+				action, ferr := fh.Handle(r)
+				switch action {
+				case core.ActionSkip:
+					completed++ // the failure consumed one budget slot
+					pending--
+				case core.ActionResubmit:
+					if err := ex.Launch(r.X); err != nil {
+						return fmt.Errorf("bo: resubmit of failed evaluation %d: %w", r.ID, err)
+					}
+				default: // core.ActionAbort
+					return fmt.Errorf("bo: %w", ferr)
+				}
+				continue
+			}
+			completed++
+			pending--
 			recs = append(recs, r)
 			obsX = append(obsX, r.X)
 			obsY = append(obsY, r.Y)
@@ -140,10 +167,13 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 		}
 	}
 
-	for len(recs) < cfg.MaxEvals {
+	for completed < cfg.MaxEvals {
 		b := cfg.BatchSize
-		if rem := cfg.MaxEvals - len(recs); b > rem {
+		if rem := cfg.MaxEvals - completed; b > rem {
 			b = rem
+		}
+		if len(obsY) == 0 {
+			return nil, errors.New("bo: no successful observation to fit a surrogate on")
 		}
 		m, err := mm.fit(obsX, obsY)
 		if err != nil {
@@ -157,11 +187,13 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 			return nil, err
 		}
 	}
-	return newHistory(cfg.Algo, cfg.BatchSize, recs), nil
+	return newHistory(cfg.Algo, cfg.BatchSize, recs, failed), nil
 }
 
 // runAsync implements EasyBO-A and full EasyBO through core.AsyncLoop
-// (Algorithm 1).
+// (Algorithm 1). Failed evaluations (NaN objective values) are handled per
+// cfg.Failure and recorded in History.Failed; only successful completions
+// reach the surrogate and History.Records.
 func runAsync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
 	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
 	mm := newModelManager(p.Lo, p.Hi, rng, cfg)
@@ -170,7 +202,7 @@ func runAsync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error
 		Penalize: cfg.Algo == AlgoEasyBO,
 		MaxOpts:  cfg.acqOpts(p.Dim()),
 	}
-	var recs []sched.Result
+	var recs, failed []sched.Result
 	err := core.AsyncLoop(ex, core.AsyncConfig{
 		MaxEvals: cfg.MaxEvals,
 		Init:     initialDesign(p, cfg.InitPoints, rng),
@@ -179,40 +211,73 @@ func runAsync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error
 		Proposer: proposer,
 		Rng:      rng,
 		OnResult: func(r sched.Result) { recs = append(recs, r) },
+
+		Ctx:         cfg.Ctx,
+		Failure:     cfg.Failure,
+		MaxFailures: cfg.MaxFailures,
+		OnFailure:   func(r sched.Result) { failed = append(failed, r) },
 	})
 	if err != nil {
 		return nil, err
 	}
-	return newHistory(cfg.Algo, cfg.BatchSize, recs), nil
+	return newHistory(cfg.Algo, cfg.BatchSize, recs, failed), nil
 }
 
 // runDE runs the paper's differential-evolution baseline. DE evaluates
 // sequentially on one worker, exactly as the baseline's huge time columns
-// in Tables I/II assume.
+// in Tables I/II assume. NaN objective values follow the shared failure
+// contract: they abort under FailAbort, and otherwise rank last in DE's
+// selection without ever entering Records (DE cannot resubmit — the same
+// point would fail identically — so FailResubmit degrades to FailSkip).
 func runDE(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
-	var recs []sched.Result
+	fh := core.NewFailureHandler(cfg.Failure, cfg.MaxFailures, cfg.MaxEvals)
+	var recs, failed []sched.Result
 	now := 0.0
-	optimize.DE(p.Eval, p.Lo, p.Hi, rng,
-		optimize.DEOptions{PopSize: cfg.DEPop, MaxEvals: cfg.MaxEvals},
-		func(x []float64, y float64) {
-			cost := 1.0
-			if p.Cost != nil {
-				cost = p.Cost(x)
+	var abortErr error
+	wrapped := func(x []float64) float64 {
+		if abortErr != nil {
+			return math.Inf(-1) // aborted: starve DE without touching the objective
+		}
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			abortErr = fmt.Errorf("bo: cancelled after %d of %d evaluations: %w",
+				len(recs)+len(failed), cfg.MaxEvals, cfg.Ctx.Err())
+			return math.Inf(-1)
+		}
+		y := p.Eval(x)
+		cost := 1.0
+		if p.Cost != nil {
+			cost = p.Cost(x)
+		}
+		r := sched.Result{
+			ID: len(recs) + len(failed), X: append([]float64(nil), x...), Y: y,
+			Start: now, End: now + cost, Attempts: 1,
+		}
+		now += cost
+		if math.IsNaN(y) {
+			r.Err = sched.ErrNaN
+			failed = append(failed, r)
+			if action, ferr := fh.Handle(r); action == core.ActionAbort {
+				abortErr = fmt.Errorf("bo: %w", ferr)
 			}
-			r := sched.Result{
-				ID: len(recs), X: append([]float64(nil), x...), Y: y,
-				Start: now, End: now + cost,
-			}
-			now += cost
-			recs = append(recs, r)
-		})
-	return newHistory(AlgoDE, 1, recs), nil
+			return math.Inf(-1) // failed designs rank last in selection
+		}
+		recs = append(recs, r)
+		return y
+	}
+	optimize.DE(wrapped, p.Lo, p.Hi, rng,
+		optimize.DEOptions{PopSize: cfg.DEPop, MaxEvals: cfg.MaxEvals}, nil)
+	if abortErr != nil {
+		return nil, abortErr
+	}
+	return newHistory(AlgoDE, 1, recs, failed), nil
 }
 
 // runRandom is uniform random search on B parallel workers (asynchronous),
-// a sanity baseline for the harness and tests.
+// a sanity baseline for the harness and tests. It shares the failure policy
+// of the other drivers.
 func runRandom(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
 	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
+	fh := core.NewFailureHandler(cfg.Failure, cfg.MaxFailures, cfg.MaxEvals)
 	d := p.Dim()
 	draw := func() []float64 {
 		x := make([]float64, d)
@@ -221,20 +286,40 @@ func runRandom(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, erro
 		}
 		return x
 	}
-	var recs []sched.Result
-	launched := 0
+	var recs, failed []sched.Result
+	launched, completed := 0, 0
 	for launched < cfg.MaxEvals && ex.Idle() > 0 {
 		if err := ex.Launch(draw()); err != nil {
 			return nil, err
 		}
 		launched++
 	}
-	for len(recs) < cfg.MaxEvals {
+	for completed < cfg.MaxEvals {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return nil, fmt.Errorf("bo: cancelled after %d of %d evaluations: %w", completed, cfg.MaxEvals, cfg.Ctx.Err())
+		}
 		r, ok := ex.Wait()
 		if !ok {
 			return nil, errors.New("bo: executor drained unexpectedly")
 		}
-		recs = append(recs, r)
+		if r.Err != nil {
+			failed = append(failed, r)
+			action, ferr := fh.Handle(r)
+			switch action {
+			case core.ActionSkip:
+				completed++
+			case core.ActionResubmit:
+				if err := ex.Launch(r.X); err != nil {
+					return nil, fmt.Errorf("bo: resubmit of failed evaluation %d: %w", r.ID, err)
+				}
+				continue
+			default: // core.ActionAbort
+				return nil, fmt.Errorf("bo: %w", ferr)
+			}
+		} else {
+			completed++
+			recs = append(recs, r)
+		}
 		if launched < cfg.MaxEvals {
 			if err := ex.Launch(draw()); err != nil {
 				return nil, err
@@ -242,5 +327,5 @@ func runRandom(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, erro
 			launched++
 		}
 	}
-	return newHistory(AlgoRandom, cfg.BatchSize, recs), nil
+	return newHistory(AlgoRandom, cfg.BatchSize, recs, failed), nil
 }

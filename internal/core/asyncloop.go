@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -14,6 +15,35 @@ import (
 // fixed-hyperparameter refit.
 type Fitter func(x [][]float64, y []float64) (*gp.Model, error)
 
+// FailurePolicy decides what AsyncLoop does with a failed evaluation
+// (sched.Result.Err != nil): a panicked, NaN, timed-out, or cancelled run.
+type FailurePolicy int
+
+const (
+	// FailAbort stops the loop on the first failed evaluation (default).
+	FailAbort FailurePolicy = iota
+	// FailSkip drops the failed observation. The failure still consumes one
+	// evaluation of the MaxEvals budget — it occupied a worker — but never
+	// reaches the surrogate.
+	FailSkip
+	// FailResubmit relaunches the same point on the freed worker. The retry
+	// does not consume extra MaxEvals budget; runaway failure is bounded by
+	// MaxFailures.
+	FailResubmit
+)
+
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailAbort:
+		return "abort"
+	case FailSkip:
+		return "skip"
+	case FailResubmit:
+		return "resubmit"
+	}
+	return fmt.Sprintf("FailurePolicy(%d)", int(p))
+}
+
 // AsyncConfig configures AsyncLoop.
 type AsyncConfig struct {
 	MaxEvals int                // total evaluations including the initial design
@@ -22,14 +52,32 @@ type AsyncConfig struct {
 	Fit      Fitter             // surrogate refresher (required)
 	Proposer *Proposer          // acquisition engine (required)
 	Rng      *rand.Rand         // drives κ sampling and the inner maximizer
-	OnResult func(sched.Result) // observes every completion in order (optional)
+	OnResult func(sched.Result) // observes every successful completion in order (optional)
+
+	// Ctx cancels the loop between completions (optional; nil means never).
+	Ctx context.Context
+	// Failure selects the policy for failed evaluations (default FailAbort).
+	Failure FailurePolicy
+	// MaxFailures bounds the total number of failed evaluations tolerated
+	// before the loop aborts anyway. 0 means the policy default: unlimited
+	// for FailSkip (the budget already bounds it), MaxEvals for
+	// FailResubmit (so a point that always fails cannot loop forever).
+	MaxFailures int
+	// OnFailure observes every failed evaluation (optional).
+	OnFailure func(sched.Result)
 }
 
 // AsyncLoop is Algorithm 1 of the paper: launch the initial design, then —
 // whenever a worker becomes available — absorb the finished result, refresh
 // the surrogate on the observed data, hallucinate the still-busy points
 // (inside Proposer when Penalize is set), and dispatch the acquisition
-// maximizer. The loop returns after exactly MaxEvals completions.
+// maximizer. The loop returns after exactly MaxEvals completions (counting
+// skipped failures, which consumed budget, but not resubmitted ones).
+//
+// Failed evaluations never become observations: depending on Failure they
+// abort the loop, are skipped, or are resubmitted. The surrogate is fit only
+// on successful completions, so the observation count may end below
+// MaxEvals under FailSkip.
 func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 	switch {
 	case cfg.Fit == nil:
@@ -43,11 +91,19 @@ func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 	case len(cfg.Init) == 0:
 		return errors.New("core: AsyncLoop requires an initial design")
 	}
+	fh := NewFailureHandler(cfg.Failure, cfg.MaxFailures, cfg.MaxEvals)
 
 	launched := 0
 	completed := 0
 	var obsX [][]float64
 	var obsY []float64
+
+	ctxErr := func() error {
+		if cfg.Ctx == nil {
+			return nil
+		}
+		return cfg.Ctx.Err()
+	}
 
 	// Fill all workers from the initial design queue.
 	for launched < len(cfg.Init) && launched < cfg.MaxEvals && ex.Idle() > 0 {
@@ -58,15 +114,36 @@ func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 	}
 
 	for completed < cfg.MaxEvals {
+		if err := ctxErr(); err != nil {
+			return fmt.Errorf("core: cancelled after %d of %d evaluations: %w", completed, cfg.MaxEvals, err)
+		}
 		r, ok := ex.Wait()
 		if !ok {
 			return fmt.Errorf("core: executor drained after %d of %d evaluations", completed, cfg.MaxEvals)
 		}
-		completed++
-		obsX = append(obsX, r.X)
-		obsY = append(obsY, r.Y)
-		if cfg.OnResult != nil {
-			cfg.OnResult(r)
+		if r.Err != nil {
+			if cfg.OnFailure != nil {
+				cfg.OnFailure(r)
+			}
+			action, ferr := fh.Handle(r)
+			switch action {
+			case ActionSkip:
+				completed++ // the failure consumed one budget slot
+			case ActionResubmit:
+				if err := ex.Launch(r.X); err != nil {
+					return fmt.Errorf("core: resubmit of failed evaluation %d: %w", r.ID, err)
+				}
+				continue
+			default: // ActionAbort
+				return fmt.Errorf("core: %w", ferr)
+			}
+		} else {
+			completed++
+			obsX = append(obsX, r.X)
+			obsY = append(obsY, r.Y)
+			if cfg.OnResult != nil {
+				cfg.OnResult(r)
+			}
 		}
 		if launched >= cfg.MaxEvals {
 			continue // draining the tail of the final batch
@@ -76,6 +153,9 @@ func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 		if launched < len(cfg.Init) {
 			next = cfg.Init[launched]
 		} else {
+			if len(obsY) == 0 {
+				return fmt.Errorf("core: no successful observation after %d launches; cannot fit a surrogate", launched)
+			}
 			m, err := cfg.Fit(obsX, obsY)
 			if err != nil {
 				return fmt.Errorf("core: surrogate refresh: %w", err)

@@ -76,9 +76,13 @@ func RunTable(spec Spec) (*Table, error) {
 		spec.InitPoints = 20
 	}
 
+	// Jobs carry the entry's position: two identical Entry values (the same
+	// algorithm/batch listed twice, e.g. for a replication column) must keep
+	// distinct result rows, so indexing by Entry value would be wrong.
 	type job struct {
-		entry Entry
-		run   int
+		entryIdx int
+		entry    Entry
+		run      int
 	}
 	type outcome struct {
 		entryIdx int
@@ -87,14 +91,10 @@ func RunTable(spec Spec) (*Table, error) {
 		err      error
 	}
 	var jobs []job
-	for _, e := range spec.Entries {
-		for r := 0; r < spec.Runs; r++ {
-			jobs = append(jobs, job{e, r})
-		}
-	}
-	entryIndex := map[Entry]int{}
 	for i, e := range spec.Entries {
-		entryIndex[e] = i
+		for r := 0; r < spec.Runs; r++ {
+			jobs = append(jobs, job{i, e, r})
+		}
 	}
 
 	results := make([][]*bo.History, len(spec.Entries))
@@ -123,7 +123,7 @@ func RunTable(spec Spec) (*Table, error) {
 					cfg.MaxEvals = j.entry.MaxEvals
 				}
 				h, err := bo.Run(spec.Problem, cfg)
-				outCh <- outcome{entryIndex[j.entry], j.run, h, err}
+				outCh <- outcome{j.entryIdx, j.run, h, err}
 			}
 		}()
 	}

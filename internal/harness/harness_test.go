@@ -61,6 +61,33 @@ func TestRunTableShapeAndDeterminism(t *testing.T) {
 	}
 }
 
+func TestRunTableDuplicateEntries(t *testing.T) {
+	// Two identical entries must keep distinct result rows. Before jobs
+	// carried the entry position, a map[Entry]int collapsed duplicates onto
+	// one index: the other row silently never received its histories.
+	entries := []Entry{
+		{Algo: bo.AlgoRandom, Batch: 2},
+		{Algo: bo.AlgoRandom, Batch: 2},
+		{Algo: bo.AlgoEasyBOA, Batch: 2},
+	}
+	tbl, err := RunTable(tinySpec("dup", entries, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	a, b := tbl.Rows[0], tbl.Rows[1]
+	// Same entry, same seeds: the duplicate rows must agree exactly — and,
+	// critically, both must be populated.
+	if math.IsNaN(a.Mean) || math.IsNaN(b.Mean) || a.MeanTime <= 0 || b.MeanTime <= 0 {
+		t.Fatalf("duplicate entry lost its results: %+v vs %+v", a, b)
+	}
+	if a.Mean != b.Mean || a.Best != b.Best || a.MeanTime != b.MeanTime {
+		t.Fatalf("duplicate entries disagree: %+v vs %+v", a, b)
+	}
+}
+
 func TestTableFormatAndCSV(t *testing.T) {
 	tbl, err := RunTable(tinySpec("fmt", []Entry{{Algo: bo.AlgoRandom, Batch: 1}}, 2))
 	if err != nil {

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// GoEval is the plain evaluation function for a GoExecutor.
+type GoEval func(x []float64) float64
+
+// GoEvalCtx is the context-aware evaluation function for a GoExecutor.
+// Long-running objectives should observe ctx so cancellation and timeouts
+// take effect promptly; returning a non-nil error marks the evaluation as
+// failed.
+type GoEvalCtx func(ctx context.Context, x []float64) (float64, error)
+
+// GoOptions tunes the fault tolerance of a GoExecutor. The zero value means
+// no cancellation, no timeout, no retries — plus the always-on guarantees
+// (panic recovery, NaN detection, correct worker attribution).
+type GoOptions struct {
+	// Context cancels the whole pool: Launch refuses new work once it is
+	// done, and in-flight evaluations are abandoned (their Result carries
+	// the context error).
+	Context context.Context
+	// Timeout bounds each evaluation attempt; an attempt exceeding it is
+	// abandoned and fails with ErrTimeout.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed evaluation gets on
+	// its worker slot before the failure is reported.
+	Retries int
+}
+
+// GoExecutor evaluates points on real goroutines; durations are wall-clock.
+// Failed evaluations (panic, NaN, timeout, error, cancellation) surface as
+// Results with Err set — the worker slot is always recovered, so Wait never
+// deadlocks and worker indices of concurrently running evaluations are
+// always distinct.
+//
+// An abandoned evaluation (timeout or cancellation) cannot be forcibly
+// stopped: its goroutine may keep running in the background while the slot
+// is reused. Context-aware objectives (GoEvalCtx observing ctx) avoid that.
+//
+// GoExecutor is safe for use by a single driving goroutine (the BO loop).
+type GoExecutor struct {
+	eval GoEvalCtx
+	opts GoOptions
+	ctx  context.Context
+	t0   time.Time
+	done chan Result
+
+	mu    sync.Mutex
+	next  int
+	slots *slotPool
+	busy  map[int][]float64 // in-flight points by ID
+}
+
+// NewGo creates a goroutine-backed executor with b workers and default
+// options (no cancellation, no timeout, no retries).
+func NewGo(b int, eval GoEval) *GoExecutor {
+	if eval == nil {
+		panic("sched: nil evaluation function")
+	}
+	return NewGoCtx(b, func(_ context.Context, x []float64) (float64, error) {
+		return eval(x), nil
+	}, GoOptions{})
+}
+
+// NewGoCtx creates a goroutine-backed executor with b workers, a
+// context-aware evaluation function, and explicit fault-tolerance options.
+func NewGoCtx(b int, eval GoEvalCtx, opts GoOptions) *GoExecutor {
+	if b < 1 {
+		panic("sched: need at least one worker")
+	}
+	if eval == nil {
+		panic("sched: nil evaluation function")
+	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	return &GoExecutor{
+		eval: eval, opts: opts, ctx: opts.Context, t0: time.Now(),
+		done:  make(chan Result, b),
+		slots: newSlotPool(b), busy: make(map[int][]float64),
+	}
+}
+
+// Workers implements Executor.
+func (g *GoExecutor) Workers() int { return g.slots.size() }
+
+// Idle implements Executor.
+func (g *GoExecutor) Idle() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.slots.idle()
+}
+
+// Now implements Executor.
+func (g *GoExecutor) Now() float64 { return time.Since(g.t0).Seconds() }
+
+// Launch implements Executor. The evaluation runs on the lowest free worker
+// slot, which stays occupied until Wait absorbs its result.
+func (g *GoExecutor) Launch(x []float64) error {
+	if err := g.ctx.Err(); err != nil {
+		return fmt.Errorf("sched: pool cancelled: %w", err)
+	}
+	g.mu.Lock()
+	worker, ok := g.slots.acquire()
+	if !ok {
+		g.mu.Unlock()
+		return errors.New("sched: no idle worker")
+	}
+	id := g.next
+	g.next++
+	xc := append([]float64(nil), x...)
+	g.busy[id] = xc
+	g.mu.Unlock()
+
+	go g.run(id, worker, xc)
+	return nil
+}
+
+// run performs up to 1+Retries attempts on the acquired slot and delivers
+// exactly one Result. It owns no lock; the slot is released by Wait.
+func (g *GoExecutor) run(id, worker int, x []float64) {
+	start := g.Now()
+	var y float64
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		y, err = g.attempt(x)
+		if err == nil || attempts > g.opts.Retries || g.ctx.Err() != nil {
+			break
+		}
+	}
+	g.done <- Result{
+		ID: id, X: x, Y: y, Start: start, End: g.Now(), Worker: worker,
+		Err: err, Attempts: attempts,
+	}
+}
+
+// attempt runs the objective once with panic recovery, the per-eval timeout,
+// and pool cancellation applied.
+func (g *GoExecutor) attempt(x []float64) (float64, error) {
+	ctx := g.ctx
+	if g.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.opts.Timeout)
+		defer cancel()
+	}
+	if ctx.Done() == nil {
+		// Nothing can interrupt this attempt: evaluate on this goroutine.
+		return safeEval(g.eval, ctx, x)
+	}
+	type out struct {
+		y   float64
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		y, err := safeEval(g.eval, ctx, x)
+		ch <- out{y, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.y, o.err
+	case <-ctx.Done():
+		// Abandon the attempt; its goroutine may finish in the background.
+		// Pool-level cancellation (or a pool deadline) takes precedence over
+		// the per-evaluation timeout classification: only a deadline the
+		// Timeout itself introduced is an ErrTimeout.
+		if perr := g.ctx.Err(); perr != nil {
+			return math.NaN(), perr
+		}
+		if g.opts.Timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return math.NaN(), ErrTimeout
+		}
+		return math.NaN(), ctx.Err()
+	}
+}
+
+// safeEval invokes the objective, converting panics to *PanicError and NaN
+// objective values to ErrNaN. Y is NaN whenever the error is non-nil.
+func safeEval(eval GoEvalCtx, ctx context.Context, x []float64) (y float64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			y = math.NaN()
+			err = &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	y, err = eval(ctx, x)
+	if err == nil && math.IsNaN(y) {
+		err = ErrNaN
+	}
+	if err != nil {
+		y = math.NaN()
+	}
+	return y, err
+}
+
+// Wait implements Executor.
+func (g *GoExecutor) Wait() (Result, bool) {
+	g.mu.Lock()
+	if g.slots.inUse() == 0 {
+		g.mu.Unlock()
+		return Result{}, false
+	}
+	g.mu.Unlock()
+	r := <-g.done
+	g.mu.Lock()
+	delete(g.busy, r.ID)
+	g.slots.release(r.Worker)
+	g.mu.Unlock()
+	return r, true
+}
+
+// Busy implements Executor.
+func (g *GoExecutor) Busy() [][]float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ids := make([]int, 0, len(g.busy))
+	for id := range g.busy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]float64, len(ids))
+	for i, id := range ids {
+		out[i] = g.busy[id]
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package sched
+
+// slotPool tracks per-worker occupancy for both executor engines. Acquire
+// always hands out the lowest free index, so worker attribution is
+// deterministic given the acquire/release sequence: the virtual engine's
+// histories stay reproducible, and the Go engine's Result.Worker is the slot
+// the evaluation actually occupied (never shared between two in-flight
+// evaluations).
+//
+// slotPool is not goroutine-safe; callers serialize access (the virtual
+// engine is single-threaded, the Go engine holds its mutex).
+type slotPool struct {
+	busy []bool
+	used int
+}
+
+func newSlotPool(b int) *slotPool {
+	return &slotPool{busy: make([]bool, b)}
+}
+
+// size returns the number of slots.
+func (p *slotPool) size() int { return len(p.busy) }
+
+// inUse returns how many slots are currently occupied.
+func (p *slotPool) inUse() int { return p.used }
+
+// idle returns how many slots are free.
+func (p *slotPool) idle() int { return len(p.busy) - p.used }
+
+// acquire claims the lowest free slot. ok is false when every slot is busy.
+func (p *slotPool) acquire() (slot int, ok bool) {
+	if p.used == len(p.busy) {
+		return -1, false
+	}
+	for w := range p.busy {
+		if !p.busy[w] {
+			p.busy[w] = true
+			p.used++
+			return w, true
+		}
+	}
+	return -1, false // unreachable while used is consistent
+}
+
+// release frees a previously acquired slot. Releasing a free or out-of-range
+// slot panics: it means occupancy accounting is corrupted, which would
+// silently break worker attribution.
+func (p *slotPool) release(slot int) {
+	if slot < 0 || slot >= len(p.busy) || !p.busy[slot] {
+		panic("sched: release of a slot that is not in use")
+	}
+	p.busy[slot] = false
+	p.used--
+}

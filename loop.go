@@ -140,6 +140,20 @@ func (l *Loop) Observe(x []float64, y float64) error {
 	return nil
 }
 
+// Forget removes a suggested-but-unobserved point from the busy set without
+// recording an observation. Call it when an evaluation failed (crashed
+// simulator, timeout) and will not be retried, so the point stops being
+// hallucinated into the surrogate. It reports whether the point was pending.
+func (l *Loop) Forget(x []float64) bool {
+	for i, b := range l.busy {
+		if equalPoints(b, x) {
+			l.busy = append(l.busy[:i], l.busy[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Best returns the incumbent (nil, -Inf before any observation).
 func (l *Loop) Best() ([]float64, float64) { return l.bestX, l.bestY }
 
