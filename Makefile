@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race bench-smoke bench
+.PHONY: check vet fmt build test race bench-smoke bench bench-json
 
 check: vet fmt build test race bench-smoke
 
@@ -31,3 +31,9 @@ bench-smoke:
 
 bench:
 	$(GO) test -run XXX -bench 'GPExtend|GPRefit|Hallucinate|SuggestHotPath' -benchtime 20x .
+
+# Machine-readable hot-path benchmark results: newton-iteration, tran-step,
+# AC-sweep, full testbench evaluations (sparse vs. dense), and the
+# end-to-end 40-eval EasyBO-A run, with sparse/dense speedups derived.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_3.json

@@ -365,6 +365,25 @@ func BenchmarkCircuitTransient(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEnd40EvalEasyBOA measures a complete 40-evaluation EasyBO-A
+// run on the class-E problem: the end-to-end picture of the sparse
+// simulation kernel plus the incremental surrogate engine under the
+// asynchronous driver.
+func BenchmarkEndToEnd40EvalEasyBOA(b *testing.B) {
+	prob := testbench.ClassE()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := bo.Run(prob, bo.Config{
+			Algo: bo.AlgoEasyBOA, BatchSize: 5, MaxEvals: 40, InitPoints: 10,
+			Seed: int64(i), FitIters: 12, RefitEvery: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --------------------------------------- incremental surrogate engine
 
 // surrogateData draws a random d-dimensional training set in the unit cube.

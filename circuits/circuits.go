@@ -18,7 +18,7 @@ import (
 func wrap(p *objective.Problem) easybo.Problem {
 	return easybo.Problem{
 		Name: p.Name, Lo: p.Lo, Hi: p.Hi,
-		Objective: p.Eval, Cost: p.Cost,
+		Objective: p.Eval, NewObjective: p.NewEval, Cost: p.Cost,
 	}
 }
 

@@ -25,9 +25,26 @@ import (
 
 	"easybo"
 	"easybo/circuits"
+	"easybo/internal/profiling"
 )
 
+// stopProfiles flushes any active profiles; fatalExit routes every error
+// exit through it so -cpuprofile output is never left truncated.
+var stopProfiles = func() {}
+
+func fatalExit(code int, args ...any) {
+	if len(args) > 0 {
+		fmt.Fprintln(os.Stderr, args...)
+	}
+	stopProfiles()
+	os.Exit(code)
+}
+
 func main() {
+	var (
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	)
 	var (
 		problem = flag.String("problem", "branin", "problem: opamp | classe | branin | hartmann6 | ackley | rosenbrock")
 		algo    = flag.String("algo", "easybo", "algorithm: easybo | easybo-a | easybo-sp | easybo-s | pbo | phcbo | ei | lcb | de | random")
@@ -46,6 +63,12 @@ func main() {
 		faults   = flag.Float64("faults", 0, "inject faults: fraction of evaluations that crash or return NaN (demo)")
 	)
 	flag.Parse()
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalExit(1, "easybo:", err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 
 	var p easybo.Problem
 	switch strings.ToLower(*problem) {
@@ -62,8 +85,7 @@ func main() {
 	case "rosenbrock":
 		p = circuits.Rosenbrock(*dim)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown problem %q\n", *problem)
-		os.Exit(2)
+		fatalExit(2, fmt.Sprintf("unknown problem %q", *problem))
 	}
 	if *faults > 0 {
 		// The virtual engine's only failure mode is NaN; panics are a real
@@ -80,8 +102,7 @@ func main() {
 	case "retry":
 		policy = easybo.RetryFailures
 	default:
-		fmt.Fprintf(os.Stderr, "unknown failure policy %q\n", *onfail)
-		os.Exit(2)
+		fatalExit(2, fmt.Sprintf("unknown failure policy %q", *onfail))
 	}
 
 	opts := easybo.Options{
@@ -97,18 +118,14 @@ func main() {
 			MaxFailures: *maxfail,
 		},
 	}
-	var (
-		res *easybo.Result
-		err error
-	)
+	var res *easybo.Result
 	if *parallel {
 		res, err = easybo.OptimizeParallel(p, opts)
 	} else {
 		res, err = easybo.Optimize(p, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "easybo:", err)
-		os.Exit(1)
+		fatalExit(1, "easybo:", err)
 	}
 
 	if *trace {

@@ -24,19 +24,26 @@ import (
 
 	"easybo/internal/harness"
 	"easybo/internal/objective"
+	"easybo/internal/profiling"
 	"easybo/internal/testbench"
 )
 
+// stopProfiles flushes any active profiles; fatal routes every error exit
+// through it so -cpuprofile output is never left truncated.
+var stopProfiles = func() {}
+
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate Table 1 (op-amp) or 2 (class-E)")
-		figure  = flag.Int("figure", 0, "regenerate Figure 1, 2, 4 or 6")
-		all     = flag.Bool("all", false, "regenerate every table and figure")
-		runs    = flag.Int("runs", 5, "repetitions per configuration (paper: 20)")
-		quick   = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
-		out     = flag.String("out", "results", "directory for CSV outputs")
-		deEvals = flag.Int("de", 0, "override DE budget (default: paper's 20000/15000)")
-		verbose = flag.Bool("v", false, "progress output")
+		table      = flag.Int("table", 0, "regenerate Table 1 (op-amp) or 2 (class-E)")
+		figure     = flag.Int("figure", 0, "regenerate Figure 1, 2, 4 or 6")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		runs       = flag.Int("runs", 5, "repetitions per configuration (paper: 20)")
+		quick      = flag.Bool("quick", false, "reduced budgets for a fast smoke run")
+		out        = flag.String("out", "results", "directory for CSV outputs")
+		deEvals    = flag.Int("de", 0, "override DE budget (default: paper's 20000/15000)")
+		verbose    = flag.Bool("v", false, "progress output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,6 +51,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
@@ -188,5 +201,6 @@ func roman(n int) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repro:", err)
+	stopProfiles()
 	os.Exit(1)
 }

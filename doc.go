@@ -58,6 +58,16 @@
 // BenchmarkGPRefit, BenchmarkHallucinate, BenchmarkSuggestHotPath) for the
 // measured asymptotics.
 //
+// The simulator substrate itself runs on a sparse compiled-stamp kernel:
+// device stamps are compiled once per circuit into flat slot indices of a
+// compressed sparse matrix, the LU split computes the symbolic analysis
+// once and refactors numerically (and partially) with zero allocations per
+// Newton iteration, AC sweeps run in parallel over reusable per-worker
+// workspaces, and Problem.NewObjective hands each optimization worker a
+// private reusable simulator instance. The dense reference solver is kept
+// for golden equivalence (1e-9 on every analysis); `make bench-json`
+// records the sparse-vs-dense speedups in BENCH_3.json. See DESIGN.md.
+//
 // # Fault tolerance
 //
 // Real simulator pools fail: a SPICE run segfaults, diverges to NaN, hangs,

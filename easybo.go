@@ -18,8 +18,17 @@ type Problem struct {
 	Name string
 	// Lo and Hi are the per-dimension box bounds (len = dimension).
 	Lo, Hi []float64
-	// Objective returns the figure of merit to MAXIMIZE at x.
+	// Objective returns the figure of merit to MAXIMIZE at x. It must be
+	// safe for concurrent use when OptimizeParallel runs it on several
+	// workers.
 	Objective func(x []float64) float64
+	// NewObjective optionally returns a fresh objective instance owning
+	// private simulator state (compiled circuits, solver workspaces).
+	// OptimizeParallel gives each worker its own instance so evaluations
+	// reuse their simulator without synchronization; the returned function
+	// need not be safe for concurrent use. Nil means workers share
+	// Objective.
+	NewObjective func() func(x []float64) float64
 	// Cost optionally returns the simulated evaluation duration in seconds;
 	// it drives the virtual-time executor used by Optimize. When nil every
 	// evaluation costs one virtual second.
@@ -142,7 +151,10 @@ func (r *Result) WorkerUtilization() []float64 {
 }
 
 func (p Problem) toInternal() (*objective.Problem, error) {
-	ip := &objective.Problem{Name: p.Name, Lo: p.Lo, Hi: p.Hi, Eval: p.Objective, Cost: p.Cost}
+	ip := &objective.Problem{
+		Name: p.Name, Lo: p.Lo, Hi: p.Hi,
+		Eval: p.Objective, NewEval: p.NewObjective, Cost: p.Cost,
+	}
 	if err := ip.Validate(); err != nil {
 		return nil, err
 	}
@@ -293,9 +305,27 @@ func OptimizeParallel(p Problem, opts Options) (*Result, error) {
 		return nil, err
 	}
 	fh := core.NewFailureHandler(policy, a.MaxFailures, opts.MaxEvals)
-	ex := sched.NewGoCtx(opts.Workers, func(_ context.Context, x []float64) (float64, error) {
-		return ip.Eval(x), nil
-	}, sched.GoOptions{Context: a.Context, Timeout: a.EvalTimeout, Retries: a.Retries})
+	gopts := sched.GoOptions{Context: a.Context, Timeout: a.EvalTimeout, Retries: a.Retries}
+	var ex *sched.GoExecutor
+	if ip.NewEval != nil && a.EvalTimeout == 0 && a.Context == nil {
+		// Stateful per-worker simulator instances: each worker owns a
+		// compiled circuit and reuses its solver workspaces across
+		// evaluations. (With a timeout or a cancelable context, abandoned
+		// attempts could overlap a slot's next evaluation, so the shared
+		// concurrency-safe objective is used instead.)
+		evals := make([]sched.GoEvalCtx, opts.Workers)
+		for i := range evals {
+			inst := ip.NewEval()
+			evals[i] = func(_ context.Context, x []float64) (float64, error) {
+				return inst(x), nil
+			}
+		}
+		ex = sched.NewGoCtxPerWorker(evals, gopts)
+	} else {
+		ex = sched.NewGoCtx(opts.Workers, func(_ context.Context, x []float64) (float64, error) {
+			return ip.Eval(x), nil
+		}, gopts)
+	}
 
 	launched, completed := 0, 0
 	var evals, failed []Evaluation

@@ -3,6 +3,8 @@ package circuit
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"easybo/internal/linalg"
 )
@@ -14,10 +16,33 @@ type ACResult struct {
 	X     [][]complex128 // one unknown vector per frequency
 }
 
+// ACOptions tunes the frequency sweep execution. The zero value evaluates
+// the sweep in parallel across min(GOMAXPROCS, maxACWorkers) workers.
+type ACOptions struct {
+	// Workers bounds the parallel worker pool evaluating frequency points
+	// (each worker owns a reusable compiled workspace). 0 selects
+	// min(GOMAXPROCS, 8); 1 runs the sweep serially — useful when the
+	// caller already parallelizes at the evaluation level.
+	Workers int
+}
+
+// maxACWorkers caps the default AC worker pool: beyond a handful of
+// workers the per-point solves are too small to amortize scheduling.
+const maxACWorkers = 8
+
 // AC runs a small-signal sweep at the given frequencies, linearizing all
 // nonlinear devices at op (which may come from OP or, for linear
-// small-signal macromodels, be a zero vector).
+// small-signal macromodels, be a zero vector). Default sweep options.
 func (c *Circuit) AC(op *Solution, freqs []float64) (*ACResult, error) {
+	return c.ACSweep(op, freqs, ACOptions{})
+}
+
+// ACSweep is AC with explicit sweep options. On the sparse path each
+// worker stamps the frequency-independent entries once, then per point
+// copies that snapshot, re-stamps only the reactive devices, and refactors
+// on the frozen pattern (falling back to a full re-pivoting factorization
+// when the frequency has shifted the pivot balance).
+func (c *Circuit) ACSweep(op *Solution, freqs []float64, aco ACOptions) (*ACResult, error) {
 	if err := c.Compile(); err != nil {
 		return nil, err
 	}
@@ -28,6 +53,88 @@ func (c *Circuit) AC(op *Solution, freqs []float64) (*ACResult, error) {
 		opX = make([]float64, c.unknowns)
 	}
 	res := &ACResult{c: c, Freqs: append([]float64(nil), freqs...), X: make([][]complex128, len(freqs))}
+	if c.dense {
+		if err := c.acDense(opX, freqs, res); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	// One flat backing array for every frequency's solution: a single
+	// allocation, and workers write disjoint n-sized windows.
+	flat := make([]complex128, c.unknowns*len(freqs))
+	for k := range res.X {
+		res.X[k] = flat[k*c.unknowns : (k+1)*c.unknowns : (k+1)*c.unknowns]
+	}
+
+	workers := aco.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > maxACWorkers {
+			workers = maxACWorkers
+		}
+	}
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	if workers <= 1 {
+		ws := c.acWorkspaces(1)[0]
+		return res, c.acChunk(ws, opX, freqs, 0, len(freqs), res)
+	}
+	pool := c.acWorkspaces(workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	// Contiguous chunks keep each worker sweeping monotonically in
+	// frequency, which maximizes refactor (vs. re-pivot) hits.
+	per := (len(freqs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(freqs) {
+			hi = len(freqs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = c.acChunk(pool[w], opX, freqs, lo, hi, res)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// acChunk evaluates freqs[lo:hi] on one workspace, writing solutions into
+// res.X. Safe to run concurrently with other chunks: each frequency index
+// is owned by exactly one worker and the workspace is private.
+func (c *Circuit) acChunk(ws *acWorkspace, opX []float64, freqs []float64, lo, hi int, res *ACResult) error {
+	ws.stampACStatic(opX)
+	for k := lo; k < hi; k++ {
+		ws.assembleAC(opX, 2*math.Pi*freqs[k])
+		var err error
+		if ws.lu.Valid() {
+			err = ws.lu.Refactor(ws.A)
+		}
+		if !ws.lu.Valid() {
+			err = ws.lu.Factor(ws.A)
+		}
+		if err != nil {
+			return fmt.Errorf("circuit %q: AC solve at %g Hz: %w", c.Name, freqs[k], err)
+		}
+		ws.lu.Solve(ws.b, res.X[k])
+	}
+	return nil
+}
+
+// acDense is the original dense per-frequency solve, kept as the golden
+// reference and benchmark baseline.
+func (c *Circuit) acDense(opX []float64, freqs []float64, res *ACResult) error {
 	n := c.unknowns
 	for k, f := range freqs {
 		e := &acEnv{omega: 2 * math.Pi * f, c: c, op: opX,
@@ -38,15 +145,15 @@ func (c *Circuit) AC(op *Solution, freqs []float64) (*ACResult, error) {
 			}
 		}
 		for i := 0; i < len(c.names)-1; i++ {
-			e.A.Add(i, i, complex(1e-12, 0))
+			e.A.Add(i, i, complex(nodeGmin, 0))
 		}
 		x, err := linalg.SolveComplexLinear(e.A, e.b)
 		if err != nil {
-			return nil, fmt.Errorf("circuit %q: AC solve at %g Hz: %w", c.Name, f, err)
+			return fmt.Errorf("circuit %q: AC solve at %g Hz: %w", c.Name, f, err)
 		}
 		res.X[k] = x
 	}
-	return res, nil
+	return nil
 }
 
 // V returns the complex voltage of a named node at frequency index k.

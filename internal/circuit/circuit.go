@@ -15,6 +15,14 @@
 // The package is the substrate that substitutes for the commercial HSPICE
 // simulator used in the EasyBO paper; see DESIGN.md for the substitution
 // rationale.
+//
+// All three analyses run on a sparse, compile-once simulation kernel: at
+// Compile time every device's matrix writes are resolved to flat slot
+// indices into a compressed sparse matrix (the stamp plan), and the LU
+// factorization splits a one-time symbolic analysis from per-iteration
+// numeric refactorization (internal/linalg/sparse). The original dense
+// path is retained behind SetDenseSolver for golden equivalence tests and
+// benchmark baselines.
 package circuit
 
 import (
@@ -23,6 +31,7 @@ import (
 	"math"
 
 	"easybo/internal/linalg"
+	"easybo/internal/linalg/sparse"
 )
 
 // Ground is the reference node name. "gnd" is accepted as an alias.
@@ -41,7 +50,23 @@ type Circuit struct {
 	nBranch    int
 	unknowns   int // (#nodes-1) + nBranch
 	branchName []string
+
+	// dense selects the reference dense-matrix solver instead of the
+	// compiled sparse kernel; see SetDenseSolver.
+	dense bool
+	// Compiled stamp-plan workspaces, built lazily per analysis kind and
+	// invalidated whenever the topology recompiles. Device parameter
+	// values may change freely between analyses without invalidating them.
+	wsDC   *realWorkspace
+	wsTran *realWorkspace
+	acPool []*acWorkspace
 }
+
+// SetDenseSolver switches the circuit onto the original dense-matrix solve
+// path (true) or the compiled sparse kernel (false, the default). The two
+// paths agree to tight tolerances on every supported analysis; the dense
+// path exists as the golden reference and benchmark baseline.
+func (c *Circuit) SetDenseSolver(on bool) { c.dense = on }
 
 // New creates an empty circuit.
 func New(name string) *Circuit {
@@ -132,6 +157,7 @@ func (c *Circuit) Compile() error {
 	if c.compiled {
 		return nil
 	}
+	c.wsDC, c.wsTran, c.acPool = nil, nil, nil
 	c.nBranch = 0
 	c.branchName = c.branchName[:0]
 	for _, d := range c.devices {
@@ -156,7 +182,11 @@ const (
 )
 
 // env is the per-Newton-iteration stamping context shared by DC and
-// transient analysis.
+// transient analysis. Matrix writes route through add, which targets one of
+// three backends: a pattern recorder (workspace compilation), the compiled
+// sparse values array (the fast path: plan-indexed writes, zero lookups),
+// or the dense reference matrix. The right-hand side b is always a dense
+// vector.
 type env struct {
 	mode      analysisMode
 	time      float64 // time being solved for (transient); 0 in DC
@@ -164,12 +194,32 @@ type env struct {
 	trapFlag  bool    // true => trapezoidal companion, false => backward Euler
 	firstIter bool    // first Newton iteration of this solve (resets limiters)
 	x         []float64
-	xprev     []float64 // accepted solution at the previous timepoint
-	A         *linalg.Matrix
+	xprev     []float64      // accepted solution at the previous timepoint
+	A         *linalg.Matrix // dense reference backend (nil on the sparse path)
+	vals      []float64      // sparse values backend
+	rec       *sparse.Builder
+	plan      []int32 // slot per add call: recorded by rec, consumed by vals
+	k         int     // plan cursor on the consume path
 	b         []float64
 	gmin      float64
 	srcScale  float64
 	c         *Circuit
+}
+
+// add stamps v at matrix coordinate (i, j) through the active backend.
+// Every device stamp must issue an identical add-call sequence regardless
+// of its operating point — value-dependent positions would desynchronize
+// the compiled plan (stamp zeros at inactive positions instead).
+func (e *env) add(i, j int, v float64) {
+	switch {
+	case e.rec != nil:
+		e.plan = append(e.plan, e.rec.Slot(i, j))
+	case e.A != nil:
+		e.A.Add(i, j, v)
+	default:
+		e.vals[e.plan[e.k]] += v
+		e.k++
+	}
 }
 
 // V returns the candidate voltage of node index n (0 = ground).
@@ -194,14 +244,14 @@ func (e *env) branchIndex(b int) int { return len(e.c.names) - 1 + b }
 // addG stamps a conductance g between nodes i and j (node indices, 0=gnd).
 func (e *env) addG(i, j int, g float64) {
 	if i != 0 {
-		e.A.Add(i-1, i-1, g)
+		e.add(i-1, i-1, g)
 	}
 	if j != 0 {
-		e.A.Add(j-1, j-1, g)
+		e.add(j-1, j-1, g)
 	}
 	if i != 0 && j != 0 {
-		e.A.Add(i-1, j-1, -g)
-		e.A.Add(j-1, i-1, -g)
+		e.add(i-1, j-1, -g)
+		e.add(j-1, i-1, -g)
 	}
 }
 
@@ -210,7 +260,7 @@ func (e *env) addG(i, j int, g float64) {
 func (e *env) addTransG(i, j, cp, cm int, g float64) {
 	stampPair := func(row, col int, val float64) {
 		if row != 0 && col != 0 {
-			e.A.Add(row-1, col-1, val)
+			e.add(row-1, col-1, val)
 		}
 	}
 	stampPair(i, cp, g)
@@ -230,13 +280,32 @@ func (e *env) addCurrent(a, b int, i float64) {
 	}
 }
 
-// acEnv is the AC small-signal stamping context.
+// acEnv is the AC small-signal stamping context, with the same three-way
+// backend split as env (recorder / compiled sparse values / dense
+// reference).
 type acEnv struct {
 	omega float64
-	A     *linalg.CMatrix
+	A     *linalg.CMatrix // dense reference backend (nil on the sparse path)
+	vals  []complex128    // sparse values backend
+	rec   *sparse.Builder
+	plan  []int32
+	k     int
 	b     []complex128
 	op    []float64 // operating-point solution (unknown vector layout)
 	c     *Circuit
+}
+
+// add stamps v at matrix coordinate (i, j) through the active backend.
+func (e *acEnv) add(i, j int, v complex128) {
+	switch {
+	case e.rec != nil:
+		e.plan = append(e.plan, e.rec.Slot(i, j))
+	case e.A != nil:
+		e.A.Add(i, j, v)
+	default:
+		e.vals[e.plan[e.k]] += v
+		e.k++
+	}
 }
 
 // Vop returns the operating-point voltage of node index n.
@@ -251,21 +320,21 @@ func (e *acEnv) branchIndex(b int) int { return len(e.c.names) - 1 + b }
 
 func (e *acEnv) addY(i, j int, y complex128) {
 	if i != 0 {
-		e.A.Add(i-1, i-1, y)
+		e.add(i-1, i-1, y)
 	}
 	if j != 0 {
-		e.A.Add(j-1, j-1, y)
+		e.add(j-1, j-1, y)
 	}
 	if i != 0 && j != 0 {
-		e.A.Add(i-1, j-1, -y)
-		e.A.Add(j-1, i-1, -y)
+		e.add(i-1, j-1, -y)
+		e.add(j-1, i-1, -y)
 	}
 }
 
 func (e *acEnv) addTransY(i, j, cp, cm int, y complex128) {
 	stampPair := func(row, col int, val complex128) {
 		if row != 0 && col != 0 {
-			e.A.Add(row-1, col-1, val)
+			e.add(row-1, col-1, val)
 		}
 	}
 	stampPair(i, cp, y)

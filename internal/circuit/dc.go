@@ -95,12 +95,95 @@ func (c *Circuit) OP(opts *OPOptions) (*Solution, *NewtonStats, error) {
 // analysis.
 type NewtonStats struct {
 	Iterations int
-	Factors    int // LU factorizations performed
+	Factors    int // LU factorizations performed (full or pattern-reusing)
 }
 
 // newton runs damped Newton-Raphson from x0, returning the solution and
-// whether it converged.
+// whether it converged. The sparse path stamps through the compiled plan
+// and refactors on the frozen pattern; the dense path is the original
+// reference implementation.
+//
+// Convergence on the very first iteration is accepted only when the
+// nonlinear residual at x0 already vanishes (an exactly warm-started
+// solve, e.g. a repeated sweep point or homotopy stage); a cold start
+// always runs at least two iterations so the Δx criterion is meaningful.
 func (c *Circuit) newton(x0 []float64, o OPOptions, gmin, srcScale float64, stats *NewtonStats) ([]float64, bool) {
+	if c.dense {
+		return c.newtonDense(x0, o, gmin, srcScale, stats)
+	}
+	ws := c.realWS(modeDC)
+	nv := len(c.names) - 1
+	e := &ws.e
+	*e = env{mode: modeDC, c: c, gmin: gmin, srcScale: srcScale}
+	ws.stampBase(e)
+	x := ws.x
+	copy(x, x0)
+	xNew := ws.xNew
+	for iter := 0; iter < o.MaxIter; iter++ {
+		stats.Iterations++
+		e.firstIter = iter == 0
+		e.x = x
+		ws.assemble(e)
+		if from := ws.dirtyFrom(); from < ws.A.N {
+			if err := ws.factorFrom(from); err != nil {
+				return nil, false
+			}
+			stats.Factors++
+		}
+		residOK := false
+		if iter == 0 {
+			residOK = residualVanishes(ws, x, o.AbsTol)
+		}
+		ws.lu.Solve(ws.b, xNew)
+		if !linalg.AllFinite(xNew) {
+			return nil, false
+		}
+		maxDelta := 0.0
+		for i := 0; i < nv; i++ {
+			if d := math.Abs(xNew[i] - x[i]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		if maxDelta > o.VStep {
+			f := o.VStep / maxDelta
+			for i := range xNew {
+				xNew[i] = x[i] + f*(xNew[i]-x[i])
+			}
+		}
+		converged := maxDelta <= o.AbsTol
+		if !converged {
+			converged = true
+			for i := 0; i < nv; i++ {
+				if math.Abs(xNew[i]-x[i]) > o.AbsTol+o.RelTol*math.Abs(xNew[i]) {
+					converged = false
+					break
+				}
+			}
+		}
+		copy(x, xNew)
+		if converged && (iter > 0 || residOK) {
+			return append([]float64(nil), x...), true
+		}
+	}
+	return nil, false
+}
+
+// residualVanishes reports whether |A·x − b| is below tol on every row: the
+// stamped linearization is exact at x, so this is the nonlinear KCL/KVL
+// residual of the starting point.
+func residualVanishes(ws *realWorkspace, x []float64, tol float64) bool {
+	ws.A.MulVec(x, ws.resid)
+	for i, r := range ws.resid {
+		if math.Abs(r-ws.b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// newtonDense is the original dense-matrix Newton loop, kept as the golden
+// reference and benchmark baseline.
+func (c *Circuit) newtonDense(x0 []float64, o OPOptions, gmin, srcScale float64, stats *NewtonStats) ([]float64, bool) {
 	x := linalg.Clone(x0)
 	e := &env{mode: modeDC, c: c, gmin: gmin, srcScale: srcScale}
 	n := c.unknowns
@@ -116,7 +199,17 @@ func (c *Circuit) newton(x0 []float64, o OPOptions, gmin, srcScale float64, stat
 		// Tiny conductance to ground on every node keeps floating nodes from
 		// making the matrix singular.
 		for i := 0; i < len(c.names)-1; i++ {
-			e.A.Add(i, i, 1e-12)
+			e.A.Add(i, i, nodeGmin)
+		}
+		residOK := false
+		if iter == 0 {
+			residOK = true
+			for i, r := range e.A.MulVec(x) {
+				if math.Abs(r-e.b[i]) > o.AbsTol {
+					residOK = false
+					break
+				}
+			}
 		}
 		lu, err := linalg.NewLU(e.A)
 		if err != nil {
@@ -152,7 +245,7 @@ func (c *Circuit) newton(x0 []float64, o OPOptions, gmin, srcScale float64, stat
 			}
 		}
 		x = xNew
-		if converged && iter > 0 {
+		if converged && (iter > 0 || residOK) {
 			return x, true
 		}
 	}

@@ -37,6 +37,8 @@ func (r *Resistor) init(c *Circuit) error {
 
 func (r *Resistor) stamp(e *env) { e.addG(r.n1, r.n2, 1/r.R) }
 
+func (r *Resistor) stampRHS(*env) {}
+
 func (r *Resistor) stampAC(e *acEnv) { e.addY(r.n1, r.n2, complex(1/r.R, 0)) }
 
 // --------------------------------------------------------------- Capacitor
@@ -51,6 +53,26 @@ type Capacitor struct {
 
 	n1, n2 int
 	iPrev  float64 // companion state: current at the previous timepoint
+	// Cached companion conductance, keyed on the quantities it was
+	// computed from (dt and C may change between runs, trapFlag within
+	// one).
+	cgeq, cdt, cC float64
+	ctrap         bool
+}
+
+// geqFor returns the companion conductance for the ambient step/method,
+// recomputing the division only when dt, the integration method, or the
+// capacitance changed.
+func (d *Capacitor) geqFor(e *env) float64 {
+	if e.dt != d.cdt || e.trapFlag != d.ctrap || d.C != d.cC {
+		if e.trapFlag {
+			d.cgeq = 2 * d.C / e.dt
+		} else {
+			d.cgeq = d.C / e.dt
+		}
+		d.cdt, d.ctrap, d.cC = e.dt, e.trapFlag, d.C
+	}
+	return d.cgeq
 }
 
 // AddC adds a capacitor between n1 and n2.
@@ -71,22 +93,33 @@ func (d *Capacitor) init(c *Circuit) error {
 	return nil
 }
 
+func (d *Capacitor) companion(e *env) (geq, ieq float64) {
+	vPrev := e.Vprev(d.n1) - e.Vprev(d.n2)
+	geq = d.geqFor(e)
+	if e.trapFlag {
+		ieq = -geq*vPrev - d.iPrev
+	} else { // backward Euler
+		ieq = -geq * vPrev
+	}
+	return geq, ieq
+}
+
 func (d *Capacitor) stamp(e *env) {
 	if e.mode != modeTran {
 		return // open circuit at DC
 	}
-	vPrev := e.Vprev(d.n1) - e.Vprev(d.n2)
-	var geq, ieq float64
-	if e.trapFlag {
-		geq = 2 * d.C / e.dt
-		ieq = -geq*vPrev - d.iPrev
-	} else { // backward Euler
-		geq = d.C / e.dt
-		ieq = -geq * vPrev
-	}
+	geq, ieq := d.companion(e)
 	e.addG(d.n1, d.n2, geq)
 	// Companion current source i = geq*v + ieq; the constant part ieq flows
 	// from n1 to n2.
+	e.addCurrent(d.n1, d.n2, ieq)
+}
+
+func (d *Capacitor) stampRHS(e *env) {
+	if e.mode != modeTran {
+		return
+	}
+	_, ieq := d.companion(e)
 	e.addCurrent(d.n1, d.n2, ieq)
 }
 
@@ -99,11 +132,11 @@ func (d *Capacitor) reset(*env) { d.iPrev = 0 }
 func (d *Capacitor) advance(e *env) {
 	v := e.V(d.n1) - e.V(d.n2)
 	vPrev := e.Vprev(d.n1) - e.Vprev(d.n2)
+	geq := d.geqFor(e)
 	if e.trapFlag {
-		geq := 2 * d.C / e.dt
 		d.iPrev = geq*(v-vPrev) - d.iPrev
 	} else {
-		d.iPrev = d.C / e.dt * (v - vPrev)
+		d.iPrev = geq * (v - vPrev)
 	}
 }
 
@@ -121,6 +154,30 @@ type Inductor struct {
 	n1, n2 int
 	iPrev  float64 // inductor current at previous timepoint (n1 -> n2)
 	vLPrev float64 // voltage across the pure inductance at previous timepoint
+	// Cached companion coefficients, keyed on the quantities they were
+	// computed from.
+	ck, cgeq, cinv float64
+	cdt, cL, cESR  float64
+	ctrap, cPrimed bool
+}
+
+// coeffs returns the cached companion coefficients k, geq and
+// 1/(1 + k·ESR), recomputing the divisions only when dt, the integration
+// method, or the element values changed.
+func (d *Inductor) coeffs(e *env) (k, geq, inv float64) {
+	if !d.cPrimed || e.dt != d.cdt || e.trapFlag != d.ctrap || d.L != d.cL || d.ESR != d.cESR {
+		if e.trapFlag {
+			d.ck = e.dt / (2 * d.L)
+		} else {
+			d.ck = e.dt / d.L
+		}
+		den := 1 + d.ck*d.ESR
+		d.cgeq = d.ck / den
+		d.cinv = 1 / den
+		d.cdt, d.ctrap, d.cL, d.cESR = e.dt, e.trapFlag, d.L, d.ESR
+		d.cPrimed = true
+	}
+	return d.ck, d.cgeq, d.cinv
 }
 
 // AddL adds an inductor between n1 and n2 with the default 1 mΩ ESR.
@@ -144,27 +201,39 @@ func (d *Inductor) init(c *Circuit) error {
 	return nil
 }
 
+// companion returns the trapezoidal (or backward-Euler) companion for L in
+// series with ESR:
+//
+//	v = L di/dt + ESR·i
+//	trap:  i_{n+1} = i_n + (dt/2L)(vL_{n+1} + vL_n),  vL = v - ESR·i
+//
+// solving for i_{n+1} as geq·v_{n+1} + ieq.
+func (d *Inductor) companion(e *env) (geq, ieq float64) {
+	k, geq, inv := d.coeffs(e)
+	if e.trapFlag {
+		ieq = (d.iPrev + k*d.vLPrev) * inv
+	} else {
+		ieq = d.iPrev * inv
+	}
+	return geq, ieq
+}
+
 func (d *Inductor) stamp(e *env) {
 	if e.mode != modeTran {
 		// DC: pure resistance ESR.
 		e.addG(d.n1, d.n2, 1/d.ESR)
 		return
 	}
-	// Trapezoidal companion for L in series with ESR:
-	//   v = L di/dt + ESR·i
-	// trap:  i_{n+1} = i_n + (dt/2L)(vL_{n+1} + vL_n),  vL = v - ESR·i
-	// Solving for i_{n+1} as geq·v_{n+1} + ieq:
-	var geq, ieq float64
-	if e.trapFlag {
-		k := e.dt / (2 * d.L)
-		geq = k / (1 + k*d.ESR)
-		ieq = (d.iPrev + k*d.vLPrev) / (1 + k*d.ESR)
-	} else {
-		k := e.dt / d.L
-		geq = k / (1 + k*d.ESR)
-		ieq = d.iPrev / (1 + k*d.ESR)
-	}
+	geq, ieq := d.companion(e)
 	e.addG(d.n1, d.n2, geq)
+	e.addCurrent(d.n1, d.n2, ieq)
+}
+
+func (d *Inductor) stampRHS(e *env) {
+	if e.mode != modeTran {
+		return
+	}
+	_, ieq := d.companion(e)
 	e.addCurrent(d.n1, d.n2, ieq)
 }
 
@@ -187,16 +256,7 @@ func (d *Inductor) reset(e *env) {
 
 func (d *Inductor) advance(e *env) {
 	v := e.V(d.n1) - e.V(d.n2)
-	var geq, ieq float64
-	if e.trapFlag {
-		k := e.dt / (2 * d.L)
-		geq = k / (1 + k*d.ESR)
-		ieq = (d.iPrev + k*d.vLPrev) / (1 + k*d.ESR)
-	} else {
-		k := e.dt / d.L
-		geq = k / (1 + k*d.ESR)
-		ieq = d.iPrev / (1 + k*d.ESR)
-	}
+	geq, ieq := d.companion(e)
 	i := geq*v + ieq
 	d.iPrev = i
 	d.vLPrev = v - d.ESR*i
@@ -243,25 +303,29 @@ func (d *VSource) init(c *Circuit) error {
 func (d *VSource) stamp(e *env) {
 	bi := e.branchIndex(d.branch)
 	if d.np != 0 {
-		e.A.Add(d.np-1, bi, 1)
-		e.A.Add(bi, d.np-1, 1)
+		e.add(d.np-1, bi, 1)
+		e.add(bi, d.np-1, 1)
 	}
 	if d.nm != 0 {
-		e.A.Add(d.nm-1, bi, -1)
-		e.A.Add(bi, d.nm-1, -1)
+		e.add(d.nm-1, bi, -1)
+		e.add(bi, d.nm-1, -1)
 	}
 	e.b[bi] += d.Wave.At(e.time) * e.srcScale
+}
+
+func (d *VSource) stampRHS(e *env) {
+	e.b[e.branchIndex(d.branch)] += d.Wave.At(e.time) * e.srcScale
 }
 
 func (d *VSource) stampAC(e *acEnv) {
 	bi := e.branchIndex(d.branch)
 	if d.np != 0 {
-		e.A.Add(d.np-1, bi, 1)
-		e.A.Add(bi, d.np-1, 1)
+		e.add(d.np-1, bi, 1)
+		e.add(bi, d.np-1, 1)
 	}
 	if d.nm != 0 {
-		e.A.Add(d.nm-1, bi, -1)
-		e.A.Add(bi, d.nm-1, -1)
+		e.add(d.nm-1, bi, -1)
+		e.add(bi, d.nm-1, -1)
 	}
 	if d.ACMag != 0 {
 		ph := d.ACPhaseDeg * (math.Pi / 180)
@@ -302,6 +366,10 @@ func (d *ISource) init(c *Circuit) error {
 }
 
 func (d *ISource) stamp(e *env) {
+	e.addCurrent(d.np, d.nm, d.Wave.At(e.time)*e.srcScale)
+}
+
+func (d *ISource) stampRHS(e *env) {
 	e.addCurrent(d.np, d.nm, d.Wave.At(e.time)*e.srcScale)
 }
 
@@ -347,6 +415,8 @@ func (d *VCCS) init(c *Circuit) error {
 }
 
 func (d *VCCS) stamp(e *env) { e.addTransG(d.op, d.om, d.cp, d.cm, d.Gm) }
+
+func (d *VCCS) stampRHS(*env) {}
 
 func (d *VCCS) stampAC(e *acEnv) { e.addTransY(d.op, d.om, d.cp, d.cm, complex(d.Gm, 0)) }
 
@@ -399,10 +469,12 @@ func (d *VCVS) stampReal(add func(r, c int, v float64), bi int) {
 }
 
 func (d *VCVS) stamp(e *env) {
-	d.stampReal(e.A.Add, e.branchIndex(d.branch))
+	d.stampReal(e.add, e.branchIndex(d.branch))
 }
+
+func (d *VCVS) stampRHS(*env) {}
 
 func (d *VCVS) stampAC(e *acEnv) {
 	bi := e.branchIndex(d.branch)
-	d.stampReal(func(r, c int, v float64) { e.A.Add(r, c, complex(v, 0)) }, bi)
+	d.stampReal(func(r, c int, v float64) { e.add(r, c, complex(v, 0)) }, bi)
 }

@@ -23,11 +23,13 @@ func BodeOf(r *ACResult, node string) *Bode {
 	prev := 0.0
 	for k := range r.Freqs {
 		v := r.V(k, node)
-		mag := cmplx.Abs(v)
-		if mag <= 0 {
+		// 20·log10(|v|) = 10·log10(re² + im²): skips the hypot call on a
+		// loop that runs once per swept frequency per measured node.
+		mag2 := real(v)*real(v) + imag(v)*imag(v)
+		if mag2 <= 0 {
 			b.MagDB[k] = math.Inf(-1)
 		} else {
-			b.MagDB[k] = 20 * math.Log10(mag)
+			b.MagDB[k] = 10 * math.Log10(mag2)
 		}
 		ph := cmplx.Phase(v) * 180 / math.Pi
 		if k > 0 { // unwrap
@@ -170,19 +172,32 @@ func FourierCoeff(t, x []float64, f0 float64, k int) complex128 {
 	t0 := tEnd - nPeriods*period
 	var sum complex128
 	var tw float64
+	w := 2 * math.Pi * float64(k) * f0
+	// The phasor at each sample is shared by the two trapezoid intervals
+	// around it, so compute it once per sample (one Sincos instead of two
+	// complex exponentials per interval — this loop runs over every stored
+	// timepoint of a transient and sits on the evaluation hot path).
+	havePrev := false
+	var fPrev complex128
 	for i := 1; i < len(t); i++ {
 		dt := t[i] - t[i-1]
 		// Include the interval whose start is within half a step of the
 		// window start, so floating-point noise cannot drop or duplicate a
 		// boundary sample.
 		if t[i-1] < t0-0.5*dt {
+			havePrev = false
 			continue
 		}
-		w := 2 * math.Pi * float64(k) * f0
-		f1 := complex(x[i-1], 0) * cmplx.Exp(complex(0, -w*t[i-1]))
-		f2 := complex(x[i], 0) * cmplx.Exp(complex(0, -w*t[i]))
-		sum += (f1 + f2) / 2 * complex(dt, 0)
+		if !havePrev {
+			s1, c1 := math.Sincos(-w * t[i-1])
+			fPrev = complex(x[i-1], 0) * complex(c1, s1)
+		}
+		s2, c2 := math.Sincos(-w * t[i])
+		f2 := complex(x[i], 0) * complex(c2, s2)
+		sum += (fPrev + f2) / 2 * complex(dt, 0)
 		tw += dt
+		fPrev = f2
+		havePrev = true
 	}
 	if tw == 0 {
 		return 0

@@ -190,7 +190,8 @@ func (m *MOSFET) stamp(e *env) {
 		sign = -1
 	}
 	d, s := m.nd, m.ns
-	if vd < vs { // symmetric device: the higher-potential terminal is the drain
+	swapped := vd < vs // symmetric device: the higher-potential terminal is the drain
+	if swapped {
 		vd, vs = vs, vd
 		d, s = s, d
 	}
@@ -206,14 +207,21 @@ func (m *MOSFET) stamp(e *env) {
 	if sign < 0 {
 		ieq = -ieq
 	}
-	e.addG(d, s, gds)
-	e.addTransG(d, s, m.ng, s, gm)
-	e.addCurrent(d, s, ieq)
-	// gmin from drain and source to ground aids convergence.
-	if e.gmin > 0 {
-		e.addG(m.nd, 0, e.gmin)
-		e.addG(m.ns, 0, e.gmin)
+	// The add-call sequence must not depend on the operating point (the
+	// compiled stamp plan is positional), so both gm orientations are
+	// stamped every iteration with the inactive one contributing zeros.
+	gmFwd, gmRev := gm, 0.0
+	if swapped {
+		gmFwd, gmRev = 0.0, gm
 	}
+	e.addG(m.nd, m.ns, gds)
+	e.addTransG(m.nd, m.ns, m.ng, m.ns, gmFwd)
+	e.addTransG(m.ns, m.nd, m.ng, m.nd, gmRev)
+	e.addCurrent(d, s, ieq)
+	// gmin from drain and source to ground aids convergence (a zero gmin
+	// stamps zeros, keeping the plan static).
+	e.addG(m.nd, 0, e.gmin)
+	e.addG(m.ns, 0, e.gmin)
 }
 
 func (m *MOSFET) stampAC(e *acEnv) {
@@ -221,14 +229,18 @@ func (m *MOSFET) stampAC(e *acEnv) {
 	if m.Params.Type == PMOS {
 		vd, vg, vs = -vd, -vg, -vs
 	}
-	d, s := m.nd, m.ns
-	if vd < vs {
+	swapped := vd < vs
+	if swapped {
 		vd, vs = vs, vd
-		d, s = s, d
 	}
 	_, gm, gds := m.Params.Eval(vg-vs, vd-vs)
-	e.addY(d, s, complex(gds, 0))
-	e.addTransY(d, s, m.ng, s, complex(gm, 0))
+	gmFwd, gmRev := gm, 0.0
+	if swapped {
+		gmFwd, gmRev = 0.0, gm
+	}
+	e.addY(m.nd, m.ns, complex(gds, 0))
+	e.addTransY(m.nd, m.ns, m.ng, m.ns, complex(gmFwd, 0))
+	e.addTransY(m.ns, m.nd, m.ng, m.nd, complex(gmRev, 0))
 }
 
 // ------------------------------------------------------------------ Switch
@@ -246,6 +258,10 @@ type Switch struct {
 	Voff         float64 // control voltage at which the switch is OFF
 
 	n1, n2, cp, cm int
+	// Cached log-conductance endpoints, keyed on the resistances they were
+	// computed from (Ron/Roff may be rewritten between runs by reusable
+	// testbench sims).
+	lgOn, lgOff, lgRon, lgRoff float64
 }
 
 // AddSwitch adds a voltage-controlled switch.
@@ -273,8 +289,12 @@ func (d *Switch) init(c *Circuit) error {
 
 // conductance returns g(vc) and dg/dvc.
 func (d *Switch) conductance(vc float64) (g, dg float64) {
-	lgOn := math.Log(1 / d.Ron)
-	lgOff := math.Log(1 / d.Roff)
+	if d.lgRon != d.Ron || d.lgRoff != d.Roff {
+		d.lgOn = math.Log(1 / d.Ron)
+		d.lgOff = math.Log(1 / d.Roff)
+		d.lgRon, d.lgRoff = d.Ron, d.Roff
+	}
+	lgOn, lgOff := d.lgOn, d.lgOff
 	mid := 0.5 * (d.Von + d.Voff)
 	width := d.Von - d.Voff // may be negative for inverted logic
 	u := 2 * (vc - mid) / width

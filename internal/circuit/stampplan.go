@@ -1,0 +1,537 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"easybo/internal/linalg/sparse"
+)
+
+// This file implements the compiled stamp plan: the per-analysis sparse
+// workspaces a Circuit builds once (per topology) and reuses on every
+// Newton iteration, timestep and frequency point.
+//
+// Compilation replays every device's stamp calls against a recording env
+// whose add() registers each (row, col) target with a sparse.Builder and
+// appends the resulting slot to a plan. At solve time the same stamp code
+// runs against the values array, consuming the plan positionally — a pure
+// indexed-write loop with no maps and no allocations. Devices are split
+// into a static group (stamp values fixed within one Newton solve: linear
+// elements, sources, companion conductances) stamped once per solve into a
+// base snapshot, and a dynamic group (nonlinear devices, re-linearized
+// every iteration) stamped on top of a copy of that snapshot.
+
+// nodeGmin is the tiny conductance to ground on every node that keeps
+// floating nodes from making the matrix singular (same constant as the
+// dense path has always used).
+const nodeGmin = 1e-12
+
+// dynamicReal reports whether a device's DC/transient stamp depends on the
+// candidate solution vector (and must therefore re-stamp every Newton
+// iteration). Everything else depends only on per-solve quantities (time,
+// step size, integration method, companion state, source scaling).
+func dynamicReal(d Device) bool {
+	switch d.(type) {
+	case *Diode, *MOSFET, *Switch:
+		return true
+	}
+	return false
+}
+
+// rhsOnly is implemented by static devices that can stamp just their
+// right-hand-side contribution. Within one transient run the static
+// matrix entries depend only on the integration method, so the per-step
+// static pass collapses to these calls plus a cached matrix snapshot.
+type rhsOnly interface {
+	stampRHS(e *env)
+}
+
+// dynamicAC reports whether a device's AC stamp depends on the sweep
+// frequency. Nonlinear devices linearize at the fixed operating point, so
+// only reactive elements vary across the sweep.
+func dynamicAC(d Device) bool {
+	switch d.(type) {
+	case *Capacitor, *Inductor:
+		return true
+	}
+	return false
+}
+
+// realWorkspace is the compiled DC or transient stamping workspace.
+type realWorkspace struct {
+	mode       analysisMode
+	A          *sparse.Matrix
+	lu         *sparse.LU
+	planStatic []int32
+	planDyn    []int32
+	diagSlots  []int32 // node-diagonal regularization slots
+	staticDevs []Device
+	staticRHS  []rhsOnly // rhs-only view of staticDevs (when canRHSOnly)
+	dynDevs    []Device
+
+	baseVals  []float64 // matrix snapshot after the static pass
+	baseB     []float64 // rhs snapshot after the static pass
+	b         []float64
+	lastVals  []float64 // values at the last successful factorization
+	colOfSlot []int32   // value slot -> matrix column (dirty tracking)
+	dynSlots  []int32   // unique slots written by the dynamic pass
+	baseEpoch int       // bumped on every full static pass
+	lastEpoch int       // baseEpoch behind lastVals (-1 = none)
+	x         []float64 // Newton iterate
+	xNew      []float64
+	resid     []float64
+	e         env // reusable stamping context
+
+	// Transient static-matrix cache: within one Tran run the static
+	// devices' matrix entries depend only on the integration method, so
+	// the per-step static pass can be reduced to its rhs half.
+	baseMatrixValid bool
+	baseMatrixTrap  bool
+	canRHSOnly      bool // every static device implements rhsOnly
+
+	// Rank-1 fast path (transient): when every dynamic matrix write lands
+	// in one row r, the assembled system is A_base + e_r·vᵀ and each
+	// iteration solves against the factored static base with a
+	// Sherman–Morrison correction — no per-iteration refactorization at
+	// all. baseA aliases baseVals, so factoring it needs no copy.
+	rank1OK     bool
+	rank1Row    int32
+	baseA       *sparse.Matrix
+	baseLU      *sparse.LU
+	zr          []float64 // A_base⁻¹ · e_rank1Row, refreshed with baseLU
+	dynScratch  []float64 // per-dynSlot delta save for restoreFull
+	baseLUEpoch int       // baseEpoch the base factorization belongs to
+	rank1Primed bool
+}
+
+// primeRank1 factors the static base matrix and refreshes the unit-column
+// solve behind the Sherman–Morrison correction. Returns false (disabling
+// the fast path until the next base change) when the base alone is
+// singular.
+func (ws *realWorkspace) primeRank1() bool {
+	if err := ws.baseLU.Factor(ws.baseA); err != nil {
+		ws.rank1Primed = false
+		return false
+	}
+	for i := range ws.resid {
+		ws.resid[i] = 0
+	}
+	ws.resid[ws.rank1Row] = 1
+	ws.baseLU.Solve(ws.resid, ws.zr)
+	ws.baseLUEpoch = ws.baseEpoch
+	ws.rank1Primed = true
+	return true
+}
+
+// assembleDyn is the rank-1 counterpart of assemble: instead of copying the
+// whole base snapshot it zeroes only the dynamic slots and stamps the
+// dynamic devices, so A.Val holds the dynamic *deltas* at dynSlots (other
+// slots are stale — restoreFull reconstructs the complete matrix when the
+// fast path must fall back).
+func (ws *realWorkspace) assembleDyn(e *env) {
+	for _, s := range ws.dynSlots {
+		ws.A.Val[s] = 0
+	}
+	copy(ws.b, ws.baseB)
+	e.A, e.rec = nil, nil
+	e.vals, e.b = ws.A.Val, ws.b
+	e.plan, e.k = ws.planDyn, 0
+	for _, d := range ws.dynDevs {
+		d.stamp(e)
+	}
+	if e.k != len(ws.planDyn) {
+		panic(fmt.Sprintf("circuit: dynamic stamp plan desync (%d calls, plan %d)", e.k, len(ws.planDyn)))
+	}
+}
+
+// restoreFull turns the delta-state left by assembleDyn into the complete
+// assembled matrix (base snapshot plus dynamic contributions), without
+// re-running any device stamp (stamps may mutate limiter state and must
+// run exactly once per iteration).
+func (ws *realWorkspace) restoreFull() {
+	for i, s := range ws.dynSlots {
+		ws.dynScratch[i] = ws.A.Val[s]
+	}
+	copy(ws.A.Val, ws.baseVals)
+	for i, s := range ws.dynSlots {
+		ws.A.Val[s] += ws.dynScratch[i]
+	}
+}
+
+// solveRank1 solves the assembled system via the Sherman–Morrison identity
+//
+//	(A_base + e_r·vᵀ)⁻¹·b = y − (vᵀy)/(1 + vᵀz)·z,  y = A_base⁻¹b, z = A_base⁻¹e_r
+//
+// writing the solution into x. A.Val carries the dynamic deltas (v) at
+// dynSlots, as left by assembleDyn. Returns false when the correction is
+// ill-conditioned (|1 + vᵀz| tiny) and the caller should refactor instead.
+func (ws *realWorkspace) solveRank1(x []float64) bool {
+	ws.baseLU.Solve(ws.b, x)
+	num, den := 0.0, 1.0
+	for _, s := range ws.dynSlots {
+		delta := ws.A.Val[s]
+		if delta == 0 {
+			continue
+		}
+		c := ws.colOfSlot[s]
+		num += delta * x[c]
+		den += delta * ws.zr[c]
+	}
+	if math.Abs(den) < 1e-9 {
+		return false
+	}
+	alpha := num / den
+	if alpha != 0 {
+		for i := range x {
+			x[i] -= alpha * ws.zr[i]
+		}
+	}
+	return true
+}
+
+// stampBaseStep runs the static pass for one transient step, reusing the
+// cached static matrix when only the right-hand side can have moved (same
+// run, same integration method). Tran invalidates the cache at entry, so
+// device parameter edits between runs are always picked up.
+func (ws *realWorkspace) stampBaseStep(e *env) {
+	if ws.canRHSOnly && ws.baseMatrixValid && ws.baseMatrixTrap == e.trapFlag {
+		for i := range ws.baseB {
+			ws.baseB[i] = 0
+		}
+		e.A, e.rec = nil, nil
+		e.b = ws.baseB
+		for _, d := range ws.staticRHS {
+			d.stampRHS(e)
+		}
+		return
+	}
+	ws.stampBase(e)
+	ws.baseMatrixValid = true
+	ws.baseMatrixTrap = e.trapFlag
+}
+
+// realWS returns the compiled workspace for the given analysis mode,
+// building it on first use. The workspace survives parameter changes; a
+// topology recompile discards it.
+func (c *Circuit) realWS(mode analysisMode) *realWorkspace {
+	if mode == modeDC && c.wsDC != nil {
+		return c.wsDC
+	}
+	if mode == modeTran && c.wsTran != nil {
+		return c.wsTran
+	}
+	ws := c.buildRealWS(mode)
+	if mode == modeDC {
+		c.wsDC = ws
+	} else {
+		c.wsTran = ws
+	}
+	return ws
+}
+
+func (c *Circuit) buildRealWS(mode analysisMode) *realWorkspace {
+	n := c.unknowns
+	ws := &realWorkspace{mode: mode, lu: sparse.NewLU(), canRHSOnly: true}
+	for _, d := range c.devices {
+		if dynamicReal(d) {
+			ws.dynDevs = append(ws.dynDevs, d)
+		} else {
+			ws.staticDevs = append(ws.staticDevs, d)
+			if r, ok := d.(rhsOnly); ok {
+				ws.staticRHS = append(ws.staticRHS, r)
+			} else {
+				ws.canRHSOnly = false
+			}
+		}
+	}
+	builder := sparse.NewBuilder(n)
+	rec := &env{
+		mode: mode, c: c, rec: builder,
+		dt: 1, trapFlag: true, firstIter: true, gmin: nodeGmin, srcScale: 1,
+		x: make([]float64, n), xprev: make([]float64, n), b: make([]float64, n),
+	}
+	rec.plan = nil
+	for _, d := range ws.staticDevs {
+		d.stamp(rec)
+	}
+	planStatic := rec.plan
+	rec.plan = nil
+	for _, d := range ws.dynDevs {
+		d.stamp(rec)
+	}
+	planDyn := rec.plan
+	nv := len(c.names) - 1
+	diag := make([]int32, nv)
+	for i := 0; i < nv; i++ {
+		diag[i] = builder.Slot(i, i)
+	}
+	var remap []int32
+	ws.A, remap = builder.BuildReal()
+	ws.planStatic = remapPlan(planStatic, remap)
+	ws.planDyn = remapPlan(planDyn, remap)
+	ws.diagSlots = remapPlan(diag, remap)
+	nnz := ws.A.NNZ()
+	ws.baseVals = make([]float64, nnz)
+	ws.lastVals = make([]float64, nnz)
+	ws.baseB = make([]float64, n)
+	ws.b = make([]float64, n)
+	ws.x = make([]float64, n)
+	ws.xNew = make([]float64, n)
+	ws.resid = make([]float64, n)
+	ws.colOfSlot = make([]int32, nnz)
+	for j := 0; j < n; j++ {
+		for p := ws.A.ColPtr[j]; p < ws.A.ColPtr[j+1]; p++ {
+			ws.colOfSlot[p] = int32(j)
+		}
+	}
+	// Columns the dynamic devices write move to the end of the elimination
+	// order, so per-iteration refactorization redoes only a short suffix;
+	// the deduplicated dynamic slots also bound the dirty comparison when
+	// the static snapshot hasn't moved.
+	seenSlot := make(map[int32]bool)
+	seenCol := make(map[int32]bool)
+	var hot []int32
+	for _, s := range ws.planDyn {
+		if !seenSlot[s] {
+			seenSlot[s] = true
+			ws.dynSlots = append(ws.dynSlots, s)
+		}
+		if c := ws.colOfSlot[s]; !seenCol[c] {
+			seenCol[c] = true
+			hot = append(hot, c)
+		}
+	}
+	ws.lu.PreferLast(hot)
+	ws.lastEpoch = -1
+	// Rank-1 eligibility: all dynamic matrix writes confined to one row.
+	if mode == modeTran && len(ws.dynSlots) > 0 {
+		row := ws.A.Row[ws.dynSlots[0]]
+		single := true
+		for _, s := range ws.dynSlots[1:] {
+			if ws.A.Row[s] != row {
+				single = false
+				break
+			}
+		}
+		if single {
+			ws.rank1OK = true
+			ws.rank1Row = row
+			ws.baseA = &sparse.Matrix{N: ws.A.N, ColPtr: ws.A.ColPtr, Row: ws.A.Row, Val: ws.baseVals}
+			ws.baseLU = sparse.NewLU()
+			ws.zr = make([]float64, n)
+			ws.dynScratch = make([]float64, len(ws.dynSlots))
+		}
+	}
+	return ws
+}
+
+func remapPlan(plan, remap []int32) []int32 {
+	out := make([]int32, len(plan))
+	for i, s := range plan {
+		out[i] = remap[s]
+	}
+	return out
+}
+
+// stampBase runs the static pass: everything that is constant across the
+// Newton iterations of one solve lands in baseVals/baseB. Call once per
+// solve (per timestep in transient, per continuation stage in DC).
+func (ws *realWorkspace) stampBase(e *env) {
+	for i := range ws.baseVals {
+		ws.baseVals[i] = 0
+	}
+	for i := range ws.baseB {
+		ws.baseB[i] = 0
+	}
+	e.A, e.rec = nil, nil
+	e.vals, e.b = ws.baseVals, ws.baseB
+	e.plan, e.k = ws.planStatic, 0
+	for _, d := range ws.staticDevs {
+		d.stamp(e)
+	}
+	if e.k != len(ws.planStatic) {
+		panic(fmt.Sprintf("circuit: static stamp plan desync (%d calls, plan %d)", e.k, len(ws.planStatic)))
+	}
+	for _, s := range ws.diagSlots {
+		ws.baseVals[s] += nodeGmin
+	}
+	ws.baseEpoch++
+}
+
+// assemble builds the full system for the current iterate: copy the static
+// snapshot, then stamp the dynamic devices. Zero allocations.
+func (ws *realWorkspace) assemble(e *env) {
+	copy(ws.A.Val, ws.baseVals)
+	copy(ws.b, ws.baseB)
+	e.vals, e.b = ws.A.Val, ws.b
+	e.plan, e.k = ws.planDyn, 0
+	for _, d := range ws.dynDevs {
+		d.stamp(e)
+	}
+	if e.k != len(ws.planDyn) {
+		panic(fmt.Sprintf("circuit: dynamic stamp plan desync (%d calls, plan %d)", e.k, len(ws.planDyn)))
+	}
+}
+
+// dirtyFrom compares the assembled values against the ones behind the
+// current factorization and returns the earliest elimination step touched
+// by a changed column — N when nothing changed (the factorization can be
+// reused outright), 0 when no factorization exists yet. When the static
+// snapshot is the same one the factors were computed from, only the
+// dynamic slots can differ, so the comparison touches a handful of
+// entries instead of the whole pattern.
+func (ws *realWorkspace) dirtyFrom() int {
+	if !ws.lu.Valid() {
+		return 0
+	}
+	from := ws.A.N
+	vals := ws.A.Val
+	if ws.lastEpoch == ws.baseEpoch {
+		for _, s := range ws.dynSlots {
+			if vals[s] != ws.lastVals[s] {
+				if p := int(ws.lu.ColPos(ws.colOfSlot[s])); p < from {
+					from = p
+				}
+			}
+		}
+		return from
+	}
+	for i, v := range vals {
+		if v != ws.lastVals[i] {
+			if p := int(ws.lu.ColPos(ws.colOfSlot[i])); p < from {
+				from = p
+			}
+		}
+	}
+	return from
+}
+
+// factorFrom (re)factors the assembled matrix: a partial numeric
+// refactorization of the elimination suffix [from, N) on the frozen
+// pattern when possible (the stamp-plan ordering keeps nonlinear columns
+// at the end, so this is typically a short tail), falling back to a full
+// re-pivoting factorization when the frozen pivots have degenerated. On
+// success lastVals snapshots the values so unchanged re-stamps can skip
+// factorization entirely.
+func (ws *realWorkspace) factorFrom(from int) error {
+	var err error
+	if ws.lu.Valid() {
+		err = ws.lu.RefactorFrom(ws.A, from)
+	}
+	if !ws.lu.Valid() {
+		err = ws.lu.Factor(ws.A)
+	}
+	if err != nil {
+		return err
+	}
+	copy(ws.lastVals, ws.A.Val)
+	ws.lastEpoch = ws.baseEpoch
+	return nil
+}
+
+// acWorkspace is the compiled AC stamping workspace. Each sweep worker owns
+// one, reusing it across its chunk of frequency points: the
+// frequency-independent entries are stamped once per sweep, each point
+// copies that snapshot and re-stamps only the reactive devices.
+type acWorkspace struct {
+	c          *Circuit
+	A          *sparse.CMatrix
+	lu         *sparse.CLU
+	planStatic []int32
+	planDyn    []int32
+	diagSlots  []int32
+	staticDevs []Device
+	dynDevs    []Device
+
+	staticVals []complex128
+	b          []complex128 // rhs: frequency-independent, stamped with the static pass
+	e          acEnv
+}
+
+func (c *Circuit) buildACWS() *acWorkspace {
+	n := c.unknowns
+	ws := &acWorkspace{c: c, lu: sparse.NewCLU()}
+	for _, d := range c.devices {
+		if _, ok := d.(acStamper); !ok {
+			continue
+		}
+		if dynamicAC(d) {
+			ws.dynDevs = append(ws.dynDevs, d)
+		} else {
+			ws.staticDevs = append(ws.staticDevs, d)
+		}
+	}
+	builder := sparse.NewBuilder(n)
+	rec := &acEnv{omega: 1, c: c, rec: builder, op: make([]float64, n), b: make([]complex128, n)}
+	rec.plan = nil
+	for _, d := range ws.staticDevs {
+		d.(acStamper).stampAC(rec)
+	}
+	planStatic := rec.plan
+	rec.plan = nil
+	for _, d := range ws.dynDevs {
+		d.(acStamper).stampAC(rec)
+	}
+	planDyn := rec.plan
+	nv := len(c.names) - 1
+	diag := make([]int32, nv)
+	for i := 0; i < nv; i++ {
+		diag[i] = builder.Slot(i, i)
+	}
+	var remap []int32
+	ws.A, remap = builder.BuildComplex()
+	ws.planStatic = remapPlan(planStatic, remap)
+	ws.planDyn = remapPlan(planDyn, remap)
+	ws.diagSlots = remapPlan(diag, remap)
+	ws.staticVals = make([]complex128, ws.A.NNZ())
+	ws.b = make([]complex128, n)
+	return ws
+}
+
+// acWorkspaces returns w compiled AC workspaces from the circuit's pool,
+// growing it as needed.
+func (c *Circuit) acWorkspaces(w int) []*acWorkspace {
+	for len(c.acPool) < w {
+		c.acPool = append(c.acPool, c.buildACWS())
+	}
+	return c.acPool[:w]
+}
+
+// stampACStatic runs the frequency-independent pass (all devices except the
+// reactive ones, the node regularization, and the full rhs) into the
+// snapshot arrays.
+func (ws *acWorkspace) stampACStatic(op []float64) {
+	for i := range ws.staticVals {
+		ws.staticVals[i] = 0
+	}
+	for i := range ws.b {
+		ws.b[i] = 0
+	}
+	e := &ws.e
+	*e = acEnv{c: ws.c, op: op, vals: ws.staticVals, b: ws.b, plan: ws.planStatic}
+	for _, d := range ws.staticDevs {
+		d.(acStamper).stampAC(e)
+	}
+	if e.k != len(ws.planStatic) {
+		panic(fmt.Sprintf("circuit: AC static stamp plan desync (%d calls, plan %d)", e.k, len(ws.planStatic)))
+	}
+	for _, s := range ws.diagSlots {
+		ws.staticVals[s] += complex(nodeGmin, 0)
+	}
+	// The reactive devices' rhs writes don't exist (they stamp only the
+	// matrix), so b is complete after the static pass.
+}
+
+// assembleAC builds the matrix for one frequency point on top of the
+// static snapshot. Zero allocations.
+func (ws *acWorkspace) assembleAC(op []float64, omega float64) {
+	copy(ws.A.Val, ws.staticVals)
+	e := &ws.e
+	*e = acEnv{c: ws.c, omega: omega, op: op, vals: ws.A.Val, plan: ws.planDyn}
+	for _, d := range ws.dynDevs {
+		d.(acStamper).stampAC(e)
+	}
+	if e.k != len(ws.planDyn) {
+		panic(fmt.Sprintf("circuit: AC dynamic stamp plan desync (%d calls, plan %d)", e.k, len(ws.planDyn)))
+	}
+}

@@ -98,6 +98,9 @@ func (c *Circuit) Tran(opts TranOptions) (*TranResult, error) {
 
 	nSteps := int(math.Ceil(opts.TStop / opts.TStep))
 	res.T = make([]float64, 0, nSteps+1)
+	for i := range res.V {
+		res.V[i] = make([]float64, 0, nSteps+1)
+	}
 	appendSample := func(t float64, xv []float64) {
 		res.T = append(res.T, t)
 		for i, idx := range recIdx {
@@ -109,41 +112,122 @@ func (c *Circuit) Tran(opts TranOptions) (*TranResult, error) {
 		}
 	}
 
+	var ws *realWorkspace
+	var e *env
+	if c.dense {
+		e = &env{}
+	} else {
+		ws = c.realWS(modeTran)
+		ws.baseMatrixValid = false // device params may have changed since the last run
+		e = &ws.e
+	}
+	*e = env{mode: modeTran, c: c, dt: opts.TStep, srcScale: 1, gmin: nodeGmin, xprev: x}
 	// Reset companion states from the initial solution.
-	e := &env{mode: modeTran, c: c, dt: opts.TStep, srcScale: 1, gmin: 1e-12, xprev: x}
+	var statefuls []stateful
 	for _, d := range c.devices {
 		if s, ok := d.(stateful); ok {
+			statefuls = append(statefuls, s)
 			s.reset(e)
 		}
 	}
 	appendSample(0, x)
 
+	// cur holds the accepted solution of the previous timepoint; sol
+	// receives each step's converged result (ws buffers on the sparse
+	// path). Waveform samples are copied out, so the buffers can be
+	// reused across all steps.
+	cur := append([]float64(nil), x...)
 	t := 0.0
 	for step := 0; step < nSteps; step++ {
 		tNew := t + opts.TStep
 		e.time = tNew
 		e.trapFlag = step > 0 // BE start, then trapezoidal
-		e.xprev = x
-		xNew, ok := c.tranNewton(x, e, opts, &stats)
+		e.xprev = cur
+		var sol []float64
+		var ok bool
+		if c.dense {
+			sol, ok = c.tranNewtonDense(cur, e, opts, &stats)
+		} else {
+			sol, ok = c.tranNewtonSparse(ws, cur, e, opts, &stats)
+		}
 		if !ok {
 			return nil, fmt.Errorf("circuit %q: transient Newton failed at t=%g", c.Name, tNew)
 		}
 		// Advance companion states with the accepted solution.
-		e.x = xNew
-		for _, d := range c.devices {
-			if s, ok := d.(stateful); ok {
-				s.advance(e)
-			}
+		e.x = sol
+		for _, s := range statefuls {
+			s.advance(e)
 		}
-		x = xNew
+		copy(cur, sol)
 		t = tNew
-		appendSample(t, x)
+		appendSample(t, cur)
 	}
 	res.Stats = stats
 	return res, nil
 }
 
-func (c *Circuit) tranNewton(x0 []float64, e *env, opts TranOptions, stats *NewtonStats) ([]float64, bool) {
+// tranNewtonSparse solves one timestep on the compiled sparse workspace.
+// Per iteration it performs only indexed stamp writes, a pattern-reusing
+// refactorization (skipped entirely when the Jacobian is bitwise unchanged
+// — linear circuits at a fixed step factor exactly once per integration
+// method), and an in-place solve: no allocations.
+func (c *Circuit) tranNewtonSparse(ws *realWorkspace, x0 []float64, e *env, opts TranOptions, stats *NewtonStats) ([]float64, bool) {
+	ws.stampBaseStep(e)
+	rank1 := ws.rank1OK
+	if rank1 && (!ws.rank1Primed || ws.baseLUEpoch != ws.baseEpoch) {
+		rank1 = ws.primeRank1()
+		if rank1 {
+			stats.Factors++
+		}
+	}
+	x := ws.x
+	copy(x, x0)
+	xNew := ws.xNew
+	nv := len(c.names) - 1
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		stats.Iterations++
+		e.firstIter = iter == 0
+		e.x = x
+		solved := false
+		if rank1 {
+			ws.assembleDyn(e)
+			solved = ws.solveRank1(xNew)
+			if !solved {
+				ws.restoreFull()
+			}
+		} else {
+			ws.assemble(e)
+		}
+		if !solved {
+			if from := ws.dirtyFrom(); from < ws.A.N {
+				if err := ws.factorFrom(from); err != nil {
+					return nil, false
+				}
+				stats.Factors++
+			}
+			ws.lu.Solve(ws.b, xNew)
+		}
+		if !linalg.AllFinite(xNew) {
+			return nil, false
+		}
+		converged := true
+		for i := 0; i < nv; i++ {
+			if math.Abs(xNew[i]-x[i]) > opts.AbsTol+opts.RelTol*math.Abs(xNew[i]) {
+				converged = false
+				break
+			}
+		}
+		copy(x, xNew)
+		if converged {
+			return x, true
+		}
+	}
+	return nil, false
+}
+
+// tranNewtonDense is the original dense-matrix timestep solver, kept as
+// the golden reference and benchmark baseline.
+func (c *Circuit) tranNewtonDense(x0 []float64, e *env, opts TranOptions, stats *NewtonStats) ([]float64, bool) {
 	x := linalg.Clone(x0)
 	n := c.unknowns
 	for iter := 0; iter < opts.MaxIter; iter++ {
@@ -156,7 +240,7 @@ func (c *Circuit) tranNewton(x0 []float64, e *env, opts TranOptions, stats *Newt
 			d.stamp(e)
 		}
 		for i := 0; i < len(c.names)-1; i++ {
-			e.A.Add(i, i, 1e-12)
+			e.A.Add(i, i, nodeGmin)
 		}
 		lu, err := linalg.NewLU(e.A)
 		if err != nil {

@@ -140,7 +140,10 @@ func WeightedSqDist(a, b, l []float64) float64 {
 // AllFinite reports whether every entry of v is finite.
 func AllFinite(v []float64) bool {
 	for _, x := range v {
-		if math.IsNaN(x) || math.IsInf(x, 0) {
+		// x-x is 0 for every finite x and NaN for NaN/±Inf: one subtract
+		// and compare instead of two classification calls (this check sits
+		// on the simulator's per-iteration hot path).
+		if x-x != 0 {
 			return false
 		}
 	}

@@ -18,8 +18,15 @@ type Problem struct {
 	Name string
 	Lo   []float64
 	Hi   []float64
-	// Eval returns the figure of merit at x (maximize).
+	// Eval returns the figure of merit at x (maximize). It must be safe
+	// for concurrent use.
 	Eval func(x []float64) float64
+	// NewEval optionally returns a fresh evaluator instance owning private
+	// simulator state (compiled circuits, solver workspaces). Parallel
+	// executors give each worker its own instance so evaluations skip all
+	// per-call setup without synchronizing; the returned function need not
+	// be safe for concurrent use. Nil means workers share Eval.
+	NewEval func() func(x []float64) float64
 	// Cost returns the simulated evaluation runtime in seconds. Nil means
 	// unit cost.
 	Cost func(x []float64) float64

@@ -48,11 +48,11 @@ type GoOptions struct {
 //
 // GoExecutor is safe for use by a single driving goroutine (the BO loop).
 type GoExecutor struct {
-	eval GoEvalCtx
-	opts GoOptions
-	ctx  context.Context
-	t0   time.Time
-	done chan Result
+	evals []GoEvalCtx // one evaluator per worker slot
+	opts  GoOptions
+	ctx   context.Context
+	t0    time.Time
+	done  chan Result
 
 	mu    sync.Mutex
 	next  int
@@ -73,6 +73,8 @@ func NewGo(b int, eval GoEval) *GoExecutor {
 
 // NewGoCtx creates a goroutine-backed executor with b workers, a
 // context-aware evaluation function, and explicit fault-tolerance options.
+// The evaluation function is shared by every worker and must be safe for
+// concurrent use; see NewGoCtxPerWorker for stateful per-worker evaluators.
 func NewGoCtx(b int, eval GoEvalCtx, opts GoOptions) *GoExecutor {
 	if b < 1 {
 		panic("sched: need at least one worker")
@@ -80,14 +82,43 @@ func NewGoCtx(b int, eval GoEvalCtx, opts GoOptions) *GoExecutor {
 	if eval == nil {
 		panic("sched: nil evaluation function")
 	}
+	evals := make([]GoEvalCtx, b)
+	for i := range evals {
+		evals[i] = eval
+	}
+	return NewGoCtxPerWorker(evals, opts)
+}
+
+// NewGoCtxPerWorker creates a goroutine-backed executor with one evaluator
+// per worker slot (pool size = len(evals)). The slot pool guarantees a
+// worker index is held by at most one in-flight evaluation, so each
+// evaluator runs strictly sequentially and may own mutable simulator state
+// (a compiled circuit, solver workspaces) without synchronization.
+//
+// Caveat: an abandoned attempt (Timeout or cancellation with an evaluator
+// that ignores ctx) may still be running when its slot is reused, which
+// would let two goroutines touch the same evaluator. Combine stateful
+// per-worker evaluators with Timeout only if they observe ctx; otherwise
+// use NewGoCtx with an evaluator that is safe for concurrent use (e.g.
+// drawing simulators from a pool).
+func NewGoCtxPerWorker(evals []GoEvalCtx, opts GoOptions) *GoExecutor {
+	if len(evals) < 1 {
+		panic("sched: need at least one worker")
+	}
+	for _, ev := range evals {
+		if ev == nil {
+			panic("sched: nil evaluation function")
+		}
+	}
 	if opts.Context == nil {
 		opts.Context = context.Background()
 	}
 	if opts.Retries < 0 {
 		opts.Retries = 0
 	}
+	b := len(evals)
 	return &GoExecutor{
-		eval: eval, opts: opts, ctx: opts.Context, t0: time.Now(),
+		evals: evals, opts: opts, ctx: opts.Context, t0: time.Now(),
 		done:  make(chan Result, b),
 		slots: newSlotPool(b), busy: make(map[int][]float64),
 	}
@@ -137,7 +168,7 @@ func (g *GoExecutor) run(id, worker int, x []float64) {
 	attempts := 0
 	for {
 		attempts++
-		y, err = g.attempt(x)
+		y, err = g.attempt(g.evals[worker], x)
 		if err == nil || attempts > g.opts.Retries || g.ctx.Err() != nil {
 			break
 		}
@@ -150,7 +181,7 @@ func (g *GoExecutor) run(id, worker int, x []float64) {
 
 // attempt runs the objective once with panic recovery, the per-eval timeout,
 // and pool cancellation applied.
-func (g *GoExecutor) attempt(x []float64) (float64, error) {
+func (g *GoExecutor) attempt(eval GoEvalCtx, x []float64) (float64, error) {
 	ctx := g.ctx
 	if g.opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -159,7 +190,7 @@ func (g *GoExecutor) attempt(x []float64) (float64, error) {
 	}
 	if ctx.Done() == nil {
 		// Nothing can interrupt this attempt: evaluate on this goroutine.
-		return safeEval(g.eval, ctx, x)
+		return safeEval(eval, ctx, x)
 	}
 	type out struct {
 		y   float64
@@ -167,7 +198,7 @@ func (g *GoExecutor) attempt(x []float64) (float64, error) {
 	}
 	ch := make(chan out, 1)
 	go func() {
-		y, err := safeEval(g.eval, ctx, x)
+		y, err := safeEval(eval, ctx, x)
 		ch <- out{y, err}
 	}()
 	select {

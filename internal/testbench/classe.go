@@ -3,6 +3,7 @@ package testbench
 import (
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"easybo/internal/circuit"
 	"easybo/internal/objective"
@@ -86,31 +87,38 @@ func classEPeriods(x []float64) int {
 	return int(clampF(math.Round(4*q), 15, 60))
 }
 
-// buildClassE constructs the switching-PA transient netlist at design x.
-func buildClassE(x []float64) *circuit.Circuit {
-	l1, c1, l2, c2, c3 := x[0], x[1], x[2], x[3], x[4]
-	w1, w2 := x[5], x[6]
-	r0, r1, vg, c0, l3 := x[7], x[8], x[9], x[10], x[11]
+// ClassESim is a reusable class-E evaluator: the switching-PA netlist is
+// built and compiled once (stamp plans, sparse pattern, symbolic
+// factorization), and each Eval only rewrites device parameter values
+// before re-running the transient. Not safe for concurrent use; give each
+// worker its own instance or go through EvalClassE, which pools them.
+type ClassESim struct {
+	c                *circuit.Circuit
+	l1, l2, l3       *circuit.Inductor
+	sw               *circuit.Switch
+	coss, c1, c2, c3 *circuit.Capacitor
+	c0, cg           *circuit.Capacitor
+	rdrv, r1         *circuit.Resistor
+	vg               *circuit.VSource
+}
 
-	ron := ronPerMM / w1
-	coss := cossPerMM * w1
-	cg := cgPerMM * w1
-	rdrv := r0 + rdrvPerMM/w2
-
+// NewClassESim builds the class-E topology with placeholder values.
+func NewClassESim() *ClassESim {
+	s := &ClassESim{}
 	period := 1 / classEF0
 	c := circuit.New("class-e")
 	// Power train.
 	c.AddV("VDD", "vdd", "0", circuit.DC(classEVdd))
 	c.AddR("Rsns", "vdd", "vsw", classERsns)
-	c.AddL("L1", "vsw", "drain", l1)
-	c.AddSwitch("S1", "drain", "0", "gate", "0", ron, classERoff, classEVon, classEVoff)
-	c.AddC("Coss", "drain", "0", coss)
-	c.AddC("C1", "drain", "0", c1)
+	s.l1 = c.AddL("L1", "vsw", "drain", 1)
+	s.sw = c.AddSwitch("S1", "drain", "0", "gate", "0", 1, classERoff, classEVon, classEVoff)
+	s.coss = c.AddC("Coss", "drain", "0", 1)
+	s.c1 = c.AddC("C1", "drain", "0", 1)
 	// Series filter and matching network into the load.
-	c.AddL("L2", "drain", "mid", l2)
-	c.AddC("C2", "mid", "filt", c2)
-	c.AddC("C3", "filt", "0", c3)
-	c.AddL("L3", "filt", "out", l3)
+	s.l2 = c.AddL("L2", "drain", "mid", 1)
+	s.c2 = c.AddC("C2", "mid", "filt", 1)
+	s.c3 = c.AddC("C3", "filt", "0", 1)
+	s.l3 = c.AddL("L3", "filt", "out", 1)
 	c.AddR("RL", "out", "0", classERL)
 	// Gate-drive chain: square-wave driver, series resistance, AC coupling,
 	// resistive bias to Vg.
@@ -119,23 +127,48 @@ func buildClassE(x []float64) *circuit.Circuit {
 		Rise: 0.05 * period, Fall: 0.05 * period,
 		Width: 0.45 * period, Period: period,
 	})
-	c.AddR("Rdrv", "drv", "gd", rdrv)
-	c.AddC("C0", "gd", "gate", c0)
-	c.AddV("VG", "vb", "0", circuit.DC(vg))
-	c.AddR("R1", "gate", "vb", r1)
-	c.AddC("Cg", "gate", "0", cg)
-	return c
+	s.rdrv = c.AddR("Rdrv", "drv", "gd", 1)
+	s.c0 = c.AddC("C0", "gd", "gate", 1)
+	s.vg = c.AddV("VG", "vb", "0", circuit.DC(0))
+	s.r1 = c.AddR("R1", "gate", "vb", 1)
+	s.cg = c.AddC("Cg", "gate", "0", 1)
+	s.c = c
+	return s
 }
 
-// EvalClassE runs the transient analysis and extracts Pout, PAE and the
+// SetDense routes this sim's analyses through the dense reference solver
+// (golden tests and benchmark baselines).
+func (s *ClassESim) SetDense(on bool) { s.c.SetDenseSolver(on) }
+
+// set rewrites the design-dependent device values at design point x.
+func (s *ClassESim) set(x []float64) {
+	l1, c1, l2, c2, c3 := x[0], x[1], x[2], x[3], x[4]
+	w1, w2 := x[5], x[6]
+	r0, r1, vg, c0, l3 := x[7], x[8], x[9], x[10], x[11]
+	s.l1.L = l1
+	s.sw.Ron = ronPerMM / w1
+	s.coss.C = cossPerMM * w1
+	s.c1.C = c1
+	s.l2.L = l2
+	s.c2.C = c2
+	s.c3.C = c3
+	s.l3.L = l3
+	s.rdrv.R = r0 + rdrvPerMM/w2
+	s.c0.C = c0
+	s.vg.Wave = circuit.DC(vg)
+	s.r1.R = r1
+	s.cg.C = cgPerMM * w1
+}
+
+// Eval runs the transient analysis and extracts Pout, PAE and the
 // waveform diagnostics.
-func EvalClassE(x []float64) ClassEPerformance {
+func (s *ClassESim) Eval(x []float64) ClassEPerformance {
 	var perf ClassEPerformance
 	settle := classEPeriods(x)
 	perf.Periods = settle + measPeriods
 	period := 1 / classEF0
-	c := buildClassE(x)
-	res, err := c.Tran(circuit.TranOptions{
+	s.set(x)
+	res, err := s.c.Tran(circuit.TranOptions{
 		TStop:  float64(perf.Periods) * period,
 		TStep:  period / stepsPerPer,
 		UIC:    true,
@@ -188,6 +221,17 @@ func EvalClassE(x []float64) ClassEPerformance {
 	return perf
 }
 
+// classEPool recycles compiled sims across EvalClassE calls.
+var classEPool = sync.Pool{New: func() any { return NewClassESim() }}
+
+// EvalClassE evaluates the class-E design at x using a pooled reusable
+// simulator. Safe for concurrent use.
+func EvalClassE(x []float64) ClassEPerformance {
+	s := classEPool.Get().(*ClassESim)
+	defer classEPool.Put(s)
+	return s.Eval(x)
+}
+
 // ClassEFOM is the paper's Eq. (11): 3·PAE + Pout (PAE as a fraction, Pout
 // in watts). Failed transients score a large negative constant.
 func ClassEFOM(perf ClassEPerformance) float64 {
@@ -209,13 +253,19 @@ func classECost(x []float64) float64 {
 	return 26 + 15*(steps/9000) + 60*math.Pow(u, 4)
 }
 
-// ClassE returns the §IV-B benchmark as an optimization problem.
+// ClassE returns the §IV-B benchmark as an optimization problem. Eval
+// draws compiled simulators from a shared pool; NewEval hands a private
+// sim to each worker of a parallel executor.
 func ClassE() *objective.Problem {
 	lo, hi := ClassEBounds()
 	return &objective.Problem{
 		Name: "classe",
 		Lo:   lo, Hi: hi,
-		Eval:      func(x []float64) float64 { return ClassEFOM(EvalClassE(x)) },
+		Eval: func(x []float64) float64 { return ClassEFOM(EvalClassE(x)) },
+		NewEval: func() func(x []float64) float64 {
+			s := NewClassESim()
+			return func(x []float64) float64 { return ClassEFOM(s.Eval(x)) }
+		},
 		Cost:      classECost,
 		BestKnown: math.NaN(),
 	}

@@ -2,6 +2,7 @@ package testbench
 
 import (
 	"math"
+	"sync"
 
 	"easybo/internal/circuit"
 	"easybo/internal/objective"
@@ -140,10 +141,75 @@ func opampBias(x []float64) (perf OpAmpPerformance, p6, p7 circuit.MOSParams,
 	return perf, p6, p7, gm1, go1, gm3, go3, gm6, gds6, gds7, v1
 }
 
-// EvalOpAmp sizes the two-stage Miller op-amp at design point x and measures
-// GAIN (dB), UGF (MHz) and PM (deg) from a small-signal AC sweep through the
-// MNA engine.
-func EvalOpAmp(x []float64) OpAmpPerformance {
+// opampFreqs is the fixed AC sweep grid of the benchmark.
+var opampFreqs = circuit.LogSpace(10, 10e9, 181)
+
+// OpAmpSim is a reusable op-amp evaluator: the small-signal netlist is
+// built and compiled once (stamp plans, sparse pattern, symbolic
+// factorization), and each Eval only rewrites device parameter values
+// before re-running the AC sweep. A sim is not safe for concurrent use;
+// give each worker its own instance (see testbench's Problem.NewEval) or
+// go through EvalOpAmp, which draws from a pool.
+type OpAmpSim struct {
+	c                              *circuit.Circuit
+	ggm1, ggm4, ggm2, ggm6         *circuit.VCCS
+	rna, rn1, rz, rg6, rout        *circuit.Resistor
+	cna, cn1, cc, cgd6, cgs6, cout *circuit.Capacitor
+	// ACWorkers bounds the parallel frequency sweep inside one evaluation
+	// (0 = automatic). Set to 1 when many sims already run concurrently.
+	ACWorkers int
+}
+
+// NewOpAmpSim builds the small-signal topology with placeholder values.
+func NewOpAmpSim() *OpAmpSim {
+	s := &OpAmpSim{}
+	// Small-signal AC netlist (differential drive ±0.5 → H = vout/vin_diff).
+	c := circuit.New("opamp-ss")
+	vp := c.AddV("Vinp", "inp", "0", circuit.DC(0))
+	vp.ACMag = 0.5
+	vm := c.AddV("Vinm", "inm", "0", circuit.DC(0))
+	vm.ACMag = -0.5
+
+	// M1 injects gm1·v(inp) into the mirror node na (PMOS pair, tail node
+	// treated as AC ground for the differential mode).
+	s.ggm1 = c.AddVCCS("Ggm1", "0", "na", "inp", "0", 1)
+	// Diode-connected M3 at na.
+	s.rna = c.AddR("Rna", "na", "0", 1)
+	s.cna = c.AddC("Cna", "na", "0", 1)
+	// Mirror output M4: gm4 = gm3 (matched geometry, same current).
+	s.ggm4 = c.AddVCCS("Ggm4", "n1", "0", "na", "0", 1)
+	// M2 injects -gm into n1 (opposite input phase).
+	s.ggm2 = c.AddVCCS("Ggm2", "0", "n1", "inm", "0", 1)
+	// First-stage output impedance.
+	s.rn1 = c.AddR("Rn1", "n1", "0", 1)
+	s.cn1 = c.AddC("Cn1", "n1", "0", 1)
+	// Miller compensation: Rz + Cc in series from n1 to out.
+	s.rz = c.AddR("Rz", "n1", "nz", 1)
+	s.cc = c.AddC("Cc", "nz", "out", 1)
+	// Feedforward Cgd6.
+	s.cgd6 = c.AddC("Cgd6", "n1", "out", 1)
+	// Second stage, driven through the M6 gate network: poly-gate and
+	// routing resistance against Cgs6 plus the device's non-quasi-static
+	// delay put a real parasitic pole (≈500 MHz here) inside the loop —
+	// without it the macromodel's phase lag never reaches 180° and the
+	// GAIN/UGF/PM trade-off of the HSPICE benchmark would not bind.
+	s.rg6 = c.AddR("Rg6", "n1", "g6", 1)
+	s.cgs6 = c.AddC("Cgs6", "g6", "0", 1)
+	s.ggm6 = c.AddVCCS("Ggm6", "out", "0", "g6", "0", 1)
+	s.rout = c.AddR("Rout", "out", "0", 1)
+	s.cout = c.AddC("Cout", "out", "0", 1)
+	s.c = c
+	return s
+}
+
+// SetDense routes this sim's analyses through the dense reference solver
+// (golden tests and benchmark baselines).
+func (s *OpAmpSim) SetDense(on bool) { s.c.SetDenseSolver(on) }
+
+// Eval sizes the two-stage Miller op-amp at design point x and measures
+// GAIN (dB), UGF (MHz) and PM (deg) from a small-signal AC sweep through
+// the MNA engine.
+func (s *OpAmpSim) Eval(x []float64) OpAmpPerformance {
 	perf, p6, _, gm1, go1, gm3, go3, gm6, gds6, gds7, _ := opampBias(x)
 	w12 := x[0]
 	w34, l34 := x[2], x[3]
@@ -162,44 +228,23 @@ func EvalOpAmp(x []float64) OpAmpPerformance {
 	cdb7 := cjPerW * w7
 	cgd7 := covPerW * w7
 
-	// Small-signal AC netlist (differential drive ±0.5 → H = vout/vin_diff).
-	c := circuit.New("opamp-ss")
-	vp := c.AddV("Vinp", "inp", "0", circuit.DC(0))
-	vp.ACMag = 0.5
-	vm := c.AddV("Vinm", "inm", "0", circuit.DC(0))
-	vm.ACMag = -0.5
+	s.ggm1.Gm = gm1
+	s.rna.R = 1 / (gm3 + go3 + go1)
+	s.cna.C = cgs34*2 + cdb12 + cdb34 + cgd12
+	s.ggm4.Gm = gm3
+	s.ggm2.Gm = gm1
+	s.rn1.R = 1 / (go1 + go3)
+	s.cn1.C = cgd12 + cdb12 + cdb34
+	s.rz.R = math.Max(rz, 1e-3)
+	s.cc.C = cc
+	s.cgd6.C = cgd6
+	s.rg6.R = 1 / (2 * math.Pi * 500e6 * cgs6)
+	s.cgs6.C = cgs6
+	s.ggm6.Gm = gm6
+	s.rout.R = 1 / math.Max(gds6+gds7, 1e-9)
+	s.cout.C = opampCL + cdb6 + cdb7 + cgd7
 
-	// M1 injects gm1·v(inp) into the mirror node na (PMOS pair, tail node
-	// treated as AC ground for the differential mode).
-	c.AddVCCS("Ggm1", "0", "na", "inp", "0", gm1)
-	// Diode-connected M3 at na.
-	c.AddR("Rna", "na", "0", 1/(gm3+go3+go1))
-	c.AddC("Cna", "na", "0", cgs34*2+cdb12+cdb34+cgd12)
-	// Mirror output M4: gm4 = gm3 (matched geometry, same current).
-	c.AddVCCS("Ggm4", "n1", "0", "na", "0", gm3)
-	// M2 injects -gm into n1 (opposite input phase).
-	c.AddVCCS("Ggm2", "0", "n1", "inm", "0", gm1)
-	// First-stage output impedance.
-	c.AddR("Rn1", "n1", "0", 1/(go1+go3))
-	c.AddC("Cn1", "n1", "0", cgd12+cdb12+cdb34)
-	// Miller compensation: Rz + Cc in series from n1 to out.
-	c.AddR("Rz", "n1", "nz", math.Max(rz, 1e-3))
-	c.AddC("Cc", "nz", "out", cc)
-	// Feedforward Cgd6.
-	c.AddC("Cgd6", "n1", "out", cgd6)
-	// Second stage, driven through the M6 gate network: poly-gate and
-	// routing resistance against Cgs6 plus the device's non-quasi-static
-	// delay put a real parasitic pole (≈500 MHz here) inside the loop —
-	// without it the macromodel's phase lag never reaches 180° and the
-	// GAIN/UGF/PM trade-off of the HSPICE benchmark would not bind.
-	rg6 := 1 / (2 * math.Pi * 500e6 * cgs6)
-	c.AddR("Rg6", "n1", "g6", rg6)
-	c.AddC("Cgs6", "g6", "0", cgs6)
-	c.AddVCCS("Ggm6", "out", "0", "g6", "0", gm6)
-	c.AddR("Rout", "out", "0", 1/math.Max(gds6+gds7, 1e-9))
-	c.AddC("Cout", "out", "0", opampCL+cdb6+cdb7+cgd7)
-
-	res, err := c.AC(nil, circuit.LogSpace(10, 10e9, 181))
+	res, err := s.c.ACSweep(nil, opampFreqs, circuit.ACOptions{Workers: s.ACWorkers})
 	if err != nil {
 		perf.Valid = false
 		return perf
@@ -216,6 +261,19 @@ func EvalOpAmp(x []float64) OpAmpPerformance {
 	}
 	_ = p6
 	return perf
+}
+
+// opampPool recycles compiled sims across EvalOpAmp calls, so callers that
+// don't manage per-worker instances still skip the per-evaluation netlist
+// rebuild and pattern compilation.
+var opampPool = sync.Pool{New: func() any { return NewOpAmpSim() }}
+
+// EvalOpAmp sizes the two-stage Miller op-amp at design point x using a
+// pooled reusable simulator. Safe for concurrent use.
+func EvalOpAmp(x []float64) OpAmpPerformance {
+	s := opampPool.Get().(*OpAmpSim)
+	defer opampPool.Put(s)
+	return s.Eval(x)
 }
 
 // OpAmpFOM is the paper's Eq. (10): 1.2·GAIN + 10·UGF + 1.6·PM with GAIN in
@@ -243,13 +301,21 @@ func opampCost(x []float64) float64 {
 	return 31.0 + 14.5*u + 3.0*wScale
 }
 
-// OpAmp returns the §IV-A benchmark as an optimization problem.
+// OpAmp returns the §IV-A benchmark as an optimization problem. Eval draws
+// compiled simulators from a shared pool; NewEval hands a private sim to
+// each worker of a parallel executor (with the inner AC parallelism turned
+// off, since the workers already saturate the cores).
 func OpAmp() *objective.Problem {
 	lo, hi := OpAmpBounds()
 	return &objective.Problem{
 		Name: "opamp",
 		Lo:   lo, Hi: hi,
-		Eval:      func(x []float64) float64 { return OpAmpFOM(EvalOpAmp(x)) },
+		Eval: func(x []float64) float64 { return OpAmpFOM(EvalOpAmp(x)) },
+		NewEval: func() func(x []float64) float64 {
+			s := NewOpAmpSim()
+			s.ACWorkers = 1
+			return func(x []float64) float64 { return OpAmpFOM(s.Eval(x)) }
+		},
 		Cost:      opampCost,
 		BestKnown: math.NaN(),
 	}
