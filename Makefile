@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_HEAD ?= /tmp/bench_head.json
 
-.PHONY: check vet fmt build test race bench-smoke bench bench-json
+.PHONY: check vet fmt build test race bench-smoke bench bench-json bench-gate smoke
 
 check: vet fmt build test race bench-smoke
 
@@ -19,10 +20,11 @@ build:
 test: build
 	$(GO) test ./...
 
-# The async evaluation stack (executor slot pool, failure paths, AsyncLoop)
-# must stay race-free: these packages spawn real goroutines.
+# The async evaluation stack (executor slot pool, failure paths, AsyncLoop,
+# the ask/tell machine) and the session-actor service must stay race-free:
+# these packages spawn real goroutines.
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/serve/...
 
 # Smoke-run the incremental-engine benchmarks so a regression on the hot
 # path (or a compile error in bench_test.go) fails CI loudly.
@@ -37,3 +39,17 @@ bench:
 # end-to-end 40-eval EasyBO-A run, with sparse/dense speedups derived.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_3.json
+
+# CI bench-regression gate: measure a short fresh report and compare it to
+# the committed BENCH_3.json baseline. Gated hot-path benchmarks
+# (newton-iteration, testbench evals) fail CI on a >2x slowdown; everything
+# else only warns, since shared runners are noisy.
+bench-gate:
+	$(GO) run ./cmd/benchjson -out $(BENCH_HEAD) -benchtime 0.3s -count 2
+	$(GO) run ./cmd/benchcmp -baseline BENCH_3.json -head $(BENCH_HEAD)
+
+# Build every cmd/* and examples/* binary, run each example on a tiny
+# budget, and drive a live easybod daemon through an ask/tell round trip,
+# so binaries and examples cannot rot unnoticed.
+smoke:
+	GO=$(GO) ./scripts/smoke.sh

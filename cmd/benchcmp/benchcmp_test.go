@@ -1,0 +1,87 @@
+package main
+
+import (
+	"regexp"
+	"testing"
+)
+
+func mkReport(ns map[string]float64) report {
+	var rep report
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		}{Name: name, NsPerOp: v})
+	}
+	return rep
+}
+
+var gate = regexp.MustCompile(`(NewtonIteration|OpAmpEval|ClassEEval)Sparse`)
+
+func TestCompareGatesHotPathRegression(t *testing.T) {
+	baseline := mkReport(map[string]float64{
+		"BenchmarkNewtonIterationSparse": 250,
+		"BenchmarkOpAmpEvalSparse":       100000,
+		"BenchmarkACSweepSparse":         100000,
+	})
+	// Newton 2.4x slower: a gated hard failure.
+	head := mkReport(map[string]float64{
+		"BenchmarkNewtonIterationSparse": 600,
+		"BenchmarkOpAmpEvalSparse":       110000,
+		"BenchmarkACSweepSparse":         120000,
+	})
+	rows, failed := compare(baseline, head, gate, 2.0)
+	if !failed {
+		t.Fatal("2.4x newton-iteration regression must fail the gate")
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "BenchmarkNewtonIterationSparse":
+			if r.Verdict != "FAIL" {
+				t.Fatalf("newton verdict %q", r.Verdict)
+			}
+		default:
+			if r.Verdict != "ok" {
+				t.Fatalf("%s verdict %q", r.Name, r.Verdict)
+			}
+		}
+	}
+}
+
+func TestCompareWarnsOnUngatedSlowdown(t *testing.T) {
+	baseline := mkReport(map[string]float64{
+		"BenchmarkNewtonIterationSparse": 250,
+		"BenchmarkACSweepSparse":         100000,
+	})
+	// AC sweep 3x slower, but it is not gated: warn, don't fail.
+	head := mkReport(map[string]float64{
+		"BenchmarkNewtonIterationSparse": 260,
+		"BenchmarkACSweepSparse":         300000,
+	})
+	rows, failed := compare(baseline, head, gate, 2.0)
+	if failed {
+		t.Fatal("ungated slowdown must not fail the gate")
+	}
+	for _, r := range rows {
+		if r.Name == "BenchmarkACSweepSparse" && r.Verdict != "warn" {
+			t.Fatalf("ac-sweep verdict %q, want warn", r.Verdict)
+		}
+	}
+}
+
+func TestCompareFailsOnMissingGatedBenchmark(t *testing.T) {
+	baseline := mkReport(map[string]float64{"BenchmarkClassEEvalSparse": 9e6})
+	head := mkReport(map[string]float64{"BenchmarkSomethingElse": 1})
+	if _, failed := compare(baseline, head, gate, 2.0); !failed {
+		t.Fatal("a gated benchmark vanishing from the head report must fail")
+	}
+}
+
+func TestCompareAcceptsSpeedups(t *testing.T) {
+	baseline := mkReport(map[string]float64{"BenchmarkNewtonIterationSparse": 250})
+	head := mkReport(map[string]float64{"BenchmarkNewtonIterationSparse": 90})
+	rows, failed := compare(baseline, head, gate, 2.0)
+	if failed || rows[0].Verdict != "ok" {
+		t.Fatalf("speedup flagged: %+v", rows[0])
+	}
+}

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"easybo"
+)
+
+// runRemote drives a remote easybod daemon: it creates one optimization
+// session and runs Workers local goroutines as a worker pool, each looping
+// ask → evaluate the built-in testbench → tell. The daemon owns the
+// surrogate and the suggestion sequence; this process is nothing but
+// simulator capacity, exactly how a farm of HSPICE hosts would attach.
+//
+// Evaluation wall-clock intervals are measured locally, so the returned
+// Result carries real per-worker timing and utilization like
+// OptimizeParallel does.
+func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string) (*easybo.Result, error) {
+	base = strings.TrimRight(base, "/")
+	var algo string
+	switch opts.Algorithm {
+	case "", easybo.EasyBO:
+		algo = "easybo"
+	case easybo.EasyBOA:
+		algo = "easybo-a"
+	default:
+		return nil, fmt.Errorf("easybo: -serve supports easybo and easybo-a, not %q", opts.Algorithm)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.MaxEvals <= 0 {
+		opts.MaxEvals = 150
+	}
+	if policy == "retry" {
+		policy = "resubmit" // the daemon's name for the same policy
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+
+	createBody := map[string]any{
+		"name":        p.Name,
+		"lo":          p.Lo,
+		"hi":          p.Hi,
+		"algorithm":   algo,
+		"init_points": opts.InitPoints,
+		"max_evals":   opts.MaxEvals,
+		"seed":        opts.Seed,
+		"lambda":      opts.Lambda,
+		"refit_every": opts.RefitEvery,
+		"fit_iters":   opts.FitIters,
+		"failure":     policy,
+	}
+	if opts.Async.MaxFailures > 0 {
+		createBody["max_failures"] = opts.Async.MaxFailures
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := callJSON(hc, http.MethodPost, base+"/sessions", createBody, &created); err != nil {
+		return nil, fmt.Errorf("easybo: creating session: %w", err)
+	}
+
+	type askResp struct {
+		Status     string    `json:"status"`
+		ProposalID int       `json:"proposal_id"`
+		X          []float64 `json:"x"`
+	}
+	type tellReq struct {
+		ProposalID *int    `json:"proposal_id,omitempty"`
+		Y          float64 `json:"y"`
+		Error      string  `json:"error,omitempty"`
+	}
+
+	var (
+		mu       sync.Mutex
+		evals    []easybo.Evaluation
+		failed   []easybo.Evaluation
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				var a askResp
+				if err := callJSON(hc, http.MethodPost, base+"/sessions/"+created.ID+"/ask", map[string]any{}, &a); err != nil {
+					setErr(fmt.Errorf("easybo: ask: %w", err))
+					return
+				}
+				switch a.Status {
+				case "done":
+					return
+				case "wait":
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				start := time.Since(t0).Seconds()
+				// Same contract as -parallel: a failing objective gets
+				// Retries extra attempts on its worker before the failure
+				// is told to the daemon and its policy applies.
+				y, evalErr := safeEval(p.Objective, a.X)
+				attempts := 1
+				for evalErr != "" && attempts <= opts.Async.Retries {
+					attempts++
+					y, evalErr = safeEval(p.Objective, a.X)
+				}
+				end := time.Since(t0).Seconds()
+				t := tellReq{ProposalID: &a.ProposalID, Y: y}
+				ev := easybo.Evaluation{X: a.X, Y: y, Start: start, End: end, Worker: worker, Attempts: attempts}
+				if evalErr != "" {
+					t.Y, t.Error = 0, evalErr
+					ev.Y = math.NaN()
+					ev.Err = fmt.Errorf("%s", evalErr)
+				}
+				var st struct {
+					Aborted string `json:"aborted"`
+				}
+				if err := callJSON(hc, http.MethodPost, base+"/sessions/"+created.ID+"/tell", t, &st); err != nil {
+					setErr(fmt.Errorf("easybo: tell: %w", err))
+					return
+				}
+				mu.Lock()
+				if evalErr != "" {
+					failed = append(failed, ev)
+				} else {
+					evals = append(evals, ev)
+				}
+				mu.Unlock()
+				if st.Aborted != "" {
+					setErr(fmt.Errorf("easybo: session aborted by daemon: %s", st.Aborted))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var status struct {
+		BestX []float64 `json:"best_x"`
+		BestY *float64  `json:"best_y"`
+	}
+	if err := callJSON(hc, http.MethodGet, base+"/sessions/"+created.ID, nil, &status); err != nil {
+		return nil, fmt.Errorf("easybo: reading final status: %w", err)
+	}
+	// This client created the session, so it owns the lifecycle: delete it
+	// so repeated CLI runs don't accumulate actors and event logs in a
+	// long-lived daemon. Best effort — the result is already local.
+	_ = callJSON(hc, http.MethodDelete, base+"/sessions/"+created.ID, nil, nil)
+	res := &easybo.Result{
+		BestX:       status.BestX,
+		Evaluations: evals,
+		Failed:      failed,
+		Workers:     opts.Workers,
+		BestY:       math.Inf(-1),
+	}
+	if status.BestY != nil {
+		res.BestY = *status.BestY
+	}
+	for _, set := range [][]easybo.Evaluation{evals, failed} {
+		for _, e := range set {
+			if e.End > res.Seconds {
+				res.Seconds = e.End
+			}
+		}
+	}
+	return res, nil
+}
+
+// safeEval runs the objective, converting panics and NaN results into a
+// failure message for the tell (a crashed or diverged remote simulator).
+func safeEval(obj func([]float64) float64, x []float64) (y float64, evalErr string) {
+	defer func() {
+		if r := recover(); r != nil {
+			y, evalErr = 0, fmt.Sprintf("objective panicked: %v", r)
+		}
+	}()
+	y = obj(x)
+	if math.IsNaN(y) {
+		return 0, "objective returned NaN"
+	}
+	return y, ""
+}
+
+// callJSON performs one JSON request/response round trip, surfacing the
+// daemon's error body on non-2xx statuses.
+func callJSON(hc *http.Client, method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		return json.Unmarshal(data, out)
+	}
+	return nil
+}

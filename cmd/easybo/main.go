@@ -12,6 +12,14 @@
 // NaN results to exercise it:
 //
 //	easybo -problem branin -parallel -workers 8 -evals 80 -faults 0.2 -onfail retry -retries 2
+//
+// With -serve the run is driven against a remote easybod daemon: the
+// daemon owns the surrogate and the suggestion sequence, and this process
+// attaches as a pool of ask/tell workers evaluating the built-in
+// testbenches (a stand-in for a farm of simulator hosts):
+//
+//	easybod &
+//	easybo -serve http://localhost:7823 -problem opamp -workers 8 -evals 80
 package main
 
 import (
@@ -56,6 +64,7 @@ func main() {
 		dim     = flag.Int("dim", 6, "dimension for ackley/rosenbrock")
 
 		parallel = flag.Bool("parallel", false, "evaluate on real goroutines (wall-clock) instead of virtual time")
+		serveURL = flag.String("serve", "", "drive a remote easybod daemon at this base URL; this process becomes the worker pool")
 		onfail   = flag.String("onfail", "abort", "failed-evaluation policy: abort | skip | retry")
 		retries  = flag.Int("retries", 0, "extra attempts per failed evaluation before the policy applies")
 		timeout  = flag.Duration("timeout", 0, "per-evaluation timeout for -parallel (0 = none)")
@@ -89,8 +98,9 @@ func main() {
 	}
 	if *faults > 0 {
 		// The virtual engine's only failure mode is NaN; panics are a real
-		// goroutine-pool concern, so they are injected only under -parallel.
-		p.Objective = injectFaults(p.Objective, *faults, *parallel)
+		// goroutine-pool concern, so they are injected only when evaluations
+		// run on real goroutines (-parallel or the -serve worker pool).
+		p.Objective = injectFaults(p.Objective, *faults, *parallel || *serveURL != "")
 	}
 
 	var policy easybo.FailurePolicy
@@ -119,9 +129,17 @@ func main() {
 		},
 	}
 	var res *easybo.Result
-	if *parallel {
+	switch {
+	case *serveURL != "":
+		if *timeout > 0 {
+			// The remote worker loop cannot abandon a running objective;
+			// refuse rather than silently ignoring the flag.
+			fatalExit(2, "easybo: -timeout is not supported with -serve")
+		}
+		res, err = runRemote(*serveURL, p, opts, strings.ToLower(*onfail))
+	case *parallel:
 		res, err = easybo.OptimizeParallel(p, opts)
-	} else {
+	default:
 		res, err = easybo.Optimize(p, opts)
 	}
 	if err != nil {
@@ -135,7 +153,7 @@ func main() {
 		}
 	}
 	unit := "virtual"
-	if *parallel {
+	if *parallel || *serveURL != "" {
 		unit = "wall-clock"
 	}
 	fmt.Printf("problem:   %s (%d variables)\n", p.Name, len(p.Lo))

@@ -1,0 +1,79 @@
+// Command easybod is the EasyBO optimization daemon: a long-lived HTTP
+// service hosting many concurrent ask/tell optimization sessions. External
+// workers (simulator farms, sizing pipelines, cmd/easybo -serve) create a
+// session, ask for design points, evaluate them wherever and however long
+// they like, and tell the results back — out of order, from many machines.
+//
+// Usage:
+//
+//	easybod -addr :7823
+//
+// A minimal round trip:
+//
+//	curl -s -X POST localhost:7823/sessions -d '{"id":"demo","lo":[0,0],"hi":[1,1],"init_points":4,"max_evals":16}'
+//	curl -s -X POST localhost:7823/sessions/demo/ask -d '{}'
+//	curl -s -X POST localhost:7823/sessions/demo/tell -d '{"proposal_id":0,"y":-0.42}'
+//	curl -s localhost:7823/sessions/demo
+//	curl -s localhost:7823/sessions/demo/snapshot > demo.json   # restart-safe
+//	curl -s -X POST localhost:7823/sessions/restore --data-binary @demo.json
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"easybo/internal/serve"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":7823", "listen address")
+		grace = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+		quiet = flag.Bool("quiet", false, "suppress the startup banner")
+	)
+	flag.Parse()
+
+	sv := serve.NewServer()
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           sv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "easybod: serving ask/tell optimization sessions on %s\n", *addr)
+	}
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "easybod:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "easybod: shutting down")
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			_ = hs.Close()
+		}
+		sv.Store().Close()
+	}
+}

@@ -93,4 +93,27 @@
 // For caller-owned pools (NewLoop), Loop.Forget removes a suggested point
 // whose evaluation failed permanently, so it stops being hallucinated into
 // the surrogate.
+//
+// # Ask/tell architecture and the easybod service
+//
+// Internally the optimization loop is inverted: internal/core's AskTell is
+// an explicit state machine — Suggest() hands out the next proposal
+// (initial-design point, queued resubmission of a failed evaluation, or the
+// acquisition maximizer with every pending point hallucinated), and
+// Observe(x, y, err) absorbs one outcome in any order, routing failures
+// through the shared failure policy. Everything that runs evaluations is a
+// thin adapter over that machine: Optimize's executor-driven loop binds
+// suggestions to executor launches, OptimizeParallel and Loop bind them to
+// caller-owned workers, and the easybod daemon binds them to HTTP.
+//
+// Command easybod (cmd/easybod) serves many concurrent optimization
+// sessions over a JSON HTTP API — POST /sessions, POST /sessions/{id}/ask,
+// POST /sessions/{id}/tell, GET /sessions/{id}, plus snapshot/restore
+// endpoints for restart-safe sessions. External simulator farms attach as
+// plain HTTP clients: ask for a design point, simulate it for however long
+// it takes, tell the result back — out of order, from many machines, with
+// per-session failure policies (abort, skip, resubmit). `easybo -serve URL`
+// runs the built-in testbenches as such a remote worker pool. See the
+// README for a curl walkthrough and DESIGN.md for the session-actor
+// concurrency model.
 package easybo

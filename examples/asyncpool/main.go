@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -23,6 +24,8 @@ func slowObjective(x []float64) float64 {
 }
 
 func main() {
+	evals := flag.Int("evals", 60, "evaluation budget per route")
+	flag.Parse()
 	problem := easybo.Problem{
 		Name:      "slow-sim",
 		Lo:        []float64{0, 0},
@@ -33,7 +36,7 @@ func main() {
 	// Route 1: let the library drive real goroutines.
 	t0 := time.Now()
 	res, err := easybo.OptimizeParallel(problem, easybo.Options{
-		Workers: 8, MaxEvals: 60, Seed: 1,
+		Workers: 8, MaxEvals: *evals, Seed: 1,
 	})
 	if err != nil {
 		panic(err)
@@ -50,7 +53,7 @@ func main() {
 	}
 	type flight struct{ x []float64 }
 	var pending []flight
-	for done := 0; done < 40; {
+	for done := 0; done < *evals; {
 		for len(pending) < 4 { // keep 4 in flight, like 4 license seats
 			x, err := loop.Suggest()
 			if err != nil {
@@ -93,7 +96,7 @@ func main() {
 		return slowObjective(x)
 	}
 	res, err = easybo.OptimizeParallel(flaky, easybo.Options{
-		Workers: 8, MaxEvals: 60, Seed: 3,
+		Workers: 8, MaxEvals: *evals, Seed: 3,
 		Async: easybo.AsyncOptions{
 			Policy:      easybo.SkipFailures,
 			EvalTimeout: 100 * time.Millisecond,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"easybo"
@@ -15,9 +16,11 @@ import (
 )
 
 func main() {
+	evals := flag.Int("evals", 150, "simulation budget per algorithm")
+	flag.Parse()
 	problem := circuits.ClassE()
 
-	fmt.Println("class-E PA, 150 simulations on 10 workers (reduced budget demo)")
+	fmt.Printf("class-E PA, %d simulations on 10 workers (reduced budget demo)\n", *evals)
 	fmt.Println("simulation runtimes vary with loaded Q — watch async beat sync:")
 
 	for _, cfg := range []struct {
@@ -30,7 +33,7 @@ func main() {
 		res, err := easybo.Optimize(problem, easybo.Options{
 			Algorithm: cfg.algo,
 			Workers:   10,
-			MaxEvals:  150,
+			MaxEvals:  *evals,
 			Seed:      3,
 		})
 		if err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"easybo"
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	evals := flag.Int("evals", 120, "simulation budget")
+	flag.Parse()
 	base := circuits.OpAmp()
 
 	// Objective: maximize the unity-gain frequency alone.
@@ -42,7 +45,7 @@ func main() {
 	}
 
 	res, err := easybo.OptimizeConstrained(problem, constraints, easybo.Options{
-		Workers: 8, MaxEvals: 120, Seed: 11,
+		Workers: 8, MaxEvals: *evals, Seed: 11,
 	})
 	if err != nil {
 		panic(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"easybo"
@@ -14,16 +15,18 @@ import (
 )
 
 func main() {
+	evals := flag.Int("evals", 150, "simulation budget per algorithm")
+	flag.Parse()
 	problem := circuits.OpAmp()
 	vars := circuits.OpAmpVariables()
 
-	fmt.Println("sizing the two-stage op-amp: 150 simulations, 10 workers")
+	fmt.Printf("sizing the two-stage op-amp: %d simulations, 10 workers\n", *evals)
 
 	run := func(algo easybo.Algorithm, label string) *easybo.Result {
 		res, err := easybo.Optimize(problem, easybo.Options{
 			Algorithm: algo,
 			Workers:   10,
-			MaxEvals:  150,
+			MaxEvals:  *evals,
 			Seed:      7,
 		})
 		if err != nil {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 
@@ -11,6 +12,8 @@ import (
 )
 
 func main() {
+	evals := flag.Int("evals", 60, "evaluation budget")
+	flag.Parse()
 	// The objective: any Go function over a box. Here, a bumpy 2-D surface
 	// whose global maximum (value 2.0) hides at (0.8, 0.2).
 	problem := easybo.Problem{
@@ -24,10 +27,10 @@ func main() {
 		},
 	}
 
-	// EasyBO with 4 asynchronous workers, 60 evaluations total.
+	// EasyBO with 4 asynchronous workers.
 	result, err := easybo.Optimize(problem, easybo.Options{
 		Workers:  4,
-		MaxEvals: 60,
+		MaxEvals: *evals,
 		Seed:     42,
 	})
 	if err != nil {

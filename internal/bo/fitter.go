@@ -3,80 +3,18 @@ package bo
 import (
 	"math/rand"
 
-	"easybo/internal/gp"
+	"easybo/internal/core"
 )
 
-// modelManager owns the surrogate across a run: it re-optimizes
-// hyperparameters every refitEvery observations (warm-started from the last
-// fit) and performs cheap fixed-hyperparameter refits in between, caching
-// the fitted model while the dataset is unchanged.
-type modelManager struct {
-	lo, hi      []float64
-	rng         *rand.Rand
-	refitEvery  int
-	fitIters    int
-	fitRestarts int
-
-	kernel     gp.Kernel
-	lastHyperN int // dataset size at the last hyperparameter optimization
-	theta      []float64
-	logNoise   float64
-	cached     *gp.Model
-	cachedN    int
-}
-
-func newModelManager(lo, hi []float64, rng *rand.Rand, cfg Config) *modelManager {
-	return &modelManager{
-		lo: lo, hi: hi, rng: rng,
-		refitEvery:  cfg.RefitEvery,
-		fitIters:    cfg.FitIters,
-		fitRestarts: cfg.FitRestarts,
-		kernel:      cfg.Kernel,
-	}
-}
-
-// fit returns a surrogate trained on the observations, re-optimizing
-// hyperparameters on the configured cadence. Observations are append-only
-// across a run, so a cached model is valid while the count is unchanged and
-// can absorb new points through the incremental rank-append update — between
-// hyperparameter refits no covariance rebuild or refactorization happens.
-func (mm *modelManager) fit(x [][]float64, y []float64) (*gp.Model, error) {
-	n := len(y)
-	if mm.cached != nil && n == mm.cachedN {
-		return mm.cached, nil
-	}
-	if mm.theta != nil && n-mm.lastHyperN < mm.refitEvery {
-		// Between hyperparameter refits: absorb the new points through the
-		// rank-append update. Failure means the frozen hyperparameters or
-		// standardization became numerically unusable for the grown dataset
-		// (e.g. duplicate points with tiny noise); fall through to a fresh
-		// hyperparameter fit in that case.
-		m, err := mm.cached.Extend(x[mm.cachedN:n], y[mm.cachedN:n])
-		if err == nil {
-			mm.cached = m
-			mm.cachedN = n
-			return m, nil
-		}
-	}
-	fo := &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}
-	if mm.theta != nil {
-		// Warm start: fewer iterations, no default or random restarts.
-		fo.InitTheta = mm.theta
-		fo.InitNoise = mm.logNoise
-		fo.WarmOnly = true
-		fo.Iters = mm.fitIters / 2
-		if fo.Iters < 10 {
-			fo.Iters = 10
-		}
-	}
-	m, err := gp.Train(x, y, mm.lo, mm.hi, mm.rng, &gp.TrainOptions{Kernel: mm.kernel, Fit: fo})
-	if err != nil {
-		return nil, err
-	}
-	mm.theta = m.Theta()
-	mm.logNoise = m.LogNoise()
-	mm.lastHyperN = n
-	mm.cached = m
-	mm.cachedN = n
-	return m, nil
+// newModelManager builds the shared surrogate manager (core.ModelManager)
+// from a driver Config. The manager lives in core so the executor-driven
+// drivers here, the public ask/tell Loop, and the serve sessions all share
+// one surrogate-cadence implementation.
+func newModelManager(lo, hi []float64, rng *rand.Rand, cfg Config) *core.ModelManager {
+	return core.NewModelManager(lo, hi, rng, core.ModelManagerOptions{
+		RefitEvery:  cfg.RefitEvery,
+		FitIters:    cfg.FitIters,
+		FitRestarts: cfg.FitRestarts,
+		Kernel:      cfg.Kernel,
+	})
 }

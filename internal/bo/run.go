@@ -175,7 +175,7 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 		if len(obsY) == 0 {
 			return nil, errors.New("bo: no successful observation to fit a surrogate on")
 		}
-		m, err := mm.fit(obsX, obsY)
+		m, err := mm.Fit(obsX, obsY)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +207,7 @@ func runAsync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error
 		MaxEvals: cfg.MaxEvals,
 		Init:     initialDesign(p, cfg.InitPoints, rng),
 		Lo:       p.Lo, Hi: p.Hi,
-		Fit:      mm.fit,
+		Fit:      mm.Fit,
 		Proposer: proposer,
 		Rng:      rng,
 		OnResult: func(r sched.Result) { recs = append(recs, r) },

@@ -78,6 +78,13 @@ type AsyncConfig struct {
 // abort the loop, are skipped, or are resubmitted. The surrogate is fit only
 // on successful completions, so the observation count may end below
 // MaxEvals under FailSkip.
+//
+// AsyncLoop is a thin adapter binding the AskTell state machine to an
+// executor: suggestions go straight to Launch, completions straight to
+// ObserveResult. The AskTell pending set therefore mirrors ex.Busy() exactly,
+// and the decision sequence (surrogate refreshes, rng consumption, launch
+// order) is identical to the pre-inversion loop — pinned byte-for-byte by
+// the golden test in internal/bo.
 func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 	switch {
 	case cfg.Fit == nil:
@@ -91,12 +98,22 @@ func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 	case len(cfg.Init) == 0:
 		return errors.New("core: AsyncLoop requires an initial design")
 	}
-	fh := NewFailureHandler(cfg.Failure, cfg.MaxFailures, cfg.MaxEvals)
+	at, err := NewAskTell(AskTellConfig{
+		MaxEvals: cfg.MaxEvals,
+		Init:     cfg.Init,
+		Lo:       cfg.Lo, Hi: cfg.Hi,
+		Fit:      cfg.Fit,
+		Proposer: cfg.Proposer,
+		Rng:      cfg.Rng,
+		OnResult: cfg.OnResult,
 
-	launched := 0
-	completed := 0
-	var obsX [][]float64
-	var obsY []float64
+		Failure:     cfg.Failure,
+		MaxFailures: cfg.MaxFailures,
+		OnFailure:   cfg.OnFailure,
+	})
+	if err != nil {
+		return err
+	}
 
 	ctxErr := func() error {
 		if cfg.Ctx == nil {
@@ -105,70 +122,51 @@ func AsyncLoop(ex sched.Executor, cfg AsyncConfig) error {
 		return cfg.Ctx.Err()
 	}
 
-	// Fill all workers from the initial design queue.
-	for launched < len(cfg.Init) && launched < cfg.MaxEvals && ex.Idle() > 0 {
-		if err := ex.Launch(cfg.Init[launched]); err != nil {
+	launch := func(p Proposal) error {
+		if err := ex.Launch(p.X); err != nil {
+			if p.Resubmit {
+				return fmt.Errorf("core: resubmit of failed evaluation %d: %w", p.FailedID, err)
+			}
 			return err
 		}
-		launched++
+		return nil
 	}
 
-	for completed < cfg.MaxEvals {
+	// Fill all workers from the initial design queue.
+	for at.InInitialDesign() && ex.Idle() > 0 {
+		p, ok, err := at.Suggest()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := launch(p); err != nil {
+			return err
+		}
+	}
+
+	for !at.Done() {
 		if err := ctxErr(); err != nil {
-			return fmt.Errorf("core: cancelled after %d of %d evaluations: %w", completed, cfg.MaxEvals, err)
+			return fmt.Errorf("core: cancelled after %d of %d evaluations: %w", at.Completed(), cfg.MaxEvals, err)
 		}
 		r, ok := ex.Wait()
 		if !ok {
-			return fmt.Errorf("core: executor drained after %d of %d evaluations", completed, cfg.MaxEvals)
+			return fmt.Errorf("core: executor drained after %d of %d evaluations", at.Completed(), cfg.MaxEvals)
 		}
-		if r.Err != nil {
-			if cfg.OnFailure != nil {
-				cfg.OnFailure(r)
-			}
-			action, ferr := fh.Handle(r)
-			switch action {
-			case ActionSkip:
-				completed++ // the failure consumed one budget slot
-			case ActionResubmit:
-				if err := ex.Launch(r.X); err != nil {
-					return fmt.Errorf("core: resubmit of failed evaluation %d: %w", r.ID, err)
-				}
-				continue
-			default: // ActionAbort
-				return fmt.Errorf("core: %w", ferr)
-			}
-		} else {
-			completed++
-			obsX = append(obsX, r.X)
-			obsY = append(obsY, r.Y)
-			if cfg.OnResult != nil {
-				cfg.OnResult(r)
-			}
-		}
-		if launched >= cfg.MaxEvals {
-			continue // draining the tail of the final batch
-		}
-		// Prefer the remaining initial design; otherwise propose.
-		var next []float64
-		if launched < len(cfg.Init) {
-			next = cfg.Init[launched]
-		} else {
-			if len(obsY) == 0 {
-				return fmt.Errorf("core: no successful observation after %d launches; cannot fit a surrogate", launched)
-			}
-			m, err := cfg.Fit(obsX, obsY)
-			if err != nil {
-				return fmt.Errorf("core: surrogate refresh: %w", err)
-			}
-			next, _, err = cfg.Proposer.Propose(m, ex.Busy(), cfg.Lo, cfg.Hi, cfg.Rng)
-			if err != nil {
-				return err
-			}
-		}
-		if err := ex.Launch(next); err != nil {
+		if err := at.ObserveResult(r); err != nil {
 			return err
 		}
-		launched++
+		p, ok, err := at.Suggest()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // draining the tail of the final batch
+		}
+		if err := launch(p); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+
+	"easybo/internal/gp"
+)
+
+// ModelManagerOptions tunes a ModelManager. Zero values select the paper's
+// defaults (refit cadence 5, 40 Adam iterations, 1 restart, SE-ARD kernel).
+type ModelManagerOptions struct {
+	RefitEvery  int       // hyperparameter re-optimization cadence in observations
+	FitIters    int       // Adam iterations per hyperfit
+	FitRestarts int       // random restarts on the first hyperfit
+	Kernel      gp.Kernel // surrogate kernel (nil = SE-ARD)
+}
+
+// ModelManager owns the surrogate across a run: it re-optimizes
+// hyperparameters every RefitEvery observations (warm-started from the last
+// fit) and performs cheap fixed-hyperparameter refits in between, caching
+// the fitted model while the dataset is unchanged. Its Fit method is a
+// core.Fitter, shared by the bo drivers, the public ask/tell Loop, and the
+// serve sessions so surrogate cadence cannot drift between them.
+type ModelManager struct {
+	lo, hi      []float64
+	rng         *rand.Rand
+	refitEvery  int
+	fitIters    int
+	fitRestarts int
+
+	kernel     gp.Kernel
+	lastHyperN int // dataset size at the last hyperparameter optimization
+	theta      []float64
+	logNoise   float64
+	cached     *gp.Model
+	cachedN    int
+}
+
+// NewModelManager builds a surrogate manager over the design box. The rng
+// drives hyperparameter restarts and must be the run's rng for determinism.
+func NewModelManager(lo, hi []float64, rng *rand.Rand, o ModelManagerOptions) *ModelManager {
+	if o.RefitEvery <= 0 {
+		o.RefitEvery = 5
+	}
+	if o.FitIters <= 0 {
+		o.FitIters = 40
+	}
+	if o.FitRestarts <= 0 {
+		o.FitRestarts = 1
+	}
+	return &ModelManager{
+		lo: lo, hi: hi, rng: rng,
+		refitEvery:  o.RefitEvery,
+		fitIters:    o.FitIters,
+		fitRestarts: o.FitRestarts,
+		kernel:      o.Kernel,
+	}
+}
+
+// Fit returns a surrogate trained on the observations, re-optimizing
+// hyperparameters on the configured cadence. Observations are append-only
+// across a run, so a cached model is valid while the count is unchanged and
+// can absorb new points through the incremental rank-append update — between
+// hyperparameter refits no covariance rebuild or refactorization happens.
+func (mm *ModelManager) Fit(x [][]float64, y []float64) (*gp.Model, error) {
+	n := len(y)
+	if mm.cached != nil && n == mm.cachedN {
+		return mm.cached, nil
+	}
+	if mm.theta != nil && n-mm.lastHyperN < mm.refitEvery {
+		// Between hyperparameter refits: absorb the new points through the
+		// rank-append update. Failure means the frozen hyperparameters or
+		// standardization became numerically unusable for the grown dataset
+		// (e.g. duplicate points with tiny noise); fall through to a fresh
+		// hyperparameter fit in that case.
+		m, err := mm.cached.Extend(x[mm.cachedN:n], y[mm.cachedN:n])
+		if err == nil {
+			mm.cached = m
+			mm.cachedN = n
+			return m, nil
+		}
+	}
+	fo := &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}
+	if mm.theta != nil {
+		// Warm start: fewer iterations, no default or random restarts.
+		fo.InitTheta = mm.theta
+		fo.InitNoise = mm.logNoise
+		fo.WarmOnly = true
+		fo.Iters = mm.fitIters / 2
+		if fo.Iters < 10 {
+			fo.Iters = 10
+		}
+	}
+	m, err := gp.Train(x, y, mm.lo, mm.hi, mm.rng, &gp.TrainOptions{Kernel: mm.kernel, Fit: fo})
+	if err != nil {
+		return nil, err
+	}
+	mm.theta = m.Theta()
+	mm.logNoise = m.LogNoise()
+	mm.lastHyperN = n
+	mm.cached = m
+	mm.cachedN = n
+	return m, nil
+}
+
+// Hyper returns the hyperparameters of the last optimization (ok=false
+// before the first fit). Exposed so service sessions can report and
+// snapshot them.
+func (mm *ModelManager) Hyper() (theta []float64, logNoise float64, ok bool) {
+	if mm.theta == nil {
+		return nil, 0, false
+	}
+	return append([]float64(nil), mm.theta...), mm.logNoise, true
+}

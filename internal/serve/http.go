@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Server is the HTTP face of the session service. It is an http.Handler;
+// mount it at the root of an http.Server (cmd/easybod does).
+//
+// Routes (all request/response bodies are JSON):
+//
+//	POST   /sessions                 create a session from a SessionConfig
+//	GET    /sessions                 list session ids
+//	POST   /sessions/restore         restore a session from a Snapshot
+//	GET    /sessions/{id}            session status
+//	DELETE /sessions/{id}            delete the session
+//	POST   /sessions/{id}/ask        next proposal to evaluate
+//	POST   /sessions/{id}/tell       report one evaluation outcome
+//	GET    /sessions/{id}/snapshot   restart-safe session snapshot
+//	GET    /healthz                  liveness probe
+//
+// Routing is hand-rolled on the URL path so the daemon builds with every
+// toolchain the CI matrix covers (the pattern-matching ServeMux needs a
+// go directive >= 1.22).
+type Server struct {
+	store *Store
+}
+
+// NewServer builds a Server over a fresh session store.
+func NewServer() *Server { return &Server{store: NewStore()} }
+
+// Store exposes the underlying session store (for shutdown and tests).
+func (sv *Server) Store() *Store { return sv.store }
+
+// maxBodyBytes bounds request bodies; snapshots of long sessions are the
+// largest legitimate payload.
+const maxBodyBytes = 8 << 20
+
+type createRequest struct {
+	// ID optionally names the session; the store generates one otherwise.
+	ID string `json:"id,omitempty"`
+	SessionConfig
+}
+
+type createResponse struct {
+	ID     string        `json:"id"`
+	Config SessionConfig `json:"config"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownSession):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrDuplicateSession):
+		code = http.StatusConflict
+	case errors.Is(err, ErrUnknownProposal):
+		code = http.StatusConflict
+	case errors.Is(err, ErrSessionClosed):
+		code = http.StatusGone
+	case errors.Is(err, ErrSnapshotDiverged):
+		code = http.StatusUnprocessableEntity
+	case isBadRequest(err):
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+// isBadRequest classifies validation errors (config, body decode, bounds).
+func isBadRequest(err error) bool {
+	var badReq *badRequestError
+	return errors.As(err, &badReq)
+}
+
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return &badRequestError{err: err} }
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(fmt.Errorf("serve: decoding request body: %w", err))
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	parts := splitPath(r.URL.Path)
+	switch {
+	case len(parts) == 1 && parts[0] == "healthz":
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": sv.store.Len()})
+	case len(parts) >= 1 && parts[0] == "sessions":
+		sv.serveSessions(w, r, parts[1:])
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "serve: no such route"})
+	}
+}
+
+func splitPath(p string) []string {
+	var parts []string
+	for _, s := range strings.Split(p, "/") {
+		if s != "" {
+			parts = append(parts, s)
+		}
+	}
+	return parts
+}
+
+func (sv *Server) serveSessions(w http.ResponseWriter, r *http.Request, rest []string) {
+	switch {
+	case len(rest) == 0:
+		switch r.Method {
+		case http.MethodPost:
+			sv.handleCreate(w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, map[string]any{"sessions": sv.store.IDs()})
+		default:
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST or GET"})
+		}
+	case len(rest) == 1 && rest[0] == "restore":
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST"})
+			return
+		}
+		sv.handleRestore(w, r)
+	case len(rest) == 1:
+		switch r.Method {
+		case http.MethodGet:
+			sv.handleStatus(w, rest[0])
+		case http.MethodDelete:
+			sv.handleDelete(w, rest[0])
+		default:
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use GET or DELETE"})
+		}
+	case len(rest) == 2:
+		sv.handleSessionVerb(w, r, rest[0], rest[1])
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "serve: no such route"})
+	}
+}
+
+func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	cfg := req.SessionConfig
+	if err := cfg.normalize(); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = sv.store.newID()
+	}
+	s, err := newSession(id, cfg)
+	if err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	if err := sv.store.add(s); err != nil {
+		s.close()
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, createResponse{ID: id, Config: cfg})
+}
+
+func (sv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var snap Snapshot
+	if err := readJSON(w, r, &snap); err != nil {
+		writeError(w, err)
+		return
+	}
+	s, err := restoreSession(snap)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := sv.store.add(s); err != nil {
+		s.close()
+		writeError(w, err)
+		return
+	}
+	var st Status
+	if err := s.do(func() { st = s.status() }); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (sv *Server) handleStatus(w http.ResponseWriter, id string) {
+	s, err := sv.store.get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var st Status
+	if err := s.do(func() { st = s.status() }); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (sv *Server) handleDelete(w http.ResponseWriter, id string) {
+	if err := sv.store.remove(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, verb string) {
+	s, err := sv.store.get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch verb {
+	case "ask":
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST"})
+			return
+		}
+		var ask Ask
+		var askErr error
+		if err := s.do(func() { ask, askErr = s.ask() }); err != nil {
+			writeError(w, err)
+			return
+		}
+		if askErr != nil {
+			writeError(w, askErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, ask)
+	case "tell":
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST"})
+			return
+		}
+		var t Tell
+		if err := readJSON(w, r, &t); err != nil {
+			writeError(w, err)
+			return
+		}
+		var st Status
+		var tellErr error
+		if err := s.do(func() { st, tellErr = s.tell(t) }); err != nil {
+			writeError(w, err)
+			return
+		}
+		if tellErr != nil {
+			if st.Aborted != "" {
+				// The tell was absorbed and it killed the session: report
+				// the terminal state rather than a transport-level error.
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+			writeError(w, tellErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case "snapshot":
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use GET"})
+			return
+		}
+		var snap Snapshot
+		if err := s.do(func() { snap = s.snapshot() }); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "serve: no such route"})
+	}
+}

@@ -1,0 +1,116 @@
+// Package serve turns the ask/tell optimization core into a long-lived
+// service: many concurrent optimization sessions, each an independent
+// EasyBO run driven by external workers over a JSON protocol (cmd/easybod
+// exposes it over HTTP).
+//
+// # Concurrency model
+//
+// Sessions live in a sharded store — a fixed array of mutex-guarded maps,
+// so session lookup never contends globally. Each session is an actor: one
+// goroutine owns the session's entire mutable state (the AskTell machine,
+// the GP surrogate, the event log) and processes requests from a mailbox
+// channel serially. GP state therefore never needs locking, and two
+// requests to the same session can never interleave mid-fit; requests to
+// different sessions run fully in parallel.
+//
+// # Restart safety
+//
+// A session snapshots to JSON as its configuration plus the full ask/tell
+// event log (which encodes the observation history and the pending set).
+// Because a session is deterministic given its seed and the tell sequence,
+// restoring replays the log against a fresh machine and provably reaches
+// the exact same state: every replayed ask is verified against the recorded
+// proposal and any divergence aborts the restore.
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel service errors. The HTTP layer maps them to status codes.
+var (
+	// ErrSessionClosed marks requests to a deleted or shut-down session.
+	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrUnknownSession marks requests for an id the store does not hold.
+	ErrUnknownSession = errors.New("serve: unknown session")
+	// ErrDuplicateSession marks creation of an id the store already holds.
+	ErrDuplicateSession = errors.New("serve: session id already exists")
+	// ErrUnknownProposal marks a tell for a proposal id that is not pending.
+	ErrUnknownProposal = errors.New("serve: unknown or already-told proposal")
+	// ErrSnapshotDiverged marks a snapshot whose replay did not reproduce
+	// the recorded proposals (corrupted snapshot or mismatched binary).
+	ErrSnapshotDiverged = errors.New("serve: snapshot replay diverged from recorded history")
+)
+
+// SessionConfig declares one optimization session. The daemon never
+// evaluates the objective itself — bounds are all it needs; external
+// workers evaluate proposals and tell the results back.
+type SessionConfig struct {
+	Name string `json:"name,omitempty"` // free-form label
+
+	Lo []float64 `json:"lo"` // per-dimension lower bounds
+	Hi []float64 `json:"hi"` // per-dimension upper bounds
+
+	// Algorithm is "easybo" (asynchronous batch + hallucination
+	// penalization, the default) or "easybo-a" (no penalization).
+	Algorithm  string  `json:"algorithm,omitempty"`
+	InitPoints int     `json:"init_points,omitempty"` // Latin-hypercube design size (default 20)
+	MaxEvals   int     `json:"max_evals,omitempty"`   // total budget incl. init; 0 = unbounded
+	Seed       int64   `json:"seed,omitempty"`        // deterministic seed
+	Lambda     float64 `json:"lambda,omitempty"`      // κ upper bound of Eq. (8) (default 6)
+
+	RefitEvery int `json:"refit_every,omitempty"` // hyperparameter refit cadence (default 5)
+	FitIters   int `json:"fit_iters,omitempty"`   // Adam iterations per hyperfit (default 40)
+
+	// Failure is the per-session policy for tells that carry an error:
+	// "abort" (default), "skip", or "resubmit". It plumbs straight into
+	// core.FailureHandler, the same bookkeeping the in-process drivers use.
+	Failure     string `json:"failure,omitempty"`
+	MaxFailures int    `json:"max_failures,omitempty"` // bound on tolerated failures (0 = policy default)
+}
+
+// normalize validates the config and fills defaults in place.
+func (c *SessionConfig) normalize() error {
+	if len(c.Lo) == 0 || len(c.Lo) != len(c.Hi) {
+		return fmt.Errorf("serve: invalid design box (lo %d, hi %d)", len(c.Lo), len(c.Hi))
+	}
+	for i := range c.Lo {
+		if !(c.Lo[i] < c.Hi[i]) {
+			return fmt.Errorf("serve: bounds inverted or degenerate at dimension %d: [%g, %g]", i, c.Lo[i], c.Hi[i])
+		}
+	}
+	switch c.Algorithm {
+	case "":
+		c.Algorithm = "easybo"
+	case "easybo", "easybo-a":
+	default:
+		return fmt.Errorf("serve: unknown algorithm %q (want easybo or easybo-a)", c.Algorithm)
+	}
+	switch c.Failure {
+	case "":
+		c.Failure = "abort"
+	case "abort", "skip", "resubmit":
+	default:
+		return fmt.Errorf("serve: unknown failure policy %q (want abort, skip, or resubmit)", c.Failure)
+	}
+	if c.InitPoints <= 0 {
+		c.InitPoints = 20
+	}
+	if c.MaxEvals > 0 && c.InitPoints > c.MaxEvals {
+		c.InitPoints = c.MaxEvals
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 6
+	}
+	if c.RefitEvery <= 0 {
+		c.RefitEvery = 5
+	}
+	if c.FitIters <= 0 {
+		c.FitIters = 40
+	}
+	if c.MaxFailures < 0 {
+		c.MaxFailures = 0
+	}
+	return nil
+}

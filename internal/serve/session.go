@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"easybo/internal/core"
+	"easybo/internal/sched"
+	"easybo/internal/stats"
+)
+
+// event is one entry of a session's append-only ask/tell log. The log is
+// the session's source of truth for snapshot/restore: replaying it against
+// a fresh machine reconstructs the exact session state (§ restart safety in
+// the package comment).
+type event struct {
+	Kind string    `json:"kind"`          // "ask" or "tell"
+	ID   int       `json:"id"`            // proposal id (asks; tells that referenced one, else -1)
+	X    []float64 `json:"x"`             // proposal / observed point
+	Y    float64   `json:"y,omitempty"`   // observed value (tells; 0 when failed)
+	Err  string    `json:"err,omitempty"` // failure message (failed tells)
+}
+
+// Record is one told evaluation, kept for status reporting and tests.
+type Record struct {
+	ID  int       `json:"id"` // proposal id, -1 for unsolicited observations
+	X   []float64 `json:"x"`
+	Y   float64   `json:"y"`
+	Err string    `json:"err,omitempty"`
+}
+
+// ledgerEntry tracks one outstanding proposal awaiting its tell.
+type ledgerEntry struct {
+	id int
+	x  []float64
+}
+
+// AskStatus is the disposition of one ask.
+type AskStatus string
+
+const (
+	// AskOK: a proposal was issued.
+	AskOK AskStatus = "ok"
+	// AskWait: the suggestion budget is exhausted but outcomes are still
+	// outstanding; ask again after more tells arrive.
+	AskWait AskStatus = "wait"
+	// AskDone: the session consumed its whole evaluation budget.
+	AskDone AskStatus = "done"
+)
+
+// Ask is the response to one ask: a proposal to evaluate, or a terminal
+// status.
+type Ask struct {
+	Status AskStatus `json:"status"`
+	// No omitempty: the first proposal of a session has ID 0 and must
+	// still serialize a proposal_id field for external workers.
+	ProposalID int       `json:"proposal_id"`
+	X          []float64 `json:"x,omitempty"`
+}
+
+// Tell reports one evaluation back to a session. Either ProposalID (from a
+// previous Ask) or X identifies the point; Error marks the evaluation
+// failed (crashed or diverged simulator), in which case Y is ignored.
+type Tell struct {
+	ProposalID *int      `json:"proposal_id,omitempty"`
+	X          []float64 `json:"x,omitempty"`
+	Y          float64   `json:"y"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// Status is a session's externally visible state.
+type Status struct {
+	ID           string        `json:"id"`
+	Config       SessionConfig `json:"config"`
+	Observations int           `json:"observations"` // successful tells absorbed
+	Pending      int           `json:"pending"`      // proposals awaiting their tell
+	Completed    int           `json:"completed"`    // budget slots consumed (successes + skipped failures)
+	Launched     int           `json:"launched"`     // budgeted proposals issued
+	Failures     int           `json:"failures"`     // failed tells handled
+	Done         bool          `json:"done"`
+	Aborted      string        `json:"aborted,omitempty"` // abort error, once dead
+	BestX        []float64     `json:"best_x,omitempty"`
+	BestY        *float64      `json:"best_y,omitempty"` // nil before the first observation
+	Records      []Record      `json:"records,omitempty"`
+	Failed       []Record      `json:"failed,omitempty"`
+}
+
+// session is one optimization run hosted by the service. All fields below
+// the mailbox are actor-owned: only the run goroutine touches them, so the
+// GP surrogate, the rng, and the event log need no locks.
+type session struct {
+	id      string
+	mailbox chan func()
+	quit    chan struct{}
+
+	cfg    SessionConfig
+	at     *core.AskTell
+	mm     *core.ModelManager
+	events []event
+	ledger []ledgerEntry // outstanding proposals, ask order
+	recs   []Record
+	failed []Record
+}
+
+// newMachine builds the deterministic ask/tell machine a config describes:
+// seeded rng, Latin-hypercube initial design, shared surrogate manager, and
+// the per-session failure policy.
+func newMachine(cfg SessionConfig) (*core.AskTell, *core.ModelManager, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := len(cfg.Lo)
+	init := make([][]float64, 0, cfg.InitPoints)
+	for _, u := range stats.LatinHypercube(rng, cfg.InitPoints, d) {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = cfg.Lo[j] + u[j]*(cfg.Hi[j]-cfg.Lo[j])
+		}
+		init = append(init, x)
+	}
+	mm := core.NewModelManager(cfg.Lo, cfg.Hi, rng, core.ModelManagerOptions{
+		RefitEvery: cfg.RefitEvery,
+		FitIters:   cfg.FitIters,
+	})
+	var policy core.FailurePolicy
+	switch cfg.Failure {
+	case "skip":
+		policy = core.FailSkip
+	case "resubmit":
+		policy = core.FailResubmit
+	default:
+		policy = core.FailAbort
+	}
+	at, err := core.NewAskTell(core.AskTellConfig{
+		MaxEvals: cfg.MaxEvals,
+		Init:     init,
+		Lo:       cfg.Lo, Hi: cfg.Hi,
+		Fit: mm.Fit,
+		Proposer: &core.Proposer{
+			Lambda:   cfg.Lambda,
+			Penalize: cfg.Algorithm != "easybo-a",
+		},
+		Rng:         rng,
+		Failure:     policy,
+		MaxFailures: cfg.MaxFailures,
+		// A service must never starve an asker that out-asks its tells:
+		// below two observations, fall back to uniform random proposals.
+		MinFitObs:      2,
+		RandomFallback: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return at, mm, nil
+}
+
+// newSession builds a live session and starts its actor goroutine.
+func newSession(id string, cfg SessionConfig) (*session, error) {
+	at, mm, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		id:      id,
+		mailbox: make(chan func()),
+		quit:    make(chan struct{}),
+		cfg:     cfg,
+		at:      at,
+		mm:      mm,
+	}
+	go s.run()
+	return s, nil
+}
+
+// run is the actor loop: it alone touches the session state.
+func (s *session) run() {
+	for {
+		select {
+		case f := <-s.mailbox:
+			f()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// do executes f on the actor goroutine and waits for it. It fails with
+// ErrSessionClosed once the session is shut down.
+func (s *session) do(f func()) error {
+	done := make(chan struct{})
+	job := func() { f(); close(done) }
+	select {
+	case s.mailbox <- job:
+	case <-s.quit:
+		return ErrSessionClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.quit:
+		// The actor may have run the job in the same instant it was told
+		// to quit; prefer the completed result when both raced.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrSessionClosed
+		}
+	}
+}
+
+// close shuts the actor down. Idempotent via the store (which removes the
+// session before closing it exactly once).
+func (s *session) close() { close(s.quit) }
+
+// --------------------------------------------------------------- requests
+// The methods below are the actor-side request handlers; Server invokes
+// them through do().
+
+// ask issues the next proposal (or a wait/done status) and logs it.
+func (s *session) ask() (Ask, error) {
+	p, ok, err := s.at.Suggest()
+	if err != nil {
+		return Ask{}, err
+	}
+	if !ok {
+		if s.at.Done() {
+			return Ask{Status: AskDone}, nil
+		}
+		return Ask{Status: AskWait}, nil
+	}
+	s.events = append(s.events, event{Kind: "ask", ID: p.ID, X: p.X})
+	s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
+	return Ask{Status: AskOK, ProposalID: p.ID, X: p.X}, nil
+}
+
+// resolveTell maps a tell onto concrete coordinates, consuming the matching
+// ledger entry (by proposal id, or first coordinate match for raw-X tells).
+// Unsolicited raw-X tells are allowed — they enrich the surrogate exactly
+// like easybo.Loop.Observe does — and resolve to id -1.
+func (s *session) resolveTell(t Tell) (id int, x []float64, err error) {
+	if t.ProposalID != nil {
+		for i, e := range s.ledger {
+			if e.id == *t.ProposalID {
+				s.ledger = append(s.ledger[:i], s.ledger[i+1:]...)
+				return e.id, e.x, nil
+			}
+		}
+		return 0, nil, fmt.Errorf("%w: %d", ErrUnknownProposal, *t.ProposalID)
+	}
+	if len(t.X) != len(s.cfg.Lo) {
+		return 0, nil, fmt.Errorf("serve: tell dimension %d, want %d", len(t.X), len(s.cfg.Lo))
+	}
+	for i, e := range s.ledger {
+		if equalPoints(e.x, t.X) {
+			s.ledger = append(s.ledger[:i], s.ledger[i+1:]...)
+			return e.id, e.x, nil
+		}
+	}
+	return -1, append([]float64(nil), t.X...), nil
+}
+
+// tell absorbs one evaluation outcome and logs it. The returned Status
+// reflects the post-tell session state; a failed tell under the abort
+// policy kills the session and surfaces the abort error.
+func (s *session) tell(t Tell) (Status, error) {
+	id, x, err := s.resolveTell(t)
+	if err != nil {
+		return Status{}, err
+	}
+	var evalErr error
+	if t.Error != "" {
+		evalErr = errors.New(t.Error)
+	} else if math.IsNaN(t.Y) {
+		evalErr = sched.ErrNaN
+	}
+	ev := event{Kind: "tell", ID: id, X: x, Y: t.Y}
+	rec := Record{ID: id, X: x, Y: t.Y}
+	if evalErr != nil {
+		// Zero Y on failures: NaN is not representable in JSON, and the
+		// error string already marks the record as unusable.
+		ev.Y, rec.Y = 0, 0
+		ev.Err, rec.Err = evalErr.Error(), evalErr.Error()
+	}
+	// Log before applying: an aborting tell still mutated the machine, so
+	// replay must include it to reproduce the dead state.
+	s.events = append(s.events, ev)
+	obsErr := s.applyTell(x, t.Y, evalErr)
+	if evalErr != nil {
+		s.failed = append(s.failed, rec)
+	} else if obsErr == nil {
+		s.recs = append(s.recs, rec)
+	}
+	st := s.status()
+	return st, obsErr
+}
+
+// applyTell routes one outcome into the machine. Kept apart from tell so
+// snapshot replay shares the exact same application path.
+func (s *session) applyTell(x []float64, y float64, evalErr error) error {
+	return s.at.Observe(x, y, evalErr)
+}
+
+// status renders the session state (actor side).
+func (s *session) status() Status {
+	st := Status{
+		ID:           s.id,
+		Config:       s.cfg,
+		Observations: s.at.Observations(),
+		Pending:      len(s.ledger),
+		Completed:    s.at.Completed(),
+		Launched:     s.at.Launched(),
+		Failures:     s.at.Failures(),
+		Done:         s.at.Done(),
+		Records:      append([]Record(nil), s.recs...),
+		Failed:       append([]Record(nil), s.failed...),
+	}
+	if err := s.at.Err(); err != nil {
+		st.Aborted = err.Error()
+	}
+	if bx, by := s.at.Best(); bx != nil {
+		st.BestX = append([]float64(nil), bx...)
+		st.BestY = &by
+	}
+	return st
+}
+
+func equalPoints(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SnapshotVersion is the wire version of the snapshot document.
+const SnapshotVersion = 1
+
+// Snapshot is a restart-safe serialization of one session: the declaring
+// config plus the full ask/tell event log, which together determine the
+// session state exactly (the machine is deterministic given seed and tell
+// order). The surrogate hyperparameters and incumbent ride along for
+// observability; restore recomputes them from the log and never trusts
+// them.
+type Snapshot struct {
+	Version int           `json:"version"`
+	ID      string        `json:"id"`
+	Config  SessionConfig `json:"config"`
+	Events  []event       `json:"events"`
+
+	// Informational (recomputed on restore).
+	Observations int       `json:"observations"`
+	Pending      int       `json:"pending"`
+	Theta        []float64 `json:"theta,omitempty"`     // GP hyperparameters at snapshot time
+	LogNoise     *float64  `json:"log_noise,omitempty"` // nil before the first hyperfit
+	BestX        []float64 `json:"best_x,omitempty"`
+	BestY        *float64  `json:"best_y,omitempty"`
+}
+
+// snapshot renders the actor-side state as a Snapshot document.
+func (s *session) snapshot() Snapshot {
+	snap := Snapshot{
+		Version:      SnapshotVersion,
+		ID:           s.id,
+		Config:       s.cfg,
+		Events:       append([]event(nil), s.events...),
+		Observations: s.at.Observations(),
+		Pending:      len(s.ledger),
+	}
+	if theta, logNoise, ok := s.mm.Hyper(); ok {
+		snap.Theta = theta
+		snap.LogNoise = &logNoise
+	}
+	if bx, by := s.at.Best(); bx != nil {
+		snap.BestX = append([]float64(nil), bx...)
+		snap.BestY = &by
+	}
+	return snap
+}
+
+// restoreSession rebuilds a live session from a snapshot by replaying its
+// event log against a fresh machine. Asks are re-derived — not injected —
+// and verified bit-for-bit against the recorded proposals, so a snapshot
+// from a diverging binary (or a tampered log) fails loudly instead of
+// silently continuing a different run. JSON float64 round-trips exactly
+// (encoding/json emits the shortest representation that parses back to the
+// same bits), so the comparison is legitimate.
+func restoreSession(snap Snapshot) (*session, error) {
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	if snap.ID == "" {
+		return nil, errors.New("serve: snapshot has no session id")
+	}
+	cfg := snap.Config
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	at, mm, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		id:      snap.ID,
+		mailbox: make(chan func()),
+		quit:    make(chan struct{}),
+		cfg:     cfg,
+		at:      at,
+		mm:      mm,
+	}
+	for i, ev := range snap.Events {
+		switch ev.Kind {
+		case "ask":
+			p, ok, err := s.at.Suggest()
+			if err != nil {
+				return nil, fmt.Errorf("serve: replaying event %d: %w", i, err)
+			}
+			if !ok || p.ID != ev.ID || !equalPoints(p.X, ev.X) {
+				return nil, fmt.Errorf("%w (event %d: got id=%d x=%v, recorded id=%d x=%v)",
+					ErrSnapshotDiverged, i, p.ID, p.X, ev.ID, ev.X)
+			}
+			s.events = append(s.events, ev)
+			s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
+		case "tell":
+			// The live path validates tell dimensions in resolveTell; a
+			// snapshot bypasses it, and ragged observations would panic the
+			// actor goroutine deep inside the GP fit.
+			if len(ev.X) != len(cfg.Lo) {
+				return nil, fmt.Errorf("%w (event %d: tell dimension %d, want %d)",
+					ErrSnapshotDiverged, i, len(ev.X), len(cfg.Lo))
+			}
+			var evalErr error
+			if ev.Err != "" {
+				evalErr = errors.New(ev.Err)
+			}
+			// Consume the ledger entry like a live tell would.
+			for j, e := range s.ledger {
+				if e.id == ev.ID || (ev.ID == -1 && equalPoints(e.x, ev.X)) {
+					s.ledger = append(s.ledger[:j], s.ledger[j+1:]...)
+					break
+				}
+			}
+			s.events = append(s.events, ev)
+			rec := Record{ID: ev.ID, X: ev.X, Y: ev.Y, Err: ev.Err}
+			// An aborting tell legitimately returns the abort error; the
+			// machine is then dead and the log holds no further events.
+			obsErr := s.applyTell(ev.X, ev.Y, evalErr)
+			if evalErr != nil {
+				s.failed = append(s.failed, rec)
+			} else if obsErr == nil {
+				s.recs = append(s.recs, rec)
+			}
+		default:
+			return nil, fmt.Errorf("serve: unknown snapshot event kind %q at %d", ev.Kind, i)
+		}
+	}
+	// Cross-check the informational fields; a mismatch means the snapshot
+	// was edited or the replay semantics drifted.
+	if snap.Observations != s.at.Observations() || snap.Pending != len(s.ledger) {
+		return nil, fmt.Errorf("%w (replayed %d observations / %d pending, snapshot says %d / %d)",
+			ErrSnapshotDiverged, s.at.Observations(), len(s.ledger), snap.Observations, snap.Pending)
+	}
+	if snap.BestY != nil {
+		if _, by := s.at.Best(); math.Float64bits(by) != math.Float64bits(*snap.BestY) {
+			return nil, fmt.Errorf("%w (replayed best %v, snapshot says %v)", ErrSnapshotDiverged, by, *snap.BestY)
+		}
+	}
+	go s.run()
+	return s, nil
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"easybo/internal/sched"
+)
+
+// virtualDriver runs a served session on a sched.VirtualExecutor worker
+// pool: ask → launch, wait → tell, with position-dependent costs so
+// completions come back out of order exactly like real simulators. The
+// executor lives outside the daemon, so it can keep its in-flight work
+// across a daemon "restart" (snapshot + restore into a fresh server).
+type virtualDriver struct {
+	t     *testing.T
+	ex    *sched.VirtualExecutor
+	pids  map[string][]int // coordinate key → pending proposal ids, FIFO
+	tells int
+}
+
+func newVirtualDriver(t *testing.T, workers int, eval func([]float64) float64) *virtualDriver {
+	return &virtualDriver{
+		t: t,
+		ex: sched.NewVirtual(workers, func(x []float64) (float64, float64) {
+			return eval(x), 1 + 3*x[0] // variable simulated runtimes
+		}),
+		pids: map[string][]int{},
+	}
+}
+
+func pointKey(x []float64) string { return fmt.Sprintf("%x", x) }
+
+// fill asks the session for proposals until the pool is full or the session
+// has nothing to suggest.
+func (d *virtualDriver) fill(c *client, id string) {
+	for d.ex.Idle() > 0 {
+		var a Ask
+		if code := c.post("/sessions/"+id+"/ask", map[string]any{}, &a); code != http.StatusOK {
+			d.t.Fatalf("ask: status %d", code)
+		}
+		if a.Status != AskOK {
+			return
+		}
+		k := pointKey(a.X)
+		d.pids[k] = append(d.pids[k], a.ProposalID)
+		if err := d.ex.Launch(a.X); err != nil {
+			d.t.Fatal(err)
+		}
+	}
+}
+
+// step completes one virtual evaluation and tells it back. ok=false when
+// the pool has drained.
+func (d *virtualDriver) step(c *client, id string) (Status, bool) {
+	r, ok := d.ex.Wait()
+	if !ok {
+		return Status{}, false
+	}
+	k := pointKey(r.X)
+	q := d.pids[k]
+	if len(q) == 0 {
+		d.t.Fatalf("completion for unknown proposal %v", r.X)
+	}
+	pid := q[0]
+	d.pids[k] = q[1:]
+	tell := Tell{ProposalID: &pid, Y: r.Y}
+	if math.IsNaN(r.Y) {
+		tell.Y, tell.Error = 0, "virtual evaluation diverged"
+	}
+	d.tells++
+	var st Status
+	if code := c.post("/sessions/"+id+"/tell", tell, &st); code != http.StatusOK {
+		d.t.Fatalf("tell: status %d", code)
+	}
+	return st, true
+}
+
+// run drives until the session is done (or the optional tell budget is
+// reached), keeping the pool as full as the session allows.
+func (d *virtualDriver) run(c *client, id string, maxTells int) Status {
+	var last Status
+	d.fill(c, id)
+	for {
+		st, ok := d.step(c, id)
+		if !ok {
+			return last
+		}
+		last = st
+		if st.Done && st.Pending == 0 {
+			return st
+		}
+		if maxTells > 0 && d.tells >= maxTells {
+			return st
+		}
+		d.fill(c, id)
+	}
+}
+
+// TestSnapshotRestoreContinuationMatchesUninterrupted saves a session
+// mid-run, restores it into a fresh daemon, continues the run on the same
+// virtual worker pool, and requires the stitched history to be bitwise
+// identical to an uninterrupted run of the same session.
+func TestSnapshotRestoreContinuationMatchesUninterrupted(t *testing.T) {
+	eval := func(x []float64) float64 {
+		return -(x[0]-0.7)*(x[0]-0.7) - (x[1]-0.2)*(x[1]-0.2)
+	}
+	cfg := createRequest{ID: "snap", SessionConfig: SessionConfig{
+		Lo: []float64{0, 0}, Hi: []float64{1, 1},
+		InitPoints: 6, MaxEvals: 24, Seed: 31,
+		FitIters: 8, RefitEvery: 4, Failure: "skip",
+	}}
+
+	// Reference: one daemon, straight through.
+	cRef, _, stopRef := newTestServer(t)
+	defer stopRef()
+	cRef.post("/sessions", cfg, &createResponse{})
+	ref := newVirtualDriver(t, 3, eval).run(cRef, "snap", 0)
+	if !ref.Done || len(ref.Records) == 0 {
+		t.Fatalf("reference run incomplete: %+v", ref)
+	}
+
+	// Interrupted: same config, stop after 10 tells, snapshot, kill the
+	// daemon, restore the snapshot into a brand-new daemon, and keep going
+	// with the same still-loaded virtual worker pool.
+	c1, _, stop1 := newTestServer(t)
+	c1.post("/sessions", cfg, &createResponse{})
+	d := newVirtualDriver(t, 3, eval)
+	mid := d.run(c1, "snap", 10)
+	if mid.Done {
+		t.Fatal("interrupted too late; lower maxTells")
+	}
+	var snap Snapshot
+	if code := c1.get("/sessions/snap/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	stop1() // daemon gone
+
+	if snap.Pending == 0 || len(snap.Events) == 0 {
+		t.Fatalf("snapshot looks empty: pending=%d events=%d", snap.Pending, len(snap.Events))
+	}
+
+	c2, _, stop2 := newTestServer(t)
+	defer stop2()
+	var restored Status
+	if code := c2.post("/sessions/restore", snap, &restored); code != http.StatusCreated {
+		t.Fatalf("restore: status %d (%+v)", code, restored)
+	}
+	if restored.Observations != mid.Observations || restored.Pending != mid.Pending {
+		t.Fatalf("restored state %+v != interrupted state %+v", restored, mid)
+	}
+	fin := d.run(c2, "snap", 0)
+	if !fin.Done {
+		t.Fatalf("continued run never finished: %+v", fin)
+	}
+
+	// The stitched history must be bitwise identical to the reference.
+	if len(fin.Records) != len(ref.Records) {
+		t.Fatalf("records: %d continued vs %d uninterrupted", len(fin.Records), len(ref.Records))
+	}
+	for i := range fin.Records {
+		a, b := fin.Records[i], ref.Records[i]
+		if !equalPoints(a.X, b.X) || math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+			t.Fatalf("record %d diverged after restore:\n continued %+v\n reference %+v", i, a, b)
+		}
+	}
+	if math.Float64bits(*fin.BestY) != math.Float64bits(*ref.BestY) {
+		t.Fatalf("best diverged: %v vs %v", *fin.BestY, *ref.BestY)
+	}
+
+	// The snapshot's informational hyperparameters match what the restored
+	// session recomputed.
+	var snap2 Snapshot
+	c2.get("/sessions/snap/snapshot", &snap2)
+	if len(snap2.Events) <= len(snap.Events) {
+		t.Fatalf("continued session logged no new events (%d vs %d)", len(snap2.Events), len(snap.Events))
+	}
+}
+
+// TestSnapshotRejectsTamperedHistory: editing a recorded proposal must make
+// the replay verification fail instead of silently continuing a different
+// run.
+func TestSnapshotRejectsTamperedHistory(t *testing.T) {
+	c, _, stop := newTestServer(t)
+	defer stop()
+	cfg := createRequest{ID: "tamper", SessionConfig: SessionConfig{
+		Lo: []float64{0, 0}, Hi: []float64{1, 1}, InitPoints: 3, MaxEvals: 9, Seed: 2, FitIters: 8,
+	}}
+	c.post("/sessions", cfg, &createResponse{})
+	d := newVirtualDriver(t, 2, func(x []float64) float64 { return -x[0] })
+	d.run(c, "tamper", 4)
+	var snap Snapshot
+	c.get("/sessions/tamper/snapshot", &snap)
+
+	tampered := snap
+	tampered.Events = append([]event(nil), snap.Events...)
+	for i := range tampered.Events {
+		if tampered.Events[i].Kind == "ask" {
+			tampered.Events[i].X = append([]float64(nil), tampered.Events[i].X...)
+			tampered.Events[i].X[0] += 1e-9
+			break
+		}
+	}
+	tampered.ID = "tamper2"
+	var e errorResponse
+	if code := c.post("/sessions/restore", tampered, &e); code != http.StatusUnprocessableEntity {
+		t.Fatalf("tampered snapshot accepted: %d (%+v)", code, e)
+	}
+
+	// A tell event with the wrong dimension must be rejected at restore
+	// time, not panic the actor goroutine later inside the GP fit.
+	ragged := snap
+	ragged.Events = append([]event(nil), snap.Events...)
+	for i := range ragged.Events {
+		if ragged.Events[i].Kind == "tell" {
+			ragged.Events[i].X = ragged.Events[i].X[:1]
+			break
+		}
+	}
+	ragged.ID = "tamper3"
+	if code := c.post("/sessions/restore", ragged, &e); code != http.StatusUnprocessableEntity {
+		t.Fatalf("ragged tell dimension accepted: %d (%+v)", code, e)
+	}
+}

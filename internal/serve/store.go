@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// shardCount sizes the fixed shard array. Power of two, large enough that
+// session create/lookup from many concurrent workers never funnels through
+// one mutex, small enough to stay cache-friendly.
+const shardCount = 16
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*session
+}
+
+// Store holds the live sessions behind a fixed shard array. Only the id →
+// session mapping is guarded here; all session state is actor-owned (see
+// session.run), so shard critical sections are a map operation long.
+type Store struct {
+	shards [shardCount]shard
+	seq    atomic.Uint64 // monotonic component of generated ids
+	closed atomic.Bool
+}
+
+// NewStore builds an empty session store.
+func NewStore() *Store {
+	st := &Store{}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*session)
+	}
+	return st
+}
+
+func (st *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &st.shards[h.Sum32()%shardCount]
+}
+
+// newID generates a unique session id: a monotonic sequence number plus
+// random entropy so ids are not guessable across daemon restarts.
+func (st *Store) newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively fatal elsewhere; the sequence
+		// number alone still guarantees in-process uniqueness.
+		return fmt.Sprintf("s%d", st.seq.Add(1))
+	}
+	return fmt.Sprintf("s%d-%s", st.seq.Add(1), hex.EncodeToString(b[:]))
+}
+
+// add registers a session under its id.
+func (st *Store) add(s *session) error {
+	if st.closed.Load() {
+		return ErrSessionClosed
+	}
+	sh := st.shardFor(s.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[s.id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSession, s.id)
+	}
+	sh.m[s.id] = s
+	return nil
+}
+
+// get returns the session for id.
+func (st *Store) get(id string) (*session, error) {
+	sh := st.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.m[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	return s, nil
+}
+
+// remove deletes and shuts down the session for id.
+func (st *Store) remove(id string) error {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	s.close()
+	return nil
+}
+
+// IDs returns the live session ids, sorted for stable listings.
+func (st *Store) IDs() []string {
+	var ids []string
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of live sessions.
+func (st *Store) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Close shuts down every session and rejects further additions.
+func (st *Store) Close() {
+	st.closed.Store(true)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			s.close()
+			delete(sh.m, id)
+		}
+		sh.mu.Unlock()
+	}
+}

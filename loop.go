@@ -7,7 +7,6 @@ import (
 	"math/rand"
 
 	"easybo/internal/core"
-	"easybo/internal/gp"
 	"easybo/internal/objective"
 	"easybo/internal/stats"
 )
@@ -18,25 +17,15 @@ import (
 // evaluation back. This is Algorithm 1 with the scheduling inverted — the
 // caller owns the workers.
 //
+// Loop is a thin adapter over the core ask/tell state machine (the same one
+// that drives Optimize, OptimizeParallel, and the easybod service sessions),
+// configured without an evaluation budget: it keeps suggesting for as long
+// as the caller keeps asking.
+//
 // A Loop is not safe for concurrent use; serialize Suggest/Observe calls.
 type Loop struct {
-	ip       *objective.Problem // validated internal problem (bounds, cost)
-	opts     Options
-	rng      *rand.Rand
-	proposer *core.Proposer
-
-	pendingInit [][]float64
-	busy        [][]float64
-	obsX        [][]float64
-	obsY        []float64
-	bestX       []float64
-	bestY       float64
-
-	model      *gp.Model
-	lastFitN   int // dataset size the surrogate currently reflects
-	lastHyperN int // dataset size at the last hyperparameter optimization
-	lastTheta  []float64
-	lastNoise  float64
+	ip *objective.Problem // validated internal problem (bounds, cost)
+	at *core.AskTell
 }
 
 // NewLoop validates the problem and prepares the initial design.
@@ -63,55 +52,56 @@ func NewLoop(p Problem, opts Options) (*Loop, error) {
 		return nil, fmt.Errorf("easybo: Loop supports the EasyBO algorithms, not %q", opts.Algorithm)
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	l := &Loop{
-		ip: ip, opts: opts, rng: rng,
-		proposer: &core.Proposer{
-			Lambda:   opts.Lambda,
-			Penalize: opts.Algorithm != EasyBOA,
-		},
-		bestY: math.Inf(-1),
-	}
 	d := ip.Dim()
+	var init [][]float64
 	for _, u := range stats.LatinHypercube(rng, opts.InitPoints, d) {
 		x := make([]float64, d)
 		for j := range x {
 			x[j] = ip.Lo[j] + u[j]*(ip.Hi[j]-ip.Lo[j])
 		}
-		l.pendingInit = append(l.pendingInit, x)
+		init = append(init, x)
 	}
-	return l, nil
+	mm := core.NewModelManager(ip.Lo, ip.Hi, rng, core.ModelManagerOptions{
+		RefitEvery: opts.RefitEvery,
+		FitIters:   opts.FitIters,
+	})
+	at, err := core.NewAskTell(core.AskTellConfig{
+		Init: init,
+		Lo:   ip.Lo, Hi: ip.Hi,
+		Fit: mm.Fit,
+		Proposer: &core.Proposer{
+			Lambda:   opts.Lambda,
+			Penalize: opts.Algorithm != EasyBOA,
+		},
+		Rng: rng,
+		// Loop reports failures through Forget, never through Observe, so
+		// the machine's own failure policy is unreachable; skip is the
+		// benign default.
+		Failure: core.FailSkip,
+		// Not enough observations for a surrogate yet (caller suggested
+		// more than it observed): fall back to random points.
+		MinFitObs:      2,
+		RandomFallback: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Loop{ip: ip, at: at}, nil
 }
 
 // Suggest returns the next point to evaluate. Until the initial design is
 // exhausted it returns design points; afterwards it maximizes the EasyBO
 // acquisition with all currently busy points hallucinated.
 func (l *Loop) Suggest() ([]float64, error) {
-	if len(l.pendingInit) > 0 {
-		x := l.pendingInit[0]
-		l.pendingInit = l.pendingInit[1:]
-		l.busy = append(l.busy, x)
-		return append([]float64(nil), x...), nil
-	}
-	if len(l.obsY) < 2 {
-		// Not enough observations for a surrogate yet (caller suggested more
-		// than it observed): fall back to random points.
-		d := len(l.ip.Lo)
-		x := make([]float64, d)
-		for j := range x {
-			x[j] = l.ip.Lo[j] + l.rng.Float64()*(l.ip.Hi[j]-l.ip.Lo[j])
-		}
-		l.busy = append(l.busy, x)
-		return append([]float64(nil), x...), nil
-	}
-	if err := l.refreshModel(); err != nil {
-		return nil, err
-	}
-	x, _, err := l.proposer.Propose(l.model, l.busy, l.ip.Lo, l.ip.Hi, l.rng)
+	p, ok, err := l.at.Suggest()
 	if err != nil {
 		return nil, err
 	}
-	l.busy = append(l.busy, x)
-	return append([]float64(nil), x...), nil
+	if !ok {
+		// Unreachable for an unbounded machine; guard anyway.
+		return nil, errors.New("easybo: no suggestion available")
+	}
+	return p.X, nil
 }
 
 // Observe records a finished evaluation. The point is matched against the
@@ -124,95 +114,20 @@ func (l *Loop) Observe(x []float64, y float64) error {
 	if math.IsNaN(y) {
 		return errors.New("easybo: NaN observation")
 	}
-	for i, b := range l.busy {
-		if equalPoints(b, x) {
-			l.busy = append(l.busy[:i], l.busy[i+1:]...)
-			break
-		}
-	}
-	xc := append([]float64(nil), x...)
-	l.obsX = append(l.obsX, xc)
-	l.obsY = append(l.obsY, y)
-	if y > l.bestY {
-		l.bestY = y
-		l.bestX = xc
-	}
-	return nil
+	return l.at.Observe(x, y, nil)
 }
 
 // Forget removes a suggested-but-unobserved point from the busy set without
 // recording an observation. Call it when an evaluation failed (crashed
 // simulator, timeout) and will not be retried, so the point stops being
 // hallucinated into the surrogate. It reports whether the point was pending.
-func (l *Loop) Forget(x []float64) bool {
-	for i, b := range l.busy {
-		if equalPoints(b, x) {
-			l.busy = append(l.busy[:i], l.busy[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
+func (l *Loop) Forget(x []float64) bool { return l.at.Forget(x) }
 
 // Best returns the incumbent (nil, -Inf before any observation).
-func (l *Loop) Best() ([]float64, float64) { return l.bestX, l.bestY }
+func (l *Loop) Best() ([]float64, float64) { return l.at.Best() }
 
 // Observations returns the number of observed evaluations.
-func (l *Loop) Observations() int { return len(l.obsY) }
+func (l *Loop) Observations() int { return l.at.Observations() }
 
 // Pending returns the number of suggested-but-unobserved points.
-func (l *Loop) Pending() int { return len(l.busy) }
-
-// refreshModel keeps the surrogate in sync with the observations. On the
-// hyperparameter cadence (every RefitEvery observations) it pays for a full
-// marginal-likelihood fit; in between, new observations are absorbed by the
-// incremental rank-append update — O(k·n²) per refresh with no covariance
-// rebuild or refactorization on the Suggest hot path.
-func (l *Loop) refreshModel() error {
-	n := len(l.obsY)
-	if l.model != nil && n == l.lastFitN {
-		return nil
-	}
-	if l.model != nil && l.lastTheta != nil && n-l.lastHyperN < l.opts.RefitEvery {
-		m, err := l.model.Extend(l.obsX[l.lastFitN:n], l.obsY[l.lastFitN:n])
-		if err == nil {
-			l.model = m
-			l.lastFitN = n
-			return nil
-		}
-		// Numerically unusable extension (e.g. duplicate points at tiny
-		// noise): fall through to a full warm-started refit.
-	}
-	fo := &gp.FitOptions{Iters: l.opts.FitIters, Restarts: 1}
-	if l.lastTheta != nil {
-		fo.InitTheta = l.lastTheta
-		fo.InitNoise = l.lastNoise
-		fo.WarmOnly = true
-		fo.Iters = l.opts.FitIters / 2
-		if fo.Iters < 10 {
-			fo.Iters = 10
-		}
-	}
-	m, err := gp.Train(l.obsX, l.obsY, l.ip.Lo, l.ip.Hi, l.rng, &gp.TrainOptions{Fit: fo})
-	if err != nil {
-		return err
-	}
-	l.model = m
-	l.lastTheta = m.Theta()
-	l.lastNoise = m.LogNoise()
-	l.lastFitN = n
-	l.lastHyperN = n
-	return nil
-}
-
-func equalPoints(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+func (l *Loop) Pending() int { return l.at.Pending() }

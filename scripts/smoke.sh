@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Smoke test for CI: every binary must build, every example must run on a
+# tiny evaluation budget, and the easybod daemon must complete an ask/tell
+# round trip driven by cmd/easybo in client mode.
+set -euo pipefail
+
+GO=${GO:-go}
+PORT=${PORT:-7831}
+bin=$(mktemp -d)
+dpid=""
+cleanup() {
+	[ -n "$dpid" ] && kill "$dpid" 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT
+
+echo "== building all commands and examples"
+for d in ./cmd/* ./examples/*; do
+	name=$(basename "$d")
+	$GO build -o "$bin/$name" "$d"
+	echo "   built $name"
+done
+
+echo "== running every example with a tiny budget"
+"$bin/quickstart" -evals 10
+"$bin/asyncpool" -evals 10
+"$bin/opamp" -evals 12
+"$bin/classe" -evals 12
+"$bin/constrained" -evals 12
+
+echo "== easybod ask/tell round trip"
+"$bin/easybod" -addr "127.0.0.1:$PORT" -quiet &
+dpid=$!
+for _ in $(seq 1 50); do
+	if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.1
+done
+out=$("$bin/easybo" -serve "http://127.0.0.1:$PORT" -problem branin -workers 2 -evals 8 -init 4 -seed 7)
+echo "$out"
+echo "$out" | grep -q "8 evaluations (0 failed)" || {
+	echo "smoke: FAIL — the ask/tell round trip did not complete all 8 evaluations"
+	exit 1
+}
+echo "$out" | grep -q "best FOM" || {
+	echo "smoke: FAIL — no best FOM in the round-trip report"
+	exit 1
+}
+kill "$dpid"
+dpid=""
+echo "smoke: ok"
