@@ -1,9 +1,10 @@
 GO ?= go
 BENCH_HEAD ?= /tmp/bench_head.json
+STATICCHECK ?= staticcheck
 
-.PHONY: check vet fmt build test race bench-smoke bench bench-json bench-gate smoke
+.PHONY: check vet fmt staticcheck build test race bench-smoke bench bench-json bench-gate smoke
 
-check: vet fmt build test race bench-smoke
+check: vet fmt staticcheck build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -12,6 +13,16 @@ fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Static analysis beyond vet. The tool is not vendored; when it is absent
+# (e.g. a hermetic build container) the target skips with a notice instead
+# of failing — CI installs it explicitly and always runs it.
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
 build:
@@ -26,27 +37,31 @@ test: build
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/serve/...
 
-# Smoke-run the incremental-engine benchmarks so a regression on the hot
-# path (or a compile error in bench_test.go) fails CI loudly.
+# Smoke-run the incremental-engine and surrogate-backend benchmarks so a
+# regression on the hot path (or a compile error in a bench file) fails CI
+# loudly.
 bench-smoke:
 	$(GO) test -run XXX -bench 'GPExtend|GPRefit|Hallucinate' -benchtime 1x .
+	$(GO) test -run XXX -bench 'SurrogateExtend|SurrogatePredict' -benchtime 1x ./internal/surrogate/
 
 bench:
 	$(GO) test -run XXX -bench 'GPExtend|GPRefit|Hallucinate|SuggestHotPath' -benchtime 20x .
 
 # Machine-readable hot-path benchmark results: newton-iteration, tran-step,
-# AC-sweep, full testbench evaluations (sparse vs. dense), and the
-# end-to-end 40-eval EasyBO-A run, with sparse/dense speedups derived.
+# AC-sweep, full testbench evaluations (sparse vs. dense), the
+# exact-vs-feature-space surrogate scaling suite, and the end-to-end
+# 40-eval EasyBO-A run, with speedups derived.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_3.json
+	$(GO) run ./cmd/benchjson -out BENCH_4.json
 
 # CI bench-regression gate: measure a short fresh report and compare it to
-# the committed BENCH_3.json baseline. Gated hot-path benchmarks
-# (newton-iteration, testbench evals) fail CI on a >2x slowdown; everything
-# else only warns, since shared runners are noisy.
+# the committed BENCH_4.json baseline. Gated hot-path benchmarks
+# (newton-iteration, testbench evals, feature-space surrogate updates) fail
+# CI on a >2x slowdown; everything else only warns, since shared runners
+# are noisy.
 bench-gate:
 	$(GO) run ./cmd/benchjson -out $(BENCH_HEAD) -benchtime 0.3s -count 2
-	$(GO) run ./cmd/benchcmp -baseline BENCH_3.json -head $(BENCH_HEAD)
+	$(GO) run ./cmd/benchcmp -baseline BENCH_4.json -head $(BENCH_HEAD)
 
 # Build every cmd/* and examples/* binary, run each example on a tiny
 # budget, and drive a live easybod daemon through an ask/tell round trip,

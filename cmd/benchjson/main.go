@@ -1,12 +1,13 @@
 // Command benchjson runs the simulation-kernel hot-path benchmarks and
 // writes the results as machine-readable JSON (ns/op, B/op, allocs/op,
-// extra metrics like ns/step, plus derived sparse-vs-dense speedups), so
-// the repository's performance trajectory is tracked in data rather than
-// prose. `make bench-json` invokes it to produce BENCH_3.json.
+// extra metrics like ns/step, plus derived sparse-vs-dense and
+// exact-vs-feature-space speedups), so the repository's performance
+// trajectory is tracked in data rather than prose. `make bench-json`
+// invokes it to produce BENCH_4.json.
 //
 // Usage:
 //
-//	benchjson -out BENCH_3.json -benchtime 20x
+//	benchjson -out BENCH_4.json -benchtime 20x
 package main
 
 import (
@@ -29,6 +30,7 @@ var suite = []struct {
 }{
 	{"easybo/internal/circuit", "BenchmarkNewtonIteration(Sparse|Dense)"},
 	{"easybo/internal/testbench", "Benchmark(ClassEEval|TranStep|OpAmpEval|ACSweep)"},
+	{"easybo/internal/surrogate", "BenchmarkSurrogate(Fit|Extend|Predict|Suggest)"},
 	{"easybo", "BenchmarkEndToEnd40EvalEasyBOA"},
 }
 
@@ -59,7 +61,7 @@ var lineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_3.json", "output JSON path")
+		out       = flag.String("out", "BENCH_4.json", "output JSON path")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
 		count     = flag.Int("count", 3, "go test -count value; the per-benchmark minimum is reported")
 		goBin     = flag.String("go", "go", "go tool to invoke")
@@ -107,6 +109,13 @@ func main() {
 	ratio("classe_eval", "BenchmarkClassEEvalDense", "BenchmarkClassEEvalSparse")
 	ratio("opamp_eval", "BenchmarkOpAmpEvalDense", "BenchmarkOpAmpEvalSparse")
 	ratio("ac_sweep", "BenchmarkACSweepDense", "BenchmarkACSweepSparse")
+	// Exact-vs-feature-space surrogate scaling (key = exact ns / feature ns).
+	for _, n := range []string{"100", "500", "2000"} {
+		ratio("surrogate_fit_n"+n, "BenchmarkSurrogateFitExact/n="+n, "BenchmarkSurrogateFitFeatures/n="+n)
+		ratio("surrogate_extend_n"+n, "BenchmarkSurrogateExtendExact/n="+n, "BenchmarkSurrogateExtendFeatures/n="+n)
+		ratio("surrogate_predict_n"+n, "BenchmarkSurrogatePredictExact/n="+n, "BenchmarkSurrogatePredictFeatures/n="+n)
+	}
+	ratio("surrogate_suggest_n2000", "BenchmarkSurrogateSuggestExactN2000", "BenchmarkSurrogateSuggestFeaturesN2000")
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

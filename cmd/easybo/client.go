@@ -58,6 +58,12 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 		"fit_iters":   opts.FitIters,
 		"failure":     policy,
 	}
+	if opts.Surrogate != "" {
+		createBody["surrogate"] = string(opts.Surrogate)
+	}
+	if opts.EscalateAt > 0 {
+		createBody["escalate_at"] = opts.EscalateAt
+	}
 	if opts.Async.MaxFailures > 0 {
 		createBody["max_failures"] = opts.Async.MaxFailures
 	}

@@ -63,6 +63,9 @@ func main() {
 		trace   = flag.Bool("trace", false, "print every evaluation")
 		dim     = flag.Int("dim", 6, "dimension for ackley/rosenbrock")
 
+		surrogateB = flag.String("surrogate", "auto", "surrogate backend: auto | exact | features")
+		escalateAt = flag.Int("escalate", 0, "auto backend: observation count that escalates exact -> features (0 = default 500)")
+
 		parallel = flag.Bool("parallel", false, "evaluate on real goroutines (wall-clock) instead of virtual time")
 		serveURL = flag.String("serve", "", "drive a remote easybod daemon at this base URL; this process becomes the worker pool")
 		onfail   = flag.String("onfail", "abort", "failed-evaluation policy: abort | skip | retry")
@@ -121,6 +124,8 @@ func main() {
 		MaxEvals:   *evals,
 		InitPoints: *initN,
 		Seed:       *seed,
+		Surrogate:  easybo.SurrogateBackend(*surrogateB),
+		EscalateAt: *escalateAt,
 		Async: easybo.AsyncOptions{
 			Policy:      policy,
 			Retries:     *retries,

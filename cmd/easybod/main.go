@@ -33,17 +33,26 @@ import (
 	"time"
 
 	"easybo/internal/serve"
+	surrogatepkg "easybo/internal/surrogate"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":7823", "listen address")
-		grace = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
-		quiet = flag.Bool("quiet", false, "suppress the startup banner")
+		addr      = flag.String("addr", ":7823", "listen address")
+		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+		quiet     = flag.Bool("quiet", false, "suppress the startup banner")
+		surrogate = flag.String("surrogate", "", "default surrogate backend for sessions that omit one: auto | exact | features")
 	)
 	flag.Parse()
 
-	sv := serve.NewServer()
+	// Validate the default backend at boot: a typo here must not start a
+	// daemon that 400s every default session create.
+	if _, err := surrogatepkg.ParseBackend(*surrogate); err != nil {
+		fmt.Fprintln(os.Stderr, "easybod:", err)
+		os.Exit(2)
+	}
+
+	sv := serve.NewServerWith(serve.ServerOptions{DefaultSurrogate: *surrogate})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           sv,

@@ -9,6 +9,7 @@ import (
 	"easybo/internal/gp"
 	"easybo/internal/sched"
 	"easybo/internal/stats"
+	"easybo/internal/surrogate"
 )
 
 // Constraint is a black-box inequality constraint: the design x is feasible
@@ -114,21 +115,26 @@ func OptimizeConstrained(p Problem, constraints []Constraint, opts Options) (*Co
 	anyFeasible := false
 	bestViolation := math.Inf(1)
 
-	trainAll := func() (*gp.Model, []*gp.Model, error) {
+	// The constrained path trains one exact GP per output: constraint
+	// surfaces are usually sharp near their boundary, which is exactly where
+	// the feature expansion is weakest, so backend selection is not offered
+	// here.
+	trainAll := func() (surrogate.Surrogate, []surrogate.Surrogate, error) {
 		objM, err := gp.Train(obsX, obsY, p.Lo, p.Hi, rng,
 			&gp.TrainOptions{Fit: &gp.FitOptions{Iters: opts.FitIters, Restarts: 1}})
 		if err != nil {
 			return nil, nil, err
 		}
-		consM := make([]*gp.Model, len(constraints))
+		consM := make([]surrogate.Surrogate, len(constraints))
 		for j := range constraints {
-			consM[j], err = gp.Train(obsX, obsC[j], p.Lo, p.Hi, rng,
+			cm, err := gp.Train(obsX, obsC[j], p.Lo, p.Hi, rng,
 				&gp.TrainOptions{Fit: &gp.FitOptions{Iters: opts.FitIters / 2, Restarts: 1}})
 			if err != nil {
 				return nil, nil, err
 			}
+			consM[j] = surrogate.NewExact(cm)
 		}
-		return objM, consM, nil
+		return surrogate.NewExact(objM), consM, nil
 	}
 
 	launched, completed := 0, 0

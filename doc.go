@@ -66,7 +66,34 @@
 // workspaces, and Problem.NewObjective hands each optimization worker a
 // private reusable simulator instance. The dense reference solver is kept
 // for golden equivalence (1e-9 on every analysis); `make bench-json`
-// records the sparse-vs-dense speedups in BENCH_3.json. See DESIGN.md.
+// records the sparse-vs-dense speedups in BENCH_4.json. See DESIGN.md.
+//
+// # Choosing a surrogate backend
+//
+// Options.Surrogate selects the model behind the optimization
+// (internal/surrogate is the model-agnostic layer every consumer goes
+// through):
+//
+//   - SurrogateExact is the paper's exact Gaussian process: the highest
+//     fidelity posterior, with O(n³) hyperparameter refits and O(n²)
+//     predictions. Right for runs within the paper's budgets (≲ a few
+//     hundred evaluations) and required for non-SE-ARD kernels.
+//   - SurrogateFeatures performs Bayesian linear regression on a random-
+//     Fourier-feature basis of the SE-ARD kernel: O(n·m²) full fits and —
+//     decisive for long sessions — O(m²) rank-1 incremental updates and
+//     predictions that do not grow with the observation count (m defaults
+//     to 256). Hyperparameters are re-estimated periodically on a bounded
+//     subsample. The posterior is an m-dimensional approximation: slightly
+//     softer than the exact GP, far past it in throughput.
+//   - SurrogateAuto (the default) runs exact below Options.EscalateAt
+//     observations (default 500) — byte-identical to SurrogateExact there —
+//     and escalates to the feature-space backend past it, so long-horizon
+//     ask/tell sessions keep a flat per-suggestion latency. See
+//     examples/longrun for the latency profile of a 1000-evaluation run.
+//
+// The easybod service accepts the same choice per session ("surrogate",
+// "escalate_at" config fields); snapshots record it, so a restored session
+// replays the identical escalation schedule.
 //
 // # Fault tolerance
 //

@@ -10,6 +10,7 @@ import (
 	"easybo/internal/core"
 	"easybo/internal/objective"
 	"easybo/internal/sched"
+	"easybo/internal/surrogate"
 )
 
 // Problem is a box-constrained maximization problem.
@@ -53,6 +54,25 @@ const (
 	RandomSearch Algorithm = "random"    // uniform random sampling
 	TS           Algorithm = "ts"        // (parallel) Thompson sampling via RFF posterior draws
 	GPHedge      Algorithm = "hedge"     // portfolio of EI/PI/UCB with hedge weights
+)
+
+// SurrogateBackend selects the surrogate model implementation behind an
+// optimization run.
+type SurrogateBackend string
+
+const (
+	// SurrogateAuto (the default) runs the exact Gaussian process until the
+	// observation count reaches Options.EscalateAt, then escalates to the
+	// feature-space backend so long runs keep a flat per-suggestion cost.
+	// Below the threshold it behaves identically to SurrogateExact.
+	SurrogateAuto SurrogateBackend = "auto"
+	// SurrogateExact is the paper's exact GP: highest fidelity, O(n³)
+	// hyperparameter refits.
+	SurrogateExact SurrogateBackend = "exact"
+	// SurrogateFeatures is Bayesian linear regression on a random-Fourier-
+	// feature basis of the SE-ARD kernel: O(n·m²) fits and O(m²)
+	// incremental updates/predictions, independent of the history length.
+	SurrogateFeatures SurrogateBackend = "features"
 )
 
 // FailurePolicy decides what an optimization run does when an evaluation
@@ -112,6 +132,12 @@ type Options struct {
 	RefitEvery int // hyperparameter refit cadence in observations
 	FitIters   int // optimizer iterations per hyperparameter fit
 
+	// Surrogate selects the model backend (default SurrogateAuto).
+	// EscalateAt is the observation count at which SurrogateAuto switches
+	// from the exact GP to the feature-space backend (default 500).
+	Surrogate  SurrogateBackend
+	EscalateAt int
+
 	// Async tunes failure handling, cancellation, timeouts, and retries.
 	Async AsyncOptions
 }
@@ -170,6 +196,10 @@ func (o Options) toConfig() (bo.Config, error) {
 	if err != nil {
 		return bo.Config{}, err
 	}
+	backend, err := surrogate.ParseBackend(string(o.Surrogate))
+	if err != nil {
+		return bo.Config{}, fmt.Errorf("easybo: %w", err)
+	}
 	return bo.Config{
 		Algo:        algo,
 		BatchSize:   o.Workers,
@@ -179,6 +209,8 @@ func (o Options) toConfig() (bo.Config, error) {
 		Lambda:      o.Lambda,
 		RefitEvery:  o.RefitEvery,
 		FitIters:    o.FitIters,
+		Surrogate:   backend,
+		EscalateAt:  o.EscalateAt,
 		Failure:     failure,
 		MaxFailures: o.Async.MaxFailures,
 		Ctx:         o.Async.Context,

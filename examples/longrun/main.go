@@ -1,0 +1,100 @@
+// Longrun: a 1000+-evaluation ask/tell session demonstrating surrogate
+// auto-escalation. The session starts on the exact GP — whose per-suggest
+// cost grows with every observation — and escalates to the feature-space
+// backend at -escalate observations, after which the cost stays flat no
+// matter how long the run continues. The per-suggestion latency table
+// printed at the end makes the knee visible.
+//
+//	go run ./examples/longrun
+//	go run ./examples/longrun -evals 2000 -escalate 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"easybo"
+)
+
+func main() {
+	evals := flag.Int("evals", 1000, "total evaluations")
+	escalate := flag.Int("escalate", 300, "observation count that escalates exact -> features")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	// A cheap 4-D synthetic objective: what matters here is the suggestion
+	// cost of a long-lived session, not the simulator.
+	problem := easybo.Problem{
+		Name: "longrun",
+		Lo:   []float64{0, 0, 0, 0},
+		Hi:   []float64{1, 1, 1, 1},
+		Objective: func(x []float64) float64 {
+			s := 0.0
+			for j, v := range x {
+				s += math.Sin(4*v + float64(j))
+			}
+			return s + 2*math.Exp(-20*((x[0]-0.7)*(x[0]-0.7)+(x[1]-0.3)*(x[1]-0.3)))
+		},
+	}
+
+	loop, err := easybo.NewLoop(problem, easybo.Options{
+		Seed:       *seed,
+		InitPoints: 20,
+		Surrogate:  easybo.SurrogateAuto,
+		EscalateAt: *escalate,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	const bucket = 100
+	type stats struct {
+		durs []time.Duration
+	}
+	var buckets []stats
+	for i := 0; i < *evals; i++ {
+		t0 := time.Now()
+		x, err := loop.Suggest()
+		if err != nil {
+			panic(err)
+		}
+		dt := time.Since(t0)
+		if b := i / bucket; b >= len(buckets) {
+			buckets = append(buckets, stats{})
+		}
+		buckets[i/bucket].durs = append(buckets[i/bucket].durs, dt)
+		if err := loop.Observe(x, problem.Objective(x)); err != nil {
+			panic(err)
+		}
+	}
+
+	fmt.Printf("per-suggest latency over %d evaluations (escalation at %d):\n", *evals, *escalate)
+	fmt.Printf("  %-12s %10s %10s %s\n", "evals", "mean", "p95", "backend")
+	for b, st := range buckets {
+		var sum time.Duration
+		sorted := append([]time.Duration(nil), st.durs...)
+		for i := 1; i < len(sorted); i++ { // insertion sort: buckets are tiny
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		for _, d := range sorted {
+			sum += d
+		}
+		p95 := sorted[(len(sorted)-1)*95/100]
+		start, end := b*bucket, b*bucket+len(st.durs)
+		backend := "exact"
+		switch {
+		case start >= *escalate:
+			backend = "features"
+		case end > *escalate:
+			backend = "exact -> features"
+		}
+		fmt.Printf("  %5d-%-6d %10s %10s %s\n",
+			b*bucket, b*bucket+len(st.durs), sum/time.Duration(len(st.durs)), p95, backend)
+	}
+	bx, by := loop.Best()
+	fmt.Printf("best value: %.4f at %.3v after %d observations\n", by, bx, loop.Observations())
+}

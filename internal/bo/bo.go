@@ -18,6 +18,7 @@ import (
 	"easybo/internal/core"
 	"easybo/internal/gp"
 	"easybo/internal/sched"
+	"easybo/internal/surrogate"
 )
 
 // Algorithm names the optimization strategies of the paper's §IV.
@@ -59,6 +60,14 @@ type Config struct {
 	FitIters    int       // Adam iterations per hyperfit (default 40)
 	FitRestarts int       // random restarts on the first hyperfit (default 1)
 	Kernel      gp.Kernel // surrogate kernel (default SE-ARD, the paper's choice)
+
+	// Surrogate selects the backend: exact GP, feature-space, or auto
+	// (exact below EscalateAt observations, feature-space past it; the
+	// default). EscalateAt <= 0 means surrogate.DefaultEscalateAt, and
+	// Features <= 0 means surrogate.DefaultFeatures.
+	Surrogate  surrogate.Backend
+	EscalateAt int
+	Features   int
 
 	// Inner acquisition maximizer.
 	AcqCandidates int // candidate sweep size (default 60·d, min 200)

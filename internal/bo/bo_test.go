@@ -7,6 +7,7 @@ import (
 	"easybo/internal/core"
 	"easybo/internal/objective"
 	"easybo/internal/sched"
+	"easybo/internal/surrogate"
 )
 
 // fastCfg keeps the surrogate machinery light for tests.
@@ -449,6 +450,50 @@ func TestRunSyncHonorsFailurePolicy(t *testing.T) {
 		for _, r := range h.Records {
 			if math.IsNaN(r.Y) || r.Err != nil {
 				t.Fatalf("%s: failure leaked into Records: %+v", algo, r)
+			}
+		}
+	}
+}
+
+// TestDriversRunOnEveryBackend runs representative drivers on the explicit
+// feature-space backend and on auto with a mid-run escalation; every driver
+// must complete its budget regardless of the surrogate behind the seam.
+func TestDriversRunOnEveryBackend(t *testing.T) {
+	p := objective.Branin()
+	algos := []struct {
+		a Algorithm
+		b int
+	}{
+		{AlgoEI, 1}, {AlgoEasyBOSeq, 1}, {AlgoPBO, 3}, {AlgoTS, 3},
+		{AlgoPortfolio, 1}, {AlgoEasyBOA, 3}, {AlgoEasyBO, 3},
+	}
+	backends := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"features", func(c *Config) { c.Surrogate = surrogate.BackendFeatures; c.Features = 64 }},
+		{"auto-escalating", func(c *Config) { c.Surrogate = surrogate.BackendAuto; c.EscalateAt = 18; c.Features = 64 }},
+	}
+	for _, be := range backends {
+		for _, tc := range algos {
+			cfg := fastCfg(tc.a, tc.b, 28, 11)
+			be.mod(&cfg)
+			h, err := Run(p, cfg)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", tc.a, be.name, err)
+			}
+			if len(h.Records) != 28 {
+				t.Fatalf("%s on %s: %d records, want 28", tc.a, be.name, len(h.Records))
+			}
+			if math.IsInf(h.BestY, -1) || h.BestX == nil {
+				t.Fatalf("%s on %s: empty best", tc.a, be.name)
+			}
+			for _, r := range h.Records {
+				for j := range r.X {
+					if r.X[j] < p.Lo[j]-1e-9 || r.X[j] > p.Hi[j]+1e-9 {
+						t.Fatalf("%s on %s: out-of-box query %v", tc.a, be.name, r.X)
+					}
+				}
 			}
 		}
 	}

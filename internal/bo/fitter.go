@@ -9,12 +9,15 @@ import (
 // newModelManager builds the shared surrogate manager (core.ModelManager)
 // from a driver Config. The manager lives in core so the executor-driven
 // drivers here, the public ask/tell Loop, and the serve sessions all share
-// one surrogate-cadence implementation.
-func newModelManager(lo, hi []float64, rng *rand.Rand, cfg Config) *core.ModelManager {
+// one surrogate-cadence and backend-escalation implementation.
+func newModelManager(lo, hi []float64, rng *rand.Rand, cfg Config) (*core.ModelManager, error) {
 	return core.NewModelManager(lo, hi, rng, core.ModelManagerOptions{
 		RefitEvery:  cfg.RefitEvery,
 		FitIters:    cfg.FitIters,
 		FitRestarts: cfg.FitRestarts,
 		Kernel:      cfg.Kernel,
+		Backend:     cfg.Surrogate,
+		EscalateAt:  cfg.EscalateAt,
+		Features:    cfg.Features,
 	})
 }

@@ -103,7 +103,10 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 		return nil, err
 	}
 	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
-	mm := newModelManager(p.Lo, p.Hi, rng, cfg)
+	mm, err := newModelManager(p.Lo, p.Hi, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
 	fh := core.NewFailureHandler(cfg.Failure, cfg.MaxFailures, cfg.MaxEvals)
 
 	var recs, failed []sched.Result
@@ -196,14 +199,17 @@ func runSync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error)
 // reach the surrogate and History.Records.
 func runAsync(p *objective.Problem, cfg Config, rng *rand.Rand) (*History, error) {
 	ex := sched.NewVirtual(cfg.BatchSize, p.EvalWithCost)
-	mm := newModelManager(p.Lo, p.Hi, rng, cfg)
+	mm, err := newModelManager(p.Lo, p.Hi, rng, cfg)
+	if err != nil {
+		return nil, err
+	}
 	proposer := &core.Proposer{
 		Lambda:   cfg.Lambda,
 		Penalize: cfg.Algo == AlgoEasyBO,
 		MaxOpts:  cfg.acqOpts(p.Dim()),
 	}
 	var recs, failed []sched.Result
-	err := core.AsyncLoop(ex, core.AsyncConfig{
+	err = core.AsyncLoop(ex, core.AsyncConfig{
 		MaxEvals: cfg.MaxEvals,
 		Init:     initialDesign(p, cfg.InitPoints, rng),
 		Lo:       p.Lo, Hi: p.Hi,

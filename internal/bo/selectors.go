@@ -1,24 +1,25 @@
 package bo
 
 import (
+	"fmt"
 	"math/rand"
 
 	"easybo/internal/acq"
 	"easybo/internal/core"
-	"easybo/internal/gp"
 	"easybo/internal/optimize"
+	"easybo/internal/surrogate"
 )
 
 // batchSelector picks the next batch of query points for the synchronous
 // and sequential drivers. bestRaw is the incumbent objective value.
 type batchSelector interface {
-	SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error)
+	SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error)
 }
 
 // maximizeAcq maximizes an acquisition over the box on the model's
 // standardized view, fanning the multistart out across goroutines — each
 // worker owns an allocation-free predictor over the shared posterior.
-func maximizeAcq(a acq.Func, m *gp.Model, lo, hi []float64, rng *rand.Rand, opts optimize.MaximizeOptions) []float64 {
+func maximizeAcq(a acq.Func, m surrogate.Surrogate, lo, hi []float64, rng *rand.Rand, opts optimize.MaximizeOptions) []float64 {
 	x, _ := optimize.MaximizeParallel(func() optimize.Objective {
 		s := m.StandardizedPredictor()
 		return func(q []float64) float64 { return a.Value(s, q) }
@@ -32,7 +33,7 @@ type eiSelector struct {
 	opts optimize.MaximizeOptions
 }
 
-func (s eiSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error) {
+func (s eiSelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error) {
 	out := make([][]float64, 0, b)
 	a := acq.EI{Best: m.StandardizeY(bestRaw), Xi: s.xi}
 	for i := 0; i < b; i++ {
@@ -47,7 +48,7 @@ type lcbSelector struct {
 	opts  optimize.MaximizeOptions
 }
 
-func (s lcbSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+func (s lcbSelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
 	out := make([][]float64, 0, b)
 	a := acq.LCB{Kappa: s.kappa}
 	for i := 0; i < b; i++ {
@@ -62,7 +63,7 @@ type pboSelector struct {
 	opts optimize.MaximizeOptions
 }
 
-func (s pboSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+func (s pboSelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
 	ws := acq.PBOWeights(b)
 	out := make([][]float64, 0, b)
 	for _, w := range ws {
@@ -101,7 +102,7 @@ func normalizeInto(out, x, lo, hi []float64) []float64 {
 	return out
 }
 
-func (s *phcboSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+func (s *phcboSelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
 	ws := acq.PBOWeights(b)
 	out := make([][]float64, 0, b)
 	for i, w := range ws {
@@ -131,7 +132,7 @@ type easySelector struct {
 	proposer *core.Proposer
 }
 
-func (s easySelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+func (s easySelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
 	return s.proposer.ProposeBatch(m, b, lo, hi, rng)
 }
 
@@ -143,14 +144,18 @@ type tsSelector struct {
 	opts     optimize.MaximizeOptions
 }
 
-func (s tsSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
+func (s tsSelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, _ float64, rng *rand.Rand) ([][]float64, error) {
 	nf := s.features
 	if nf <= 0 {
 		nf = 400
 	}
+	sampler, ok := m.(surrogate.Sampler)
+	if !ok {
+		return nil, fmt.Errorf("bo: surrogate backend %T does not support Thompson sampling", m)
+	}
 	out := make([][]float64, 0, b)
 	for i := 0; i < b; i++ {
-		sample, err := m.SampleRFF(rng, nf)
+		sample, err := sampler.SampleRFF(rng, nf)
 		if err != nil {
 			return nil, err
 		}
@@ -178,8 +183,8 @@ func newPortfolioSelector(xi, kappa float64, opts optimize.MaximizeOptions) *por
 	return &portfolioSelector{hedge: acq.NewPortfolio(3, 1.0), xi: xi, kappa: kappa, opts: opts}
 }
 
-func (s *portfolioSelector) SelectBatch(m *gp.Model, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error) {
-	std := m.Standardized()
+func (s *portfolioSelector) SelectBatch(m surrogate.Surrogate, b int, lo, hi []float64, bestRaw float64, rng *rand.Rand) ([][]float64, error) {
+	std := m.StandardizedPredictor()
 	s.hedge.Update(std) // reward last round's nominations under the new posterior
 	best := m.StandardizeY(bestRaw)
 	strategies := []acq.Func{

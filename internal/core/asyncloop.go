@@ -6,14 +6,15 @@ import (
 	"fmt"
 	"math/rand"
 
-	"easybo/internal/gp"
 	"easybo/internal/sched"
+	"easybo/internal/surrogate"
 )
 
 // Fitter refreshes the surrogate from all observations so far. Implementors
 // decide how often to re-optimize hyperparameters versus performing a cheap
-// fixed-hyperparameter refit.
-type Fitter func(x [][]float64, y []float64) (*gp.Model, error)
+// incremental refit, and which surrogate backend serves the posterior
+// (ModelManager.Fit is the canonical implementation).
+type Fitter func(x [][]float64, y []float64) (surrogate.Surrogate, error)
 
 // FailurePolicy decides what AsyncLoop does with a failed evaluation
 // (sched.Result.Err != nil): a panicked, NaN, timed-out, or cancelled run.

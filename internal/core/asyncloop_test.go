@@ -9,6 +9,7 @@ import (
 
 	"easybo/internal/gp"
 	"easybo/internal/sched"
+	"easybo/internal/surrogate"
 )
 
 // faultyVirtual builds a virtual executor whose objective fails (NaN) on a
@@ -31,13 +32,17 @@ func asyncFixture(rng *rand.Rand) ([][]float64, []float64, []float64, Fitter) {
 	for i := 0; i < 8; i++ {
 		init = append(init, []float64{rng.Float64(), rng.Float64()})
 	}
-	fit := func(xs [][]float64, ys []float64) (*gp.Model, error) {
+	fit := func(xs [][]float64, ys []float64) (surrogate.Surrogate, error) {
 		for _, y := range ys {
 			if math.IsNaN(y) {
 				panic("core: NaN observation reached the surrogate")
 			}
 		}
-		return gp.Train(xs, ys, lo, hi, rand.New(rand.NewSource(9)), &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 10}})
+		m, err := gp.Train(xs, ys, lo, hi, rand.New(rand.NewSource(9)), &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 10}})
+		if err != nil {
+			return nil, err
+		}
+		return surrogate.NewExact(m), nil
 	}
 	return init, lo, hi, fit
 }

@@ -7,9 +7,9 @@ import (
 	"sort"
 
 	"easybo/internal/acq"
-	"easybo/internal/gp"
 	"easybo/internal/optimize"
 	"easybo/internal/stats"
+	"easybo/internal/surrogate"
 )
 
 // ConstrainedProposer extends EasyBO to black-box inequality constraints
@@ -32,14 +32,14 @@ type ConstrainedProposer struct {
 // the busy set. When no feasible region is known yet (anyFeasible false),
 // it maximizes the joint probability of feasibility instead.
 func (p *ConstrainedProposer) ProposeConstrained(
-	obj *gp.Model, cons []*gp.Model, busy [][]float64,
+	obj surrogate.Surrogate, cons []surrogate.Surrogate, busy [][]float64,
 	lo, hi []float64, anyFeasible bool, rng *rand.Rand,
 ) ([]float64, error) {
 	if obj == nil {
 		return nil, errors.New("core: nil objective surrogate")
 	}
 	objView := obj
-	consView := make([]*gp.Model, len(cons))
+	consView := make([]surrogate.Surrogate, len(cons))
 	copy(consView, cons)
 	if p.Penalize && len(busy) > 0 {
 		var err error
@@ -67,10 +67,16 @@ func (p *ConstrainedProposer) ProposeConstrained(
 		refine = 2
 	}
 
+	// One reusable predictor per constraint: the candidate sweep and the
+	// simplex refinements below run on this goroutine only.
+	consPred := make([]surrogate.Predictor, len(consView))
+	for j, cm := range consView {
+		consPred[j] = cm.Predictor()
+	}
 	pof := func(x []float64) float64 {
 		prod := 1.0
-		for _, cm := range consView {
-			mu, sigma := cm.Predict(x)
+		for _, cp := range consPred {
+			mu, sigma := cp.Predict(x)
 			if sigma < 1e-12 {
 				if mu > 0 {
 					return 0
@@ -84,7 +90,7 @@ func (p *ConstrainedProposer) ProposeConstrained(
 
 	w := acq.SampleWeight(rng, p.Lambda)
 	base := acq.Weighted{W: w}
-	std := objView.Standardized()
+	std := objView.StandardizedPredictor()
 
 	// Candidate sweep.
 	unit := stats.LatinHypercube(rng, nCand, d)

@@ -6,11 +6,12 @@ import (
 	"testing"
 
 	"easybo/internal/gp"
+	"easybo/internal/surrogate"
 )
 
 // constrainedSetup trains an objective surrogate preferring large x[0] and a
 // constraint surrogate that forbids x[0] > 0.5 (c(x) = x[0] - 0.5 <= 0).
-func constrainedSetup(t *testing.T, rng *rand.Rand) (obj *gp.Model, cons []*gp.Model, lo, hi []float64) {
+func constrainedSetup(t *testing.T, rng *rand.Rand) (obj surrogate.Surrogate, cons []surrogate.Surrogate, lo, hi []float64) {
 	t.Helper()
 	lo = []float64{0, 0}
 	hi = []float64{1, 1}
@@ -22,8 +23,7 @@ func constrainedSetup(t *testing.T, rng *rand.Rand) (obj *gp.Model, cons []*gp.M
 		ys = append(ys, x[0])
 		cs = append(cs, x[0]-0.5)
 	}
-	var err error
-	obj, err = gp.Train(xs, ys, lo, hi, rng, &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 25}})
+	om, err := gp.Train(xs, ys, lo, hi, rng, &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 25}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func constrainedSetup(t *testing.T, rng *rand.Rand) (obj *gp.Model, cons []*gp.M
 	if err != nil {
 		t.Fatal(err)
 	}
-	return obj, []*gp.Model{cm}, lo, hi
+	return surrogate.NewExact(om), []surrogate.Surrogate{surrogate.NewExact(cm)}, lo, hi
 }
 
 func TestProposeConstrainedRespectsFeasibility(t *testing.T) {

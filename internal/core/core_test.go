@@ -7,9 +7,10 @@ import (
 
 	"easybo/internal/gp"
 	"easybo/internal/sched"
+	"easybo/internal/surrogate"
 )
 
-func trainedModel(t *testing.T, rng *rand.Rand, n int) (*gp.Model, []float64, []float64) {
+func trainedModel(t *testing.T, rng *rand.Rand, n int) (surrogate.Surrogate, []float64, []float64) {
 	t.Helper()
 	lo := []float64{0, 0}
 	hi := []float64{1, 1}
@@ -27,7 +28,7 @@ func trainedModel(t *testing.T, rng *rand.Rand, n int) (*gp.Model, []float64, []
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m, lo, hi
+	return surrogate.NewExact(m), lo, hi
 }
 
 func TestProposeStaysInBox(t *testing.T) {
@@ -130,8 +131,12 @@ func TestAsyncLoopRunsAlgorithm1(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		init = append(init, []float64{rng.Float64(), rng.Float64()})
 	}
-	fit := func(xs [][]float64, ys []float64) (*gp.Model, error) {
-		return gp.Train(xs, ys, lo, hi, rng, &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 10}})
+	fit := func(xs [][]float64, ys []float64) (surrogate.Surrogate, error) {
+		m, err := gp.Train(xs, ys, lo, hi, rng, &gp.TrainOptions{Fit: &gp.FitOptions{Iters: 10}})
+		if err != nil {
+			return nil, err
+		}
+		return surrogate.NewExact(m), nil
 	}
 	var seen []sched.Result
 	err := AsyncLoop(ex, AsyncConfig{
@@ -177,7 +182,7 @@ func TestAsyncLoopValidation(t *testing.T) {
 		MaxEvals: 5,
 		Init:     [][]float64{{0.5}},
 		Lo:       []float64{0}, Hi: []float64{1},
-		Fit:      func(x [][]float64, y []float64) (*gp.Model, error) { return nil, nil },
+		Fit:      func(x [][]float64, y []float64) (surrogate.Surrogate, error) { return nil, nil },
 		Proposer: &Proposer{Lambda: 6},
 		Rng:      rng,
 	}

@@ -20,8 +20,8 @@ import (
 	"math/rand"
 
 	"easybo/internal/acq"
-	"easybo/internal/gp"
 	"easybo/internal/optimize"
+	"easybo/internal/surrogate"
 )
 
 // Proposer selects EasyBO query points.
@@ -39,10 +39,11 @@ type Proposer struct {
 // Propose returns the next query point given the fitted surrogate, the busy
 // set (points still under evaluation, raw coordinates), and the design box.
 // It also reports the sampled weight for diagnostics. The hallucinated
-// variant extends the surrogate's Cholesky factor incrementally — O(b·n²)
-// for b busy points — and the acquisition maximization fans its multistart
-// out across goroutines, each with its own allocation-free predictor.
-func (p *Proposer) Propose(m *gp.Model, busy [][]float64, lo, hi []float64, rng *rand.Rand) (x []float64, w float64, err error) {
+// variant extends the surrogate incrementally (rank-append on the exact GP,
+// rank-1 information updates on the feature backend), and the acquisition
+// maximization fans its multistart out across goroutines, each with its own
+// allocation-free predictor.
+func (p *Proposer) Propose(m surrogate.Surrogate, busy [][]float64, lo, hi []float64, rng *rand.Rand) (x []float64, w float64, err error) {
 	if m == nil {
 		return nil, 0, errors.New("core: nil surrogate")
 	}
@@ -58,7 +59,7 @@ func (p *Proposer) Propose(m *gp.Model, busy [][]float64, lo, hi []float64, rng 
 
 // proposeOn maximizes the randomized-weight acquisition on an already
 // hallucinated surrogate view.
-func (p *Proposer) proposeOn(view *gp.Model, lo, hi []float64, rng *rand.Rand) (x []float64, w float64, err error) {
+func (p *Proposer) proposeOn(view surrogate.Surrogate, lo, hi []float64, rng *rand.Rand) (x []float64, w float64, err error) {
 	w = acq.SampleWeight(rng, p.Lambda)
 	a := acq.Weighted{W: w}
 	x, _ = optimize.MaximizeParallel(func() optimize.Objective {
@@ -75,7 +76,7 @@ func (p *Proposer) proposeOn(view *gp.Model, lo, hi []float64, rng *rand.Rand) (
 // hallucinations accumulate on one incrementally extended view (each step
 // appends a single row to the factor), so a batch costs O(b·n²) instead of
 // the O(b·n³) of per-step refits.
-func (p *Proposer) ProposeBatch(m *gp.Model, b int, lo, hi []float64, rng *rand.Rand) ([][]float64, error) {
+func (p *Proposer) ProposeBatch(m surrogate.Surrogate, b int, lo, hi []float64, rng *rand.Rand) ([][]float64, error) {
 	if b < 1 {
 		return nil, errors.New("core: batch size must be >= 1")
 	}

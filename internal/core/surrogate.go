@@ -1,114 +1,147 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"easybo/internal/gp"
+	"easybo/internal/surrogate"
 )
 
 // ModelManagerOptions tunes a ModelManager. Zero values select the paper's
-// defaults (refit cadence 5, 40 Adam iterations, 1 restart, SE-ARD kernel).
+// defaults (refit cadence 5, 40 Adam iterations, 1 restart, SE-ARD kernel)
+// on the auto backend.
 type ModelManagerOptions struct {
 	RefitEvery  int       // hyperparameter re-optimization cadence in observations
 	FitIters    int       // Adam iterations per hyperfit
 	FitRestarts int       // random restarts on the first hyperfit
-	Kernel      gp.Kernel // surrogate kernel (nil = SE-ARD)
+	Kernel      gp.Kernel // surrogate kernel (nil = SE-ARD; exact backend only)
+
+	// Backend selects the surrogate implementation (default
+	// surrogate.BackendAuto: exact below EscalateAt, feature-space past it).
+	Backend surrogate.Backend
+	// EscalateAt is the observation count at which the auto backend
+	// escalates exact → feature-space (default surrogate.DefaultEscalateAt).
+	// Below it, auto behaves byte-identically to the exact backend.
+	EscalateAt int
+	// Features is the feature-space basis size m (default
+	// surrogate.DefaultFeatures).
+	Features int
 }
 
-// ModelManager owns the surrogate across a run: it re-optimizes
-// hyperparameters every RefitEvery observations (warm-started from the last
-// fit) and performs cheap fixed-hyperparameter refits in between, caching
-// the fitted model while the dataset is unchanged. Its Fit method is a
-// core.Fitter, shared by the bo drivers, the public ask/tell Loop, and the
-// serve sessions so surrogate cadence cannot drift between them.
+// ModelManager owns the surrogate across a run: it delegates to the
+// configured backend manager and, on the auto backend, escalates from the
+// exact GP to the feature-space backend once the observation count reaches
+// EscalateAt (a one-way switch, warm-starting the feature backend's
+// hyperparameters from the exact fit). Its Fit method is a core.Fitter,
+// shared by the bo drivers, the public ask/tell Loop, and the serve
+// sessions so surrogate cadence cannot drift between them.
+//
+// The feature-space backend approximates the SE-ARD kernel only; with a
+// custom Kernel the auto backend never escalates.
 type ModelManager struct {
-	lo, hi      []float64
-	rng         *rand.Rand
-	refitEvery  int
-	fitIters    int
-	fitRestarts int
+	lo, hi []float64
+	rng    *rand.Rand
+	opts   ModelManagerOptions
 
-	kernel     gp.Kernel
-	lastHyperN int // dataset size at the last hyperparameter optimization
-	theta      []float64
-	logNoise   float64
-	cached     *gp.Model
-	cachedN    int
+	exact *surrogate.ExactManager
+	feat  *surrogate.FeatureManager
 }
 
 // NewModelManager builds a surrogate manager over the design box. The rng
-// drives hyperparameter restarts and must be the run's rng for determinism.
-func NewModelManager(lo, hi []float64, rng *rand.Rand, o ModelManagerOptions) *ModelManager {
-	if o.RefitEvery <= 0 {
-		o.RefitEvery = 5
+// drives hyperparameter restarts, subsampling, and feature draws; it must
+// be the run's rng for determinism.
+func NewModelManager(lo, hi []float64, rng *rand.Rand, o ModelManagerOptions) (*ModelManager, error) {
+	if o.Backend == "" {
+		o.Backend = surrogate.BackendAuto
 	}
-	if o.FitIters <= 0 {
-		o.FitIters = 40
+	if o.EscalateAt <= 0 {
+		o.EscalateAt = surrogate.DefaultEscalateAt
 	}
-	if o.FitRestarts <= 0 {
-		o.FitRestarts = 1
+	if o.Features > 0 && o.Features < gp.MinRFFFeatures {
+		// Mirror gp.NewRFF: a too-small basis is an error, never a silent
+		// resize (Features <= 0 means "use the default").
+		return nil, fmt.Errorf("core: %d surrogate features requested, minimum is %d", o.Features, gp.MinRFFFeatures)
 	}
-	return &ModelManager{
-		lo: lo, hi: hi, rng: rng,
-		refitEvery:  o.RefitEvery,
-		fitIters:    o.FitIters,
-		fitRestarts: o.FitRestarts,
-		kernel:      o.Kernel,
+	mm := &ModelManager{lo: lo, hi: hi, rng: rng, opts: o}
+	if o.Backend == surrogate.BackendFeatures {
+		if o.Kernel != nil {
+			if _, ok := o.Kernel.(gp.SEARD); !ok {
+				// The feature basis approximates SE-ARD only; quietly fitting
+				// a different kernel family than configured would be worse
+				// than refusing.
+				return nil, fmt.Errorf("core: the feature-space backend supports the SE-ARD kernel, not %s", o.Kernel.Name())
+			}
+		}
+		mm.feat = surrogate.NewFeatureManager(lo, hi, rng, mm.featureOptions())
+	} else {
+		mm.exact = surrogate.NewExactManager(lo, hi, rng, surrogate.ExactOptions{
+			RefitEvery:  o.RefitEvery,
+			FitIters:    o.FitIters,
+			FitRestarts: o.FitRestarts,
+			Kernel:      o.Kernel,
+		})
+	}
+	return mm, nil
+}
+
+func (mm *ModelManager) featureOptions() surrogate.FeatureOptions {
+	return surrogate.FeatureOptions{
+		Features: mm.opts.Features,
+		FitIters: mm.opts.FitIters,
 	}
 }
 
 // Fit returns a surrogate trained on the observations, re-optimizing
-// hyperparameters on the configured cadence. Observations are append-only
-// across a run, so a cached model is valid while the count is unchanged and
-// can absorb new points through the incremental rank-append update — between
-// hyperparameter refits no covariance rebuild or refactorization happens.
-func (mm *ModelManager) Fit(x [][]float64, y []float64) (*gp.Model, error) {
-	n := len(y)
-	if mm.cached != nil && n == mm.cachedN {
-		return mm.cached, nil
+// hyperparameters on the active backend's cadence. Observations are
+// append-only across a run; between hyperparameter refits new points are
+// absorbed incrementally (rank-append on the exact backend, rank-1
+// information updates on the feature-space backend).
+func (mm *ModelManager) Fit(x [][]float64, y []float64) (surrogate.Surrogate, error) {
+	if mm.feat == nil && mm.shouldEscalate(len(y)) {
+		fo := mm.featureOptions()
+		if theta, logNoise, ok := mm.exact.Hyper(); ok {
+			fo.InitTheta, fo.InitNoise = theta, logNoise
+		}
+		mm.feat = surrogate.NewFeatureManager(mm.lo, mm.hi, mm.rng, fo)
+		mm.exact = nil // the switch is one-way; free the O(n²) factor state
 	}
-	if mm.theta != nil && n-mm.lastHyperN < mm.refitEvery {
-		// Between hyperparameter refits: absorb the new points through the
-		// rank-append update. Failure means the frozen hyperparameters or
-		// standardization became numerically unusable for the grown dataset
-		// (e.g. duplicate points with tiny noise); fall through to a fresh
-		// hyperparameter fit in that case.
-		m, err := mm.cached.Extend(x[mm.cachedN:n], y[mm.cachedN:n])
-		if err == nil {
-			mm.cached = m
-			mm.cachedN = n
-			return m, nil
+	if mm.feat != nil {
+		return mm.feat.Fit(x, y)
+	}
+	return mm.exact.Fit(x, y)
+}
+
+// shouldEscalate reports whether the auto backend hands over to the
+// feature-space manager at n observations.
+func (mm *ModelManager) shouldEscalate(n int) bool {
+	if mm.opts.Backend != surrogate.BackendAuto || n < mm.opts.EscalateAt {
+		return false
+	}
+	if mm.opts.Kernel != nil {
+		if _, ok := mm.opts.Kernel.(gp.SEARD); !ok {
+			return false // feature basis approximates SE-ARD only
 		}
 	}
-	fo := &gp.FitOptions{Iters: mm.fitIters, Restarts: mm.fitRestarts}
-	if mm.theta != nil {
-		// Warm start: fewer iterations, no default or random restarts.
-		fo.InitTheta = mm.theta
-		fo.InitNoise = mm.logNoise
-		fo.WarmOnly = true
-		fo.Iters = mm.fitIters / 2
-		if fo.Iters < 10 {
-			fo.Iters = 10
-		}
+	return true
+}
+
+// Active returns the backend currently serving fits: BackendExact until an
+// auto escalation (or always, for the exact backend), BackendFeatures
+// afterwards. Exposed for status reporting.
+func (mm *ModelManager) Active() surrogate.Backend {
+	if mm.feat != nil {
+		return surrogate.BackendFeatures
 	}
-	m, err := gp.Train(x, y, mm.lo, mm.hi, mm.rng, &gp.TrainOptions{Kernel: mm.kernel, Fit: fo})
-	if err != nil {
-		return nil, err
-	}
-	mm.theta = m.Theta()
-	mm.logNoise = m.LogNoise()
-	mm.lastHyperN = n
-	mm.cached = m
-	mm.cachedN = n
-	return m, nil
+	return surrogate.BackendExact
 }
 
 // Hyper returns the hyperparameters of the last optimization (ok=false
 // before the first fit). Exposed so service sessions can report and
 // snapshot them.
 func (mm *ModelManager) Hyper() (theta []float64, logNoise float64, ok bool) {
-	if mm.theta == nil {
-		return nil, 0, false
+	if mm.feat != nil {
+		return mm.feat.Hyper()
 	}
-	return append([]float64(nil), mm.theta...), mm.logNoise, true
+	return mm.exact.Hyper()
 }

@@ -86,11 +86,30 @@ func (g *GP) kernEval(a, b []float64) float64 {
 	return g.Kern.Eval(g.Theta, a, b)
 }
 
+// minNoise2 floors the observation-noise variance wherever it enters a
+// linear system (covariance diagonals, feature-space information matrices):
+// a numerically zero σn² would make those systems singular. The floor is far
+// below the hyperparameter optimizer's noise bounds, so it only binds for
+// hand-set FixedNoise values.
+const minNoise2 = 1e-10
+
+// NoiseVar returns the floored observation-noise variance σn² for a
+// log-noise parameter. Shared by the covariance assembly, the incremental
+// extension, the Gram cache, and the RFF machinery so the floor cannot
+// drift between them.
+func NoiseVar(logNoise float64) float64 {
+	n2 := math.Exp(2 * logNoise)
+	if n2 < minNoise2 {
+		return minNoise2
+	}
+	return n2
+}
+
 // buildCov assembles K + σn²I over the training inputs.
 func (g *GP) buildCov() *linalg.Matrix {
 	n := len(g.X)
 	k := linalg.NewMatrix(n, n)
-	noise2 := math.Exp(2 * g.LogNoise)
+	noise2 := NoiseVar(g.LogNoise)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			v := g.kernEval(g.X[i], g.X[j])
@@ -271,7 +290,7 @@ func (g *GP) Extend(xNew [][]float64, yNew []float64) (*GP, error) {
 	y = append(y, g.Y...)
 	y = append(y, yNew...)
 
-	noise2 := math.Exp(2 * g.LogNoise)
+	noise2 := NoiseVar(g.LogNoise)
 	rows := make([][]float64, k)
 	diag := make([]float64, k)
 	for i := 0; i < k; i++ {

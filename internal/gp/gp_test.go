@@ -397,66 +397,3 @@ func TestTrainRejectsNonFiniteObservations(t *testing.T) {
 		}
 	}
 }
-
-func TestLeaveOneOutMatchesBruteForce(t *testing.T) {
-	rng := rand.New(rand.NewSource(15))
-	x, y := trainData(rng, 12, 2, func(v []float64) float64 { return math.Sin(4*v[0]) + v[1] })
-	theta := SEARD{}.DefaultTheta(2)
-	logNoise := math.Log(5e-2)
-	g, err := Fit(SEARD{}, x, y, theta, logNoise)
-	if err != nil {
-		t.Fatal(err)
-	}
-	loo := g.LeaveOneOut()
-	for i := range x {
-		// Brute force: refit without point i, predict at x[i].
-		var xs [][]float64
-		var ys []float64
-		for j := range x {
-			if j != i {
-				xs = append(xs, x[j])
-				ys = append(ys, y[j])
-			}
-		}
-		gi, err := Fit(SEARD{}, xs, ys, theta, logNoise)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mu, sigma := gi.Predict(x[i])
-		// The LOO identity predicts the latent-plus-noise distribution;
-		// brute-force Predict returns the latent deviation. Compare means
-		// tightly and deviations including the noise term.
-		if math.Abs(mu-loo.Mean[i]) > 1e-6*(1+math.Abs(mu)) {
-			t.Fatalf("LOO mean %d: %v vs brute force %v", i, loo.Mean[i], mu)
-		}
-		noise2 := math.Exp(2 * logNoise)
-		want := math.Sqrt(sigma*sigma + noise2)
-		if math.Abs(want-loo.Sigma[i]) > 1e-6*(1+want) {
-			t.Fatalf("LOO sigma %d: %v vs brute force %v", i, loo.Sigma[i], want)
-		}
-	}
-	if loo.RMSE <= 0 || math.IsNaN(loo.LogPredictiveDensity) {
-		t.Fatalf("bad summary: %+v", loo)
-	}
-}
-
-func TestModelLeaveOneOutRawUnits(t *testing.T) {
-	rng := rand.New(rand.NewSource(16))
-	// Outputs with a big offset: LOO means must come back in raw units.
-	x := [][]float64{{0.1}, {0.4}, {0.6}, {0.9}}
-	y := []float64{1000, 1001, 1002, 1003}
-	m, err := Train(x, y, []float64{0}, []float64{1}, rng,
-		&TrainOptions{Fit: &FitOptions{Iters: 20}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	loo := m.LeaveOneOut()
-	for i, mu := range loo.Mean {
-		if mu < 990 || mu > 1013 {
-			t.Fatalf("LOO mean %d = %v not in raw units", i, mu)
-		}
-	}
-	if loo.RMSE > 5 {
-		t.Fatalf("smooth data should cross-validate well, RMSE %v", loo.RMSE)
-	}
-}

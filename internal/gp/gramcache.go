@@ -1,8 +1,6 @@
 package gp
 
 import (
-	"math"
-
 	"easybo/internal/linalg"
 )
 
@@ -53,7 +51,7 @@ func (c *gramCache) pair(i, j int) []float64 {
 func (c *gramCache) buildCov(dk distKernel, st *distState, logNoise float64) *linalg.Matrix {
 	n := c.n
 	k := linalg.NewMatrix(n, n)
-	noise2 := math.Exp(2 * logNoise)
+	noise2 := NoiseVar(logNoise)
 	diagV := st.sf2 + noise2
 	off := 0
 	for i := 0; i < n; i++ {

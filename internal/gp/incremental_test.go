@@ -96,6 +96,10 @@ func TestExtendMatchesBatchFitNearSingular(t *testing.T) {
 	x[7] = append([]float64(nil), x[2]...)
 	y[7] = y[2]
 	theta := SEARD{}.DefaultTheta(d)
+	// A huge signal variance makes the duplicated rows cancel with rounding
+	// error far above the floored noise diagonal (noiseVar clamps log(1e-9)
+	// to minNoise2), so the factorization genuinely needs the jitter ladder.
+	theta[d] = math.Log(1e4)
 	logNoise := math.Log(1e-9)
 
 	base, err := Fit(SEARD{}, x, y, theta, logNoise)

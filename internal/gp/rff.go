@@ -2,66 +2,107 @@ package gp
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
 	"easybo/internal/linalg"
 )
 
-// SampleRFF draws an approximate sample from the GP posterior using random
-// Fourier features (Rahimi & Recht), enabling Thompson-sampling
-// acquisitions: the returned function is a fixed, cheap-to-evaluate draw
-// f̃ ~ GP(µ, k) conditioned on the training data.
-//
-// Only stationary kernels are supported; the spectral density used here is
-// the SE-ARD one, matching the paper's kernel. m is the number of features
-// (a few hundred is plenty for d ≤ 12).
-//
-// The sample is expressed in raw output units.
-func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, error) {
-	if _, ok := mdl.Kern.(SEARD); !ok {
-		return nil, errors.New("gp: SampleRFF requires the SE-ARD kernel")
-	}
-	if m < 8 {
-		m = 8
-	}
-	g := mdl.gp
-	d := g.Dim()
-	theta := g.Theta
-	sf := math.Exp(theta[d])
-	noise := math.Exp(g.LogNoise)
-	noise2 := noise * noise
-	if noise2 < 1e-10 {
-		noise2 = 1e-10
-	}
+// MinRFFFeatures is the smallest random-Fourier-feature count accepted by
+// NewRFF and SampleRFF. Below it the kernel approximation is so coarse that
+// results are meaningless, so callers get an error instead of a silently
+// adjusted feature count.
+const MinRFFFeatures = 8
 
+// RFF is a fixed random-Fourier-feature basis (Rahimi & Recht) for the
+// SE-ARD kernel: m features φ_i(x) = s·cos(w_i·x + b_i) whose inner product
+// φ(a)·φ(b) approximates k(a, b). The spectral sample is drawn once at
+// construction and immutable afterwards, so one basis can be shared by many
+// readers; it is the machinery behind both posterior draws (SampleRFF) and
+// the feature-space surrogate backend (internal/surrogate).
+type RFF struct {
+	w     [][]float64 // spectral frequencies, m rows of dimension d
+	b     []float64   // phase offsets, U[0, 2π)
+	scale float64     // σf·√(2/m)
+	dim   int
+}
+
+// NewRFF draws an m-feature basis for the SE-ARD kernel with hyperparameters
+// theta = [log l_1 … log l_d, log σf] over d-dimensional inputs. The rng
+// drives the spectral sample; the same rng state reproduces the same basis.
+func NewRFF(rng *rand.Rand, theta []float64, d, m int) (*RFF, error) {
+	if m < MinRFFFeatures {
+		return nil, fmt.Errorf("gp: %d random Fourier features requested, minimum is %d", m, MinRFFFeatures)
+	}
+	if len(theta) != d+1 {
+		return nil, fmt.Errorf("gp: RFF needs %d SE-ARD hyperparameters for d=%d, got %d", d+1, d, len(theta))
+	}
+	r := &RFF{w: make([][]float64, m), b: make([]float64, m), dim: d}
+	sf := math.Exp(theta[d])
 	// Spectral sample: w_ij ~ N(0, 1/l_j²), b_i ~ U[0, 2π).
-	w := make([][]float64, m)
-	b := make([]float64, m)
 	for i := 0; i < m; i++ {
 		wi := make([]float64, d)
 		for j := 0; j < d; j++ {
 			lj := math.Exp(theta[j])
 			wi[j] = rng.NormFloat64() / lj
 		}
-		w[i] = wi
-		b[i] = rng.Float64() * 2 * math.Pi
+		r.w[i] = wi
+		r.b[i] = rng.Float64() * 2 * math.Pi
 	}
-	scale := sf * math.Sqrt(2.0/float64(m))
-	phi := func(x []float64) []float64 {
-		out := make([]float64, m)
-		for i := 0; i < m; i++ {
-			out[i] = scale * math.Cos(linalg.Dot(w[i], x)+b[i])
-		}
-		return out
+	r.scale = sf * math.Sqrt(2.0/float64(m))
+	return r, nil
+}
+
+// Features returns the feature count m.
+func (r *RFF) Features() int { return len(r.w) }
+
+// Dim returns the input dimension d.
+func (r *RFF) Dim() int { return r.dim }
+
+// Phi returns the feature vector φ(x) for an input in the basis's
+// (normalized) coordinate system.
+func (r *RFF) Phi(x []float64) []float64 {
+	return r.PhiInto(make([]float64, len(r.w)), x)
+}
+
+// PhiInto computes φ(x) into dst (len m) without allocating. dst is
+// returned for convenience.
+func (r *RFF) PhiInto(dst, x []float64) []float64 {
+	for i, wi := range r.w {
+		dst[i] = r.scale * math.Cos(linalg.Dot(wi, x)+r.b[i])
 	}
+	return dst
+}
+
+// SampleRFF draws an approximate sample from the GP posterior using random
+// Fourier features, enabling Thompson-sampling acquisitions: the returned
+// function is a fixed, cheap-to-evaluate draw f̃ ~ GP(µ, k) conditioned on
+// the training data.
+//
+// Only stationary kernels are supported; the spectral density used here is
+// the SE-ARD one, matching the paper's kernel. m is the number of features
+// (a few hundred is plenty for d ≤ 12); m < MinRFFFeatures is an error.
+//
+// The sample is expressed in raw output units.
+func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, error) {
+	if _, ok := mdl.Kern.(SEARD); !ok {
+		return nil, errors.New("gp: SampleRFF requires the SE-ARD kernel")
+	}
+	g := mdl.gp
+	d := g.Dim()
+	basis, err := NewRFF(rng, g.Theta, d, m)
+	if err != nil {
+		return nil, err
+	}
+	noise2 := NoiseVar(g.LogNoise)
 
 	// Bayesian linear regression on the features:
 	//   A = ΦᵀΦ/σn² + I,   mean = A⁻¹ Φᵀ y / σn²,   cov = A⁻¹.
 	n := g.N()
 	phiX := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		phiX[i] = phi(g.X[i])
+		phiX[i] = basis.Phi(g.X[i])
 	}
 	a := linalg.NewMatrix(m, m)
 	for i := 0; i < m; i++ {
@@ -108,7 +149,7 @@ func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, e
 	ymean, ystd := mdl.ymean, mdl.ystd
 	mm := mdl
 	return func(x []float64) float64 {
-		f := linalg.Dot(phi(mm.scale(x)), thetaS)
+		f := linalg.Dot(basis.Phi(mm.scale(x)), thetaS)
 		return f*ystd + ymean
 	}, nil
 }

@@ -123,3 +123,48 @@ func TestSampleRFFRejectsNonSEKernels(t *testing.T) {
 		t.Fatal("Matern kernel must be rejected")
 	}
 }
+
+func TestSampleRFFRejectsTinyFeatureCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := [][]float64{{0.1}, {0.9}}
+	ys := []float64{0, 1}
+	m, err := Train(xs, ys, []float64{0}, []float64{1}, rng,
+		&TrainOptions{Fit: &FitOptions{Iters: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below MinRFFFeatures the request is an error, never a silent clamp.
+	for _, n := range []int{0, 1, MinRFFFeatures - 1} {
+		if _, err := m.SampleRFF(rng, n); err == nil {
+			t.Fatalf("m=%d must be rejected (minimum %d)", n, MinRFFFeatures)
+		}
+	}
+	if _, err := m.SampleRFF(rng, MinRFFFeatures); err != nil {
+		t.Fatalf("m=%d (the documented minimum) must be accepted: %v", MinRFFFeatures, err)
+	}
+}
+
+func TestRFFPhiApproximatesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := 3
+	theta := []float64{math.Log(0.4), math.Log(0.7), math.Log(0.3), math.Log(1.3)}
+	basis, err := NewRFF(rng, theta, d, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := SEARD{}
+	for trial := 0; trial < 20; trial++ {
+		a := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		b := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		var dot float64
+		pa, pb := basis.Phi(a), basis.Phi(b)
+		for i := range pa {
+			dot += pa[i] * pb[i]
+		}
+		want := k.Eval(theta, a, b)
+		// Monte-Carlo error of the feature expansion is O(1/√m).
+		if e := math.Abs(dot - want); e > 0.08 {
+			t.Fatalf("trial %d: φ(a)·φ(b) = %v, k(a,b) = %v (err %v)", trial, dot, want, e)
+		}
+	}
+}

@@ -130,6 +130,46 @@ func (c *Cholesky) Append(rows [][]float64, diag []float64) (*Cholesky, error) {
 	return &Cholesky{L: L, N: nk, Jitter: c.Jitter}, nil
 }
 
+// RankUpdate applies the symmetric rank-1 update A → A + v·vᵀ to the
+// factorization in place, in O(n²) (the classic Givens-based cholupdate):
+// each step rotates one entry of v into the corresponding diagonal of L and
+// carries the rotation down the column. v is consumed as scratch and is
+// garbage afterwards. Because v·vᵀ is positive semidefinite, the update
+// cannot lose positive definiteness; the dimension check is the only
+// failure mode.
+func (c *Cholesky) RankUpdate(v []float64) error {
+	n := c.N
+	if len(v) != n {
+		return ErrDimension
+	}
+	for k := 0; k < n; k++ {
+		lkk := c.L.At(k, k)
+		r := math.Hypot(lkk, v[k])
+		cc := r / lkk
+		s := v[k] / lkk
+		c.L.Set(k, k, r)
+		if s == 0 {
+			continue
+		}
+		for i := k + 1; i < n; i++ {
+			lik := (c.L.At(i, k) + s*v[i]) / cc
+			v[i] = cc*v[i] - s*lik
+			c.L.Set(i, k, lik)
+		}
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the factorization (RankUpdate
+// mutates in place; callers that need copy-on-write semantics clone first).
+func (c *Cholesky) Clone() *Cholesky {
+	L := NewMatrix(c.N, c.N)
+	for i := 0; i < c.N; i++ {
+		copy(L.Row(i), c.L.Row(i))
+	}
+	return &Cholesky{L: L, N: c.N, Jitter: c.Jitter}
+}
+
 // Solve returns x such that A·x = b, reusing the factorization.
 func (c *Cholesky) Solve(b []float64) []float64 {
 	x := make([]float64, c.N)

@@ -320,3 +320,82 @@ func TestCholeskyInverseSymmetric(t *testing.T) {
 		}
 	}
 }
+
+func TestCholeskyRankUpdateMatchesRefactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for n := 1; n <= 33; n += 8 {
+		a := randomSPD(rng, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Apply three successive rank-1 updates and compare against a full
+		// factorization of the explicitly updated matrix each time.
+		for rep := 0; rep < 3; rep++ {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					a.Add(i, j, v[i]*v[j])
+				}
+			}
+			if err := ch.RankUpdate(append([]float64(nil), v...)); err != nil {
+				t.Fatal(err)
+			}
+			want, err := NewCholesky(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					if !almostEq(ch.L.At(i, j), want.L.At(i, j), 1e-8) {
+						t.Fatalf("n=%d rep=%d: L(%d,%d) = %v, refactorization %v",
+							n, rep, i, j, ch.L.At(i, j), want.L.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRankUpdateDimensionMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	ch, err := NewCholesky(randomSPD(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.RankUpdate(make([]float64, 3)); err == nil {
+		t.Fatal("short update vector must be rejected")
+	}
+}
+
+func TestCholeskyCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ch, err := NewCholesky(randomSPD(rng, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ch.Clone()
+	v := make([]float64, 6)
+	v[0] = 1
+	if err := cl.RankUpdate(v); err != nil {
+		t.Fatal(err)
+	}
+	if cl.L.At(0, 0) == ch.L.At(0, 0) {
+		t.Fatal("updating the clone mutated nothing")
+	}
+	// The original must be untouched by the clone's update.
+	orig, err := NewCholesky(randomSPD(rand.New(rand.NewSource(33)), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j <= i; j++ {
+			if ch.L.At(i, j) != orig.L.At(i, j) {
+				t.Fatalf("clone update leaked into the original at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -28,10 +28,23 @@ import (
 // go directive >= 1.22).
 type Server struct {
 	store *Store
+	opts  ServerOptions
+}
+
+// ServerOptions tunes daemon-wide defaults.
+type ServerOptions struct {
+	// DefaultSurrogate is applied to created sessions whose config omits
+	// the surrogate field ("" keeps the package default, auto). Restored
+	// snapshots are never rewritten — replay must run on the recorded
+	// backend.
+	DefaultSurrogate string
 }
 
 // NewServer builds a Server over a fresh session store.
-func NewServer() *Server { return &Server{store: NewStore()} }
+func NewServer() *Server { return NewServerWith(ServerOptions{}) }
+
+// NewServerWith is NewServer with daemon-wide defaults.
+func NewServerWith(o ServerOptions) *Server { return &Server{store: NewStore(), opts: o} }
 
 // Store exposes the underlying session store (for shutdown and tests).
 func (sv *Server) Store() *Store { return sv.store }
@@ -167,6 +180,9 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := req.SessionConfig
+	if cfg.Surrogate == "" {
+		cfg.Surrogate = sv.opts.DefaultSurrogate
+	}
 	if err := cfg.normalize(); err != nil {
 		writeError(w, badRequest(err))
 		return

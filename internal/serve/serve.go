@@ -26,6 +26,8 @@ package serve
 import (
 	"errors"
 	"fmt"
+
+	"easybo/internal/surrogate"
 )
 
 // Sentinel service errors. The HTTP layer maps them to status codes.
@@ -62,6 +64,16 @@ type SessionConfig struct {
 
 	RefitEvery int `json:"refit_every,omitempty"` // hyperparameter refit cadence (default 5)
 	FitIters   int `json:"fit_iters,omitempty"`   // Adam iterations per hyperfit (default 40)
+
+	// Surrogate selects the model backend: "auto" (exact GP below
+	// EscalateAt observations, feature-space past it — the default),
+	// "exact", or "features". Because the backend is part of the config it
+	// rides along in snapshots, so a restored session replays on the exact
+	// same backend schedule bit for bit.
+	Surrogate string `json:"surrogate,omitempty"`
+	// EscalateAt is the auto backend's escalation threshold in
+	// observations (default 500).
+	EscalateAt int `json:"escalate_at,omitempty"`
 
 	// Failure is the per-session policy for tells that carry an error:
 	// "abort" (default), "skip", or "resubmit". It plumbs straight into
@@ -108,6 +120,14 @@ func (c *SessionConfig) normalize() error {
 	}
 	if c.FitIters <= 0 {
 		c.FitIters = 40
+	}
+	backend, err := surrogate.ParseBackend(c.Surrogate)
+	if err != nil {
+		return err
+	}
+	c.Surrogate = string(backend)
+	if c.EscalateAt < 0 {
+		c.EscalateAt = 0
 	}
 	if c.MaxFailures < 0 {
 		c.MaxFailures = 0

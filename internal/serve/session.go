@@ -9,6 +9,7 @@ import (
 	"easybo/internal/core"
 	"easybo/internal/sched"
 	"easybo/internal/stats"
+	"easybo/internal/surrogate"
 )
 
 // event is one entry of a session's append-only ask/tell log. The log is
@@ -72,19 +73,22 @@ type Tell struct {
 
 // Status is a session's externally visible state.
 type Status struct {
-	ID           string        `json:"id"`
-	Config       SessionConfig `json:"config"`
-	Observations int           `json:"observations"` // successful tells absorbed
-	Pending      int           `json:"pending"`      // proposals awaiting their tell
-	Completed    int           `json:"completed"`    // budget slots consumed (successes + skipped failures)
-	Launched     int           `json:"launched"`     // budgeted proposals issued
-	Failures     int           `json:"failures"`     // failed tells handled
-	Done         bool          `json:"done"`
-	Aborted      string        `json:"aborted,omitempty"` // abort error, once dead
-	BestX        []float64     `json:"best_x,omitempty"`
-	BestY        *float64      `json:"best_y,omitempty"` // nil before the first observation
-	Records      []Record      `json:"records,omitempty"`
-	Failed       []Record      `json:"failed,omitempty"`
+	ID     string        `json:"id"`
+	Config SessionConfig `json:"config"`
+	// SurrogateActive is the backend currently serving fits ("exact" until
+	// an auto escalation, "features" after).
+	SurrogateActive string    `json:"surrogate_active"`
+	Observations    int       `json:"observations"` // successful tells absorbed
+	Pending         int       `json:"pending"`      // proposals awaiting their tell
+	Completed       int       `json:"completed"`    // budget slots consumed (successes + skipped failures)
+	Launched        int       `json:"launched"`     // budgeted proposals issued
+	Failures        int       `json:"failures"`     // failed tells handled
+	Done            bool      `json:"done"`
+	Aborted         string    `json:"aborted,omitempty"` // abort error, once dead
+	BestX           []float64 `json:"best_x,omitempty"`
+	BestY           *float64  `json:"best_y,omitempty"` // nil before the first observation
+	Records         []Record  `json:"records,omitempty"`
+	Failed          []Record  `json:"failed,omitempty"`
 }
 
 // session is one optimization run hosted by the service. All fields below
@@ -118,10 +122,15 @@ func newMachine(cfg SessionConfig) (*core.AskTell, *core.ModelManager, error) {
 		}
 		init = append(init, x)
 	}
-	mm := core.NewModelManager(cfg.Lo, cfg.Hi, rng, core.ModelManagerOptions{
+	mm, err := core.NewModelManager(cfg.Lo, cfg.Hi, rng, core.ModelManagerOptions{
 		RefitEvery: cfg.RefitEvery,
 		FitIters:   cfg.FitIters,
+		Backend:    surrogate.Backend(cfg.Surrogate),
+		EscalateAt: cfg.EscalateAt,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var policy core.FailurePolicy
 	switch cfg.Failure {
 	case "skip":
@@ -304,16 +313,17 @@ func (s *session) applyTell(x []float64, y float64, evalErr error) error {
 // status renders the session state (actor side).
 func (s *session) status() Status {
 	st := Status{
-		ID:           s.id,
-		Config:       s.cfg,
-		Observations: s.at.Observations(),
-		Pending:      len(s.ledger),
-		Completed:    s.at.Completed(),
-		Launched:     s.at.Launched(),
-		Failures:     s.at.Failures(),
-		Done:         s.at.Done(),
-		Records:      append([]Record(nil), s.recs...),
-		Failed:       append([]Record(nil), s.failed...),
+		ID:              s.id,
+		Config:          s.cfg,
+		SurrogateActive: string(s.mm.Active()),
+		Observations:    s.at.Observations(),
+		Pending:         len(s.ledger),
+		Completed:       s.at.Completed(),
+		Launched:        s.at.Launched(),
+		Failures:        s.at.Failures(),
+		Done:            s.at.Done(),
+		Records:         append([]Record(nil), s.recs...),
+		Failed:          append([]Record(nil), s.failed...),
 	}
 	if err := s.at.Err(); err != nil {
 		st.Aborted = err.Error()

@@ -224,3 +224,96 @@ func TestSnapshotRejectsTamperedHistory(t *testing.T) {
 		t.Fatalf("ragged tell dimension accepted: %d (%+v)", code, e)
 	}
 }
+
+// TestSnapshotRoundTripsSurrogateBackend drives a session configured to
+// auto-escalate onto the feature-space backend mid-run, snapshots it after
+// the escalation, restores it into a fresh daemon, and requires the
+// continued history to be bitwise identical to an uninterrupted run — i.e.
+// the backend choice (and its escalation schedule) round-trips through the
+// snapshot exactly.
+func TestSnapshotRoundTripsSurrogateBackend(t *testing.T) {
+	eval := func(x []float64) float64 {
+		return -(x[0]-0.3)*(x[0]-0.3) - (x[1]-0.6)*(x[1]-0.6)
+	}
+	cfg := createRequest{ID: "feat", SessionConfig: SessionConfig{
+		Lo: []float64{0, 0}, Hi: []float64{1, 1},
+		InitPoints: 6, MaxEvals: 36, Seed: 13,
+		FitIters: 8, RefitEvery: 4,
+		Surrogate: "auto", EscalateAt: 12,
+	}}
+
+	// Reference: one daemon, straight through.
+	cRef, _, stopRef := newTestServer(t)
+	defer stopRef()
+	cRef.post("/sessions", cfg, &createResponse{})
+	ref := newVirtualDriver(t, 3, eval).run(cRef, "feat", 0)
+	if !ref.Done || len(ref.Records) == 0 {
+		t.Fatalf("reference run incomplete: %+v", ref)
+	}
+	if ref.SurrogateActive != "features" {
+		t.Fatalf("reference session never escalated: active backend %q", ref.SurrogateActive)
+	}
+
+	// Interrupted PAST the escalation point, so the snapshot's replay must
+	// reproduce the escalation itself.
+	c1, _, stop1 := newTestServer(t)
+	c1.post("/sessions", cfg, &createResponse{})
+	d := newVirtualDriver(t, 3, eval)
+	mid := d.run(c1, "feat", 20)
+	if mid.Done {
+		t.Fatal("interrupted too late; lower maxTells")
+	}
+	if mid.SurrogateActive != "features" {
+		t.Fatalf("session not escalated at interruption: %q after %d observations", mid.SurrogateActive, mid.Observations)
+	}
+	var snap Snapshot
+	if code := c1.get("/sessions/feat/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	stop1()
+
+	if snap.Config.Surrogate != "auto" || snap.Config.EscalateAt != 12 {
+		t.Fatalf("snapshot dropped the backend config: surrogate=%q escalate_at=%d",
+			snap.Config.Surrogate, snap.Config.EscalateAt)
+	}
+
+	c2, _, stop2 := newTestServer(t)
+	defer stop2()
+	var restored Status
+	if code := c2.post("/sessions/restore", snap, &restored); code != http.StatusCreated {
+		t.Fatalf("restore: status %d (%+v)", code, restored)
+	}
+	if restored.SurrogateActive != "features" {
+		t.Fatalf("restored session lost the escalation: active backend %q", restored.SurrogateActive)
+	}
+	fin := d.run(c2, "feat", 0)
+	if !fin.Done {
+		t.Fatalf("continued run never finished: %+v", fin)
+	}
+	if len(fin.Records) != len(ref.Records) {
+		t.Fatalf("records: %d continued vs %d uninterrupted", len(fin.Records), len(ref.Records))
+	}
+	for i := range fin.Records {
+		a, b := fin.Records[i], ref.Records[i]
+		if !equalPoints(a.X, b.X) || math.Float64bits(a.Y) != math.Float64bits(b.Y) {
+			t.Fatalf("record %d diverged after restore:\n continued %+v\n reference %+v", i, a, b)
+		}
+	}
+	if math.Float64bits(*fin.BestY) != math.Float64bits(*ref.BestY) {
+		t.Fatalf("best diverged: %v vs %v", *fin.BestY, *ref.BestY)
+	}
+}
+
+// TestSessionConfigRejectsUnknownSurrogate pins backend validation at the
+// HTTP boundary.
+func TestSessionConfigRejectsUnknownSurrogate(t *testing.T) {
+	c, _, stop := newTestServer(t)
+	defer stop()
+	var e errorResponse
+	code := c.post("/sessions", createRequest{ID: "bad", SessionConfig: SessionConfig{
+		Lo: []float64{0}, Hi: []float64{1}, Surrogate: "neural",
+	}}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown surrogate accepted: status %d (%+v)", code, e)
+	}
+}

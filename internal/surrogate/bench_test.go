@@ -1,0 +1,218 @@
+package surrogate_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"easybo/internal/core"
+	"easybo/internal/gp"
+	"easybo/internal/surrogate"
+)
+
+// The surrogate-scaling suite compares the two backends at n ∈ {100, 500,
+// 2000} observations on a 6-D problem (the op-amp's dimensionality):
+// fixed-hyperparameter fit, single-observation incremental extend, and
+// posterior prediction, plus the end-to-end fit+suggest hot path at
+// n=2000. cmd/benchjson runs it into BENCH_4.json and derives the
+// exact-vs-feature speedups.
+
+const benchDim = 6
+
+var benchSizes = []int{100, 500, 2000}
+
+func benchTheta() []float64 {
+	th := make([]float64, benchDim+1)
+	for i := 0; i < benchDim; i++ {
+		th[i] = math.Log(0.4)
+	}
+	return th
+}
+
+const benchLogNoise = -3.0
+
+func benchData(n int) (x [][]float64, y []float64, lo, hi []float64) {
+	rng := rand.New(rand.NewSource(int64(1000 + n)))
+	lo = make([]float64, benchDim)
+	hi = make([]float64, benchDim)
+	for i := range hi {
+		hi[i] = 1
+	}
+	x = make([][]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := make([]float64, benchDim)
+		s := 0.0
+		for j := range xi {
+			xi[j] = rng.Float64()
+			s += math.Sin(3 * xi[j])
+		}
+		x[i] = xi
+		y[i] = s
+	}
+	return x, y, lo, hi
+}
+
+func BenchmarkSurrogateFitExact(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y, lo, hi := benchData(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Train(x, y, lo, hi, nil,
+					&gp.TrainOptions{FixedTheta: benchTheta(), FixedNoise: benchLogNoise}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSurrogateFitFeatures(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y, lo, hi := benchData(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(1))
+				if _, err := surrogate.FitFeatures(x, y, lo, hi, benchTheta(), benchLogNoise,
+					rng, surrogate.DefaultFeatures); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSurrogateExtendExact(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y, lo, hi := benchData(n + 1)
+		m, err := gp.Train(x[:n], y[:n], lo, hi, nil,
+			&gp.TrainOptions{FixedTheta: benchTheta(), FixedNoise: benchLogNoise})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := surrogate.NewExact(m)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Extend(x[n:], y[n:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSurrogateExtendFeatures(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y, lo, hi := benchData(n + 1)
+		fm, err := surrogate.FitFeatures(x[:n], y[:n], lo, hi, benchTheta(), benchLogNoise,
+			rand.New(rand.NewSource(1)), surrogate.DefaultFeatures)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fm.Extend(x[n:], y[n:]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchQueries(k int) [][]float64 {
+	rng := rand.New(rand.NewSource(2))
+	qs := make([][]float64, k)
+	for i := range qs {
+		q := make([]float64, benchDim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+func BenchmarkSurrogatePredictExact(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y, lo, hi := benchData(n)
+		m, err := gp.Train(x, y, lo, hi, nil,
+			&gp.TrainOptions{FixedTheta: benchTheta(), FixedNoise: benchLogNoise})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := m.Predictor()
+		qs := benchQueries(64)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Predict(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+func BenchmarkSurrogatePredictFeatures(b *testing.B) {
+	for _, n := range benchSizes {
+		x, y, lo, hi := benchData(n)
+		fm, err := surrogate.FitFeatures(x, y, lo, hi, benchTheta(), benchLogNoise,
+			rand.New(rand.NewSource(1)), surrogate.DefaultFeatures)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := fm.Predictor()
+		qs := benchQueries(64)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Predict(qs[i%len(qs)])
+			}
+		})
+	}
+}
+
+// benchSuggest measures the full per-ask hot path at n=2000: refresh the
+// surrogate on the grown dataset, hallucinate 3 busy points, and maximize
+// the EasyBO acquisition.
+func benchSuggest(b *testing.B, fit func() (surrogate.Surrogate, error)) {
+	b.Helper()
+	_, _, lo, hi := benchData(1)
+	busy := benchQueries(3)
+	prop := &core.Proposer{Lambda: 6, Penalize: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := fit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, _, err := prop.Propose(s, busy, lo, hi, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurrogateSuggestExactN2000(b *testing.B) {
+	x, y, lo, hi := benchData(2000)
+	benchSuggest(b, func() (surrogate.Surrogate, error) {
+		m, err := gp.Train(x, y, lo, hi, nil,
+			&gp.TrainOptions{FixedTheta: benchTheta(), FixedNoise: benchLogNoise})
+		if err != nil {
+			return nil, err
+		}
+		return surrogate.NewExact(m), nil
+	})
+}
+
+func BenchmarkSurrogateSuggestFeaturesN2000(b *testing.B) {
+	x, y, lo, hi := benchData(2000)
+	benchSuggest(b, func() (surrogate.Surrogate, error) {
+		return surrogate.FitFeatures(x, y, lo, hi, benchTheta(), benchLogNoise,
+			rand.New(rand.NewSource(1)), surrogate.DefaultFeatures)
+	})
+}

@@ -1,0 +1,129 @@
+// Package surrogate is the model-agnostic surrogate layer of the
+// optimization stack. It unifies the two views the rest of the system has
+// of "the model":
+//
+//   - the consumer view (acquisition functions, proposers, batch selectors)
+//     — a posterior to predict from, hallucinate busy points into, and draw
+//     approximate samples from;
+//   - the producer view (the surrogate manager owned by every driver, Loop,
+//     and serve session) — something that turns the observation history into
+//     a fitted posterior on a hyperparameter cadence.
+//
+// Two backends implement the layer. The exact Gaussian process (Exact /
+// ExactManager) is the paper's surrogate and the default: exact posteriors,
+// O(n³) refits, rank-append O(k·n²) incremental extensions. The
+// feature-space backend (FeatureModel / FeatureManager) performs Bayesian
+// linear regression on a random-Fourier-feature basis of the same SE-ARD
+// kernel: O(n·m²) full fits, O(m²) rank-1 incremental updates and O(m²)
+// predictions — independent of n — so ask/tell sessions with thousands of
+// observations keep a flat per-suggestion cost. core.ModelManager selects
+// between them (and auto-escalates exact → feature-space past an
+// observation threshold).
+package surrogate
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Predictor is a reusable prediction context over a surrogate posterior: it
+// owns whatever scratch repeated predictions need, so the acquisition
+// maximizer's inner loop allocates nothing. A Predictor is for use by a
+// single goroutine; create one per worker.
+type Predictor interface {
+	// Predict returns the posterior mean and standard deviation at x.
+	Predict(x []float64) (mu, sigma float64)
+	// PredictMean returns only the posterior mean (often cheaper).
+	PredictMean(x []float64) float64
+}
+
+// Surrogate is a fitted posterior over the design box. Inputs are raw
+// coordinates; predictions are raw output units unless taken through
+// StandardizedPredictor. Implementations are immutable: Extend and
+// WithPseudo return new values and leave the receiver usable, which is what
+// lets one fitted model serve concurrent readers.
+type Surrogate interface {
+	// Predict returns the posterior mean and deviation at x (raw units).
+	Predict(x []float64) (mu, sigma float64)
+	// PredictMean returns only the posterior mean at x (raw units).
+	PredictMean(x []float64) float64
+	// Predictor returns a raw-unit prediction context.
+	Predictor() Predictor
+	// StandardizedPredictor returns a prediction context in standardized
+	// output units (zero mean, unit variance over the training set) — the
+	// view acquisition functions that mix µ and σ must consume.
+	StandardizedPredictor() Predictor
+	// StandardizeY maps a raw objective value into standardized output
+	// units (used to express the incumbent best for EI/PI).
+	StandardizeY(y float64) float64
+	// N returns the training-set size.
+	N() int
+	// Extend returns a new surrogate whose training set is augmented with
+	// the given raw observations at unchanged hyperparameters — the
+	// incremental update between hyperparameter refits.
+	Extend(x [][]float64, y []float64) (Surrogate, error)
+	// WithPseudo returns a hallucinated variant: the busy points xp are
+	// absorbed as pseudo-observations at their current predictive means
+	// (paper §III-C), leaving the predictive mean unchanged and shrinking
+	// the deviation around them.
+	WithPseudo(xp [][]float64) (Surrogate, error)
+}
+
+// Sampler is the optional posterior-draw capability (Thompson-sampling
+// acquisitions). Both built-in backends implement it.
+type Sampler interface {
+	// SampleRFF returns a fixed approximate posterior draw using m random
+	// Fourier features (backends with a native feature basis may use their
+	// own basis size instead of m).
+	SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, error)
+}
+
+// Manager is the producer view: it owns surrogate state across a run,
+// refitting hyperparameters on its cadence and extending incrementally in
+// between. A Manager's Fit is the core.Fitter every driver plugs in.
+type Manager interface {
+	// Fit returns a surrogate trained on the observations so far.
+	// Observations are append-only across a run.
+	Fit(x [][]float64, y []float64) (Surrogate, error)
+	// Hyper returns the hyperparameters of the last optimization
+	// (ok=false before the first fit), for reporting and snapshots.
+	Hyper() (theta []float64, logNoise float64, ok bool)
+}
+
+// Backend names a surrogate implementation, as selected through bo.Config,
+// easybo.Options, serve session configs, and the -surrogate CLI flags.
+type Backend string
+
+const (
+	// BackendAuto starts on the exact GP and escalates to the
+	// feature-space backend once the observation count reaches the
+	// escalation threshold. Behavior below the threshold is byte-identical
+	// to BackendExact. This is the default.
+	BackendAuto Backend = "auto"
+	// BackendExact is the paper's exact Gaussian process.
+	BackendExact Backend = "exact"
+	// BackendFeatures is the scalable feature-space backend.
+	BackendFeatures Backend = "features"
+)
+
+// DefaultEscalateAt is the observation count at which BackendAuto switches
+// from the exact GP to the feature-space backend. Below it an exact refit
+// is cheap enough that fidelity wins; past it the O(n³) refits and O(n²)
+// predictions start to dominate the suggestion latency.
+const DefaultEscalateAt = 500
+
+// DefaultFeatures is the feature-space backend's default basis size m.
+const DefaultFeatures = 256
+
+// ParseBackend validates a backend name; the empty string selects
+// BackendAuto.
+func ParseBackend(s string) (Backend, error) {
+	switch Backend(s) {
+	case "":
+		return BackendAuto, nil
+	case BackendAuto, BackendExact, BackendFeatures:
+		return Backend(s), nil
+	default:
+		return "", fmt.Errorf("surrogate: unknown backend %q (want auto, exact, or features)", s)
+	}
+}

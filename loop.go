@@ -9,6 +9,7 @@ import (
 	"easybo/internal/core"
 	"easybo/internal/objective"
 	"easybo/internal/stats"
+	"easybo/internal/surrogate"
 )
 
 // Loop is the ask-tell interface to EasyBO: Suggest returns the next point
@@ -51,6 +52,10 @@ func NewLoop(p Problem, opts Options) (*Loop, error) {
 	default:
 		return nil, fmt.Errorf("easybo: Loop supports the EasyBO algorithms, not %q", opts.Algorithm)
 	}
+	backend, err := surrogate.ParseBackend(string(opts.Surrogate))
+	if err != nil {
+		return nil, fmt.Errorf("easybo: %w", err)
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	d := ip.Dim()
 	var init [][]float64
@@ -61,10 +66,15 @@ func NewLoop(p Problem, opts Options) (*Loop, error) {
 		}
 		init = append(init, x)
 	}
-	mm := core.NewModelManager(ip.Lo, ip.Hi, rng, core.ModelManagerOptions{
+	mm, err := core.NewModelManager(ip.Lo, ip.Hi, rng, core.ModelManagerOptions{
 		RefitEvery: opts.RefitEvery,
 		FitIters:   opts.FitIters,
+		Backend:    backend,
+		EscalateAt: opts.EscalateAt,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("easybo: %w", err)
+	}
 	at, err := core.NewAskTell(core.AskTellConfig{
 		Init: init,
 		Lo:   ip.Lo, Hi: ip.Hi,

@@ -27,6 +27,14 @@ echo "== running every example with a tiny budget"
 "$bin/opamp" -evals 12
 "$bin/classe" -evals 12
 "$bin/constrained" -evals 12
+# longrun exercises the exact -> feature-space auto-escalation on a budget
+# small enough for CI: the escalation must actually happen mid-run.
+out=$("$bin/longrun" -evals 60 -escalate 30)
+echo "$out" | tail -3
+echo "$out" | grep -q "features" || {
+	echo "smoke: FAIL — longrun never escalated to the feature-space backend"
+	exit 1
+}
 
 echo "== easybod ask/tell round trip"
 "$bin/easybod" -addr "127.0.0.1:$PORT" -quiet &
