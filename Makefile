@@ -2,7 +2,7 @@ GO ?= go
 BENCH_HEAD ?= /tmp/bench_head.json
 STATICCHECK ?= staticcheck
 
-.PHONY: check vet fmt staticcheck build test race bench-smoke bench bench-json bench-gate smoke
+.PHONY: check vet fmt staticcheck build test race bench-smoke bench bench-json bench-gate smoke crash-smoke
 
 check: vet fmt staticcheck build test race bench-smoke
 
@@ -68,3 +68,14 @@ bench-gate:
 # so binaries and examples cannot rot unnoticed.
 smoke:
 	GO=$(GO) ./scripts/smoke.sh
+
+# Kill-9 fault injection: the Go harness SIGKILLs a real easybod subprocess
+# mid-session (fixed points for every fsync policy, plus an async racing
+# kill) and requires the recovered history to be bitwise identical to an
+# uninterrupted run; the shell loop then does the same through curl for
+# every fsync policy.
+crash-smoke:
+	$(GO) test -run TestCrashRecovery -v ./cmd/easybod
+	GO=$(GO) FSYNC=always ./scripts/crashloop.sh
+	GO=$(GO) FSYNC=interval ./scripts/crashloop.sh
+	GO=$(GO) FSYNC=off ./scripts/crashloop.sh

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -13,6 +15,79 @@ import (
 
 	"easybo"
 )
+
+// httpError is a non-2xx daemon response, typed so the retry layer can
+// distinguish transient statuses (5xx) from semantic ones (4xx).
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status) }
+
+// retrier retries transient failures against the daemon: transport errors
+// (connection refused or reset while an orchestrator restarts easybod) and
+// 5xx responses (503 while a recovery replay runs). Backoff is exponential
+// from 100ms capped at 3s, with half-interval jitter so a whole worker
+// pool does not hammer a recovering daemon in lockstep. Semantic errors
+// (4xx) return immediately.
+type retrier struct {
+	hc         *http.Client
+	maxRetries int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetrier(hc *http.Client, maxRetries int) *retrier {
+	return &retrier{
+		hc:         hc,
+		maxRetries: maxRetries,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (r *retrier) backoff(retry int) time.Duration {
+	d := 100 * time.Millisecond
+	for i := 0; i < retry && d < 3*time.Second; i++ {
+		d *= 2
+	}
+	if d > 3*time.Second {
+		d = 3 * time.Second
+	}
+	r.mu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d/2) + 1))
+	r.mu.Unlock()
+	return d/2 + j
+}
+
+func retryable(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status >= 500
+	}
+	return err != nil // transport-level failure
+}
+
+// call is callJSON plus the retry loop. resent reports whether the request
+// was re-sent after a transport error — i.e. the daemon may have applied an
+// earlier attempt whose response was lost, so a 409 on a resent tell means
+// "already applied", not a bug.
+func (r *retrier) call(method, url string, body, out any) (resent bool, err error) {
+	for retry := 0; ; retry++ {
+		err = callJSON(r.hc, method, url, body, out)
+		if err == nil || !retryable(err) || retry >= r.maxRetries {
+			return resent, err
+		}
+		var he *httpError
+		if !errors.As(err, &he) {
+			// A transport error means the request may have reached the
+			// daemon even though the response never came back.
+			resent = true
+		}
+		time.Sleep(r.backoff(retry))
+	}
+}
 
 // runRemote drives a remote easybod daemon: it creates one optimization
 // session and runs Workers local goroutines as a worker pool, each looping
@@ -23,7 +98,7 @@ import (
 // Evaluation wall-clock intervals are measured locally, so the returned
 // Result carries real per-worker timing and utilization like
 // OptimizeParallel does.
-func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string) (*easybo.Result, error) {
+func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string, maxRetries int) (*easybo.Result, error) {
 	base = strings.TrimRight(base, "/")
 	var algo string
 	switch opts.Algorithm {
@@ -44,6 +119,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 		policy = "resubmit" // the daemon's name for the same policy
 	}
 	hc := &http.Client{Timeout: 30 * time.Second}
+	rt := newRetrier(hc, maxRetries)
 
 	createBody := map[string]any{
 		"name":        p.Name,
@@ -70,7 +146,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 	var created struct {
 		ID string `json:"id"`
 	}
-	if err := callJSON(hc, http.MethodPost, base+"/sessions", createBody, &created); err != nil {
+	if _, err := rt.call(http.MethodPost, base+"/sessions", createBody, &created); err != nil {
 		return nil, fmt.Errorf("easybo: creating session: %w", err)
 	}
 
@@ -90,6 +166,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 		evals    []easybo.Evaluation
 		failed   []easybo.Evaluation
 		firstErr error
+		inflight = map[int]bool{} // proposal ids being evaluated locally
 	)
 	setErr := func(err error) {
 		mu.Lock()
@@ -97,6 +174,36 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 			firstErr = err
 		}
 		mu.Unlock()
+	}
+	claim := func(pid int) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if inflight[pid] {
+			return false
+		}
+		inflight[pid] = true
+		return true
+	}
+	// adoptOrphan looks for an outstanding proposal no local worker holds:
+	// work orphaned when an ask was applied by the daemon but its response
+	// was lost to a retried transport failure. Without adoption such a
+	// proposal would pin the session's budget open forever.
+	adoptOrphan := func() (askResp, bool, error) {
+		var st struct {
+			Outstanding []struct {
+				ProposalID int       `json:"proposal_id"`
+				X          []float64 `json:"x"`
+			} `json:"outstanding"`
+		}
+		if _, err := rt.call(http.MethodGet, base+"/sessions/"+created.ID, nil, &st); err != nil {
+			return askResp{}, false, err
+		}
+		for _, p := range st.Outstanding {
+			if claim(p.ProposalID) {
+				return askResp{Status: "ok", ProposalID: p.ProposalID, X: p.X}, true, nil
+			}
+		}
+		return askResp{}, false, nil
 	}
 	t0 := time.Now()
 	var wg sync.WaitGroup
@@ -112,7 +219,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 					return
 				}
 				var a askResp
-				if err := callJSON(hc, http.MethodPost, base+"/sessions/"+created.ID+"/ask", map[string]any{}, &a); err != nil {
+				if _, err := rt.call(http.MethodPost, base+"/sessions/"+created.ID+"/ask", map[string]any{}, &a); err != nil {
 					setErr(fmt.Errorf("easybo: ask: %w", err))
 					return
 				}
@@ -120,8 +227,18 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 				case "done":
 					return
 				case "wait":
-					time.Sleep(20 * time.Millisecond)
-					continue
+					orphan, ok, err := adoptOrphan()
+					if err != nil {
+						setErr(fmt.Errorf("easybo: scanning for orphaned proposals: %w", err))
+						return
+					}
+					if !ok {
+						time.Sleep(20 * time.Millisecond)
+						continue
+					}
+					a = orphan
+				default:
+					claim(a.ProposalID)
 				}
 				start := time.Since(t0).Seconds()
 				// Same contract as -parallel: a failing objective gets
@@ -144,11 +261,19 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 				var st struct {
 					Aborted string `json:"aborted"`
 				}
-				if err := callJSON(hc, http.MethodPost, base+"/sessions/"+created.ID+"/tell", t, &st); err != nil {
-					setErr(fmt.Errorf("easybo: tell: %w", err))
-					return
+				resent, err := rt.call(http.MethodPost, base+"/sessions/"+created.ID+"/tell", t, &st)
+				if err != nil {
+					// A 409 on a resent tell means the daemon durably applied
+					// an earlier attempt and already consumed the proposal —
+					// the observation is in, only the response was lost.
+					var he *httpError
+					if !(resent && errors.As(err, &he) && he.status == http.StatusConflict) {
+						setErr(fmt.Errorf("easybo: tell: %w", err))
+						return
+					}
 				}
 				mu.Lock()
+				delete(inflight, a.ProposalID)
 				if evalErr != "" {
 					failed = append(failed, ev)
 				} else {
@@ -171,7 +296,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 		BestX []float64 `json:"best_x"`
 		BestY *float64  `json:"best_y"`
 	}
-	if err := callJSON(hc, http.MethodGet, base+"/sessions/"+created.ID, nil, &status); err != nil {
+	if _, err := rt.call(http.MethodGet, base+"/sessions/"+created.ID, nil, &status); err != nil {
 		return nil, fmt.Errorf("easybo: reading final status: %w", err)
 	}
 	// This client created the session, so it owns the lifecycle: delete it
@@ -242,10 +367,11 @@ func callJSON(hc *http.Client, method, url string, body, out any) error {
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := string(bytes.TrimSpace(data))
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+			msg = e.Error
 		}
-		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		return &httpError{status: resp.StatusCode, msg: msg}
 	}
 	if out != nil {
 		return json.Unmarshal(data, out)

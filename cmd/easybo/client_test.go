@@ -1,0 +1,114 @@
+package main
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetrierRecoversFrom5xx: a daemon answering 503 while its recovery
+// replay runs must be retried until it comes up, and the eventual success
+// must carry the decoded body.
+func TestRetrierRecoversFrom5xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"serve: not ready"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ready":true}`))
+	}))
+	defer ts.Close()
+
+	rt := newRetrier(ts.Client(), 4)
+	var out struct {
+		Ready bool `json:"ready"`
+	}
+	resent, err := rt.call(http.MethodGet, ts.URL, nil, &out)
+	if err != nil || !out.Ready {
+		t.Fatalf("call = %v, ready=%v; want success after retries", err, out.Ready)
+	}
+	if resent {
+		t.Fatal("5xx retries must not be flagged as possibly-applied resends")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestRetrierFlagsTransportResend: when the connection dies mid-request the
+// daemon may have applied the write, so the retry must come back with
+// resent=true (the signal that lets a tell treat a 409 as already-applied).
+func TestRetrierFlagsTransportResend(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("test server not hijackable")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // response lost; request may have been applied
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rt := newRetrier(ts.Client(), 4)
+	resent, err := rt.call(http.MethodPost, ts.URL, map[string]any{}, nil)
+	if err != nil {
+		t.Fatalf("call after dropped connection: %v", err)
+	}
+	if !resent {
+		t.Fatal("retried transport failure not flagged as a resend")
+	}
+}
+
+// TestRetrierStopsOn4xx: semantic errors are the caller's problem — no
+// retries, typed status preserved.
+func TestRetrierStopsOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"serve: unknown proposal"}`, http.StatusConflict)
+	}))
+	defer ts.Close()
+
+	rt := newRetrier(ts.Client(), 4)
+	_, err := rt.call(http.MethodPost, ts.URL, map[string]any{}, nil)
+	var he *httpError
+	if !errors.As(err, &he) || he.status != http.StatusConflict {
+		t.Fatalf("err = %v, want typed 409", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("4xx retried: server saw %d calls", got)
+	}
+}
+
+// TestRetrierBackoffBoundedWithJitter pins the backoff envelope: grows
+// exponentially, never exceeds the 3s cap, never collapses to zero.
+func TestRetrierBackoffBoundedWithJitter(t *testing.T) {
+	rt := newRetrier(http.DefaultClient, 10)
+	for retry := 0; retry < 12; retry++ {
+		base := 100 * time.Millisecond
+		for i := 0; i < retry && base < 3*time.Second; i++ {
+			base *= 2
+		}
+		if base > 3*time.Second {
+			base = 3 * time.Second
+		}
+		for trial := 0; trial < 16; trial++ {
+			d := rt.backoff(retry)
+			if d < base/2 || d > base {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v]", retry, d, base/2, base)
+			}
+		}
+	}
+}

@@ -6,7 +6,15 @@
 //
 // Usage:
 //
-//	easybod -addr :7823
+//	easybod -addr :7823 -data-dir /var/lib/easybod -fsync always
+//
+// With -data-dir set, every session is backed by a per-session write-ahead
+// log: each ask/tell is durably appended before it is applied, and a
+// restarted daemon recovers all sessions by replaying their logs (every
+// replayed ask re-derived and verified bit-for-bit; divergence or
+// corruption quarantines the session instead of resurrecting a wrong
+// state). /healthz answers while recovery replays; /readyz flips to 200
+// only when sessions are being served.
 //
 // A minimal round trip:
 //
@@ -17,8 +25,10 @@
 //	curl -s localhost:7823/sessions/demo/snapshot > demo.json   # restart-safe
 //	curl -s -X POST localhost:7823/sessions/restore --data-binary @demo.json
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// On SIGINT/SIGTERM the daemon shuts down in durability order: stop
+// accepting HTTP and drain in-flight requests, then drain every session
+// actor, then flush and close the write-ahead logs — so a tell accepted
+// before the signal is on stable storage before the process exits.
 package main
 
 import (
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"easybo/internal/serve"
+	"easybo/internal/serve/wal"
 	surrogatepkg "easybo/internal/surrogate"
 )
 
@@ -42,47 +53,113 @@ func main() {
 		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 		quiet     = flag.Bool("quiet", false, "suppress the startup banner")
 		surrogate = flag.String("surrogate", "", "default surrogate backend for sessions that omit one: auto | exact | features")
+
+		dataDir       = flag.String("data-dir", "", "durable session store directory (empty: sessions are in-memory and die with the process)")
+		fsyncPolicy   = flag.String("fsync", "interval", "write-ahead log fsync policy: always | interval | off")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence for -fsync interval")
+		segmentBytes  = flag.Int64("segment-bytes", 1<<20, "rotate write-ahead log segments past this size")
+		compactEvery  = flag.Int("compact-every", 256, "snapshot-compact a session's log every N events (<0 disables)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (whole-request bound)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (keep-alive reaper)")
 	)
 	flag.Parse()
 
-	// Validate the default backend at boot: a typo here must not start a
-	// daemon that 400s every default session create.
+	// Validate boot configuration before anything binds: a typo here must
+	// not start a daemon that 400s every default session create.
 	if _, err := surrogatepkg.ParseBackend(*surrogate); err != nil {
 		fmt.Fprintln(os.Stderr, "easybod:", err)
 		os.Exit(2)
 	}
+	policy, err := wal.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easybod:", err)
+		os.Exit(2)
+	}
 
-	sv := serve.NewServerWith(serve.ServerOptions{DefaultSurrogate: *surrogate})
+	var store serve.Store
+	if *dataDir != "" {
+		ws, err := wal.Open(*dataDir, wal.Options{
+			Fsync:        policy,
+			Interval:     *fsyncInterval,
+			SegmentBytes: *segmentBytes,
+			CompactEvery: *compactEvery,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easybod:", err)
+			os.Exit(1)
+		}
+		store = ws
+	}
+
+	sv := serve.NewServerWith(serve.ServerOptions{
+		DefaultSurrogate: *surrogate,
+		Store:            store,
+	})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           sv,
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen immediately — /healthz is alive and /readyz reports 503 while
+	// the recovery replay (below) runs, so orchestrators neither kill a
+	// recovering daemon nor route session traffic to it early.
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "easybod: serving ask/tell optimization sessions on %s\n", *addr)
+		fmt.Fprintf(os.Stderr, "easybod: http timeouts: read-header=%s read=%s idle=%s\n",
+			*readHeaderTimeout, *readTimeout, *idleTimeout)
+		if *dataDir != "" {
+			fmt.Fprintf(os.Stderr, "easybod: durable store: %s (fsync=%s interval=%s segment=%dB compact-every=%d)\n",
+				*dataDir, policy, *fsyncInterval, *segmentBytes, *compactEvery)
+		} else {
+			fmt.Fprintln(os.Stderr, "easybod: in-memory store: sessions will NOT survive a restart (set -data-dir)")
+		}
+	}
+
+	report, err := sv.Recover()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "easybod: recovery failed:", err)
+		_ = hs.Close()
+		sv.Close()
+		os.Exit(1)
+	}
+	if !*quiet && (*dataDir != "" || len(report.Recovered) > 0 || len(report.Quarantined) > 0) {
+		fmt.Fprintf(os.Stderr, "easybod: recovery: %d session(s) replayed, %d quarantined\n",
+			len(report.Recovered), len(report.Quarantined))
+		for id, reason := range report.Quarantined {
+			fmt.Fprintf(os.Stderr, "easybod: quarantined %s: %s\n", id, reason)
+		}
 	}
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "easybod:", err)
+			sv.Close()
 			os.Exit(1)
 		}
 	case <-ctx.Done():
 		if !*quiet {
 			fmt.Fprintln(os.Stderr, "easybod: shutting down")
 		}
+		// Durability order: (1) stop accepting and drain in-flight HTTP so
+		// no new events arrive, (2) drain session actors and flush/close
+		// the write-ahead logs (sv.Close), so every acknowledged tell is
+		// on stable storage before exit.
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			_ = hs.Close()
 		}
-		sv.Store().Close()
+		sv.Close()
 	}
 }

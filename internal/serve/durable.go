@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+)
+
+// Store is the session durability backend. The server writes every session
+// lifecycle event through it — create (Begin), ask/tell/abort (SessionLog
+// appends), delete (Remove) — and enumerates it at boot (Load) to recover
+// sessions that outlived the process. Two implementations ship: MemStore,
+// the original sharded in-memory map (sessions die with the process), and
+// wal.Store, a per-session write-ahead log on disk.
+//
+// All methods must be safe for concurrent use; Append/Compact on a single
+// SessionLog are only ever called from that session's actor goroutine.
+type Store interface {
+	// Begin durably registers a new session and returns its open log.
+	// Begin is the arbiter of id uniqueness: it fails with
+	// ErrDuplicateSession (wrapped) if the id already exists.
+	Begin(id string, cfg SessionConfig) (SessionLog, error)
+
+	// Load returns every persisted session, sorted by id, for boot-time
+	// recovery. Undecodable sessions are returned with Corrupt set (and a
+	// nil Log) so the server can quarantine them instead of resurrecting
+	// a wrong state.
+	Load() ([]PersistedSession, error)
+
+	// Quarantine moves a session's persisted state aside with a reason.
+	// The session will not be returned by future Loads; its data is kept
+	// for forensics, not deleted.
+	Quarantine(id, reason string) error
+
+	// Remove durably deletes a session and all its persisted state.
+	Remove(id string) error
+
+	// Close flushes and closes every open log and releases the store.
+	Close() error
+}
+
+// SessionLog is one session's append-only durable log. It is written by
+// exactly one goroutine (the session actor).
+type SessionLog interface {
+	// Append durably records one event, honoring the store's fsync
+	// policy. The server appends before it applies: an event that cannot
+	// be made durable is never absorbed into the session state.
+	Append(ev Event) error
+
+	// CompactionDue reports whether the log wants a snapshot compaction
+	// (e.g. enough events accumulated since the last snapshot).
+	CompactionDue() bool
+
+	// Compact persists the snapshot as the new recovery base and prunes
+	// the log entries it covers.
+	Compact(snap Snapshot) error
+
+	// Sync flushes buffered appends to stable storage.
+	Sync() error
+
+	// Close flushes and closes the log. Idempotent.
+	Close() error
+}
+
+// PersistedSession is one session as recovered from a Store at boot.
+type PersistedSession struct {
+	ID     string
+	Config SessionConfig
+	// Snapshot is the compaction base (nil when the session never
+	// compacted); Events are the log entries after it.
+	Snapshot *Snapshot
+	Events   []Event
+	// Log is the reopened live log, positioned to append. nil when
+	// Corrupt is set.
+	Log SessionLog
+	// Corrupt marks a session whose persisted state failed integrity
+	// checks (CRC, sequence gaps, undecodable documents). The server
+	// quarantines it.
+	Corrupt error
+}
+
+// sessionIDPattern keeps ids filesystem- and URL-safe: stores use the id as
+// a directory name and the HTTP API as a path segment.
+var sessionIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// ValidateSessionID rejects ids that are unsafe as directory names or URL
+// path segments.
+func ValidateSessionID(id string) error {
+	if !sessionIDPattern.MatchString(id) {
+		return fmt.Errorf("serve: invalid session id %q (want 1-128 of [A-Za-z0-9._-], starting alphanumeric)", id)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- MemStore
+
+// MemStore is the in-memory Store: the sharded map the service originally
+// kept sessions in, now behind the Store interface. Nothing survives the
+// process — Load after a restart is empty — but recovery, compaction, and
+// shutdown-ordering logic can all be exercised against it in-process.
+type MemStore struct {
+	shards [shardCount]memShard
+	// CompactEvery, when > 0, makes logs request a snapshot compaction
+	// every that many events (mirrors wal.Options.CompactEvery; used to
+	// test the compaction path without disk).
+	compactEvery int
+}
+
+type memShard struct {
+	mu sync.Mutex
+	m  map[string]*memLog
+	q  map[string]string // quarantined id -> reason
+}
+
+// NewMemStore builds an empty in-memory store.
+func NewMemStore() *MemStore { return NewMemStoreCompacting(0) }
+
+// NewMemStoreCompacting is NewMemStore with a compaction cadence: logs
+// report CompactionDue every compactEvery events (0 disables).
+func NewMemStoreCompacting(compactEvery int) *MemStore {
+	st := &MemStore{compactEvery: compactEvery}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*memLog)
+		st.shards[i].q = make(map[string]string)
+	}
+	return st
+}
+
+func (st *MemStore) shardFor(id string) *memShard {
+	return &st.shards[shardIndex(id)]
+}
+
+func (st *MemStore) Begin(id string, cfg SessionConfig) (SessionLog, error) {
+	if err := ValidateSessionID(id); err != nil {
+		return nil, err
+	}
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSession, id)
+	}
+	if _, ok := sh.q[id]; ok {
+		return nil, fmt.Errorf("%w: %q (quarantined)", ErrDuplicateSession, id)
+	}
+	l := &memLog{st: st, id: id, cfg: cfg}
+	sh.m[id] = l
+	return l, nil
+}
+
+func (st *MemStore) Load() ([]PersistedSession, error) {
+	var out []PersistedSession
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for id, l := range sh.m {
+			l.mu.Lock()
+			ps := PersistedSession{ID: id, Config: l.cfg, Log: l}
+			if l.snap != nil {
+				snap := *l.snap
+				ps.Snapshot = &snap
+			}
+			ps.Events = append([]Event(nil), l.events...)
+			l.mu.Unlock()
+			out = append(out, ps)
+		}
+		sh.mu.Unlock()
+	}
+	sortPersisted(out)
+	return out, nil
+}
+
+func (st *MemStore) Quarantine(id, reason string) error {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	delete(sh.m, id)
+	sh.q[id] = reason
+	return nil
+}
+
+func (st *MemStore) Remove(id string) error {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, id)
+	delete(sh.q, id)
+	return nil
+}
+
+func (st *MemStore) Close() error { return nil }
+
+type memLog struct {
+	mu     sync.Mutex
+	st     *MemStore
+	id     string
+	cfg    SessionConfig
+	snap   *Snapshot
+	events []Event
+	closed bool
+}
+
+func (l *memLog) Append(ev Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("serve: mem log %q closed", l.id)
+	}
+	l.events = append(l.events, ev.clone())
+	return nil
+}
+
+func (l *memLog) CompactionDue() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.compactEvery > 0 && len(l.events) >= l.st.compactEvery
+}
+
+func (l *memLog) Compact(snap Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("serve: mem log %q closed", l.id)
+	}
+	c := snap
+	c.Events = append([]Event(nil), snap.Events...)
+	l.snap = &c
+	l.events = l.events[:0]
+	return nil
+}
+
+func (l *memLog) Sync() error { return nil }
+
+func (l *memLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+func sortPersisted(ps []PersistedSession) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Server is the HTTP face of the session service. It is an http.Handler;
@@ -14,21 +16,27 @@ import (
 // Routes (all request/response bodies are JSON):
 //
 //	POST   /sessions                 create a session from a SessionConfig
-//	GET    /sessions                 list session ids
+//	GET    /sessions                 list live and quarantined session ids
 //	POST   /sessions/restore         restore a session from a Snapshot
 //	GET    /sessions/{id}            session status
 //	DELETE /sessions/{id}            delete the session
 //	POST   /sessions/{id}/ask        next proposal to evaluate
 //	POST   /sessions/{id}/tell       report one evaluation outcome
 //	GET    /sessions/{id}/snapshot   restart-safe session snapshot
-//	GET    /healthz                  liveness probe
+//	GET    /healthz                  liveness probe (alive during recovery)
+//	GET    /readyz                   readiness probe (503 until Recover ran)
 //
 // Routing is hand-rolled on the URL path so the daemon builds with every
 // toolchain the CI matrix covers (the pattern-matching ServeMux needs a
 // go directive >= 1.22).
 type Server struct {
-	store *Store
+	reg   *registry
+	store Store
 	opts  ServerOptions
+	ready atomic.Bool
+
+	qmu         sync.Mutex
+	quarantined map[string]string // id -> quarantine reason
 }
 
 // ServerOptions tunes daemon-wide defaults.
@@ -38,16 +46,44 @@ type ServerOptions struct {
 	// snapshots are never rewritten — replay must run on the recorded
 	// backend.
 	DefaultSurrogate string
+	// Store is the session durability backend; nil uses an in-memory
+	// MemStore (sessions die with the process).
+	Store Store
 }
 
-// NewServer builds a Server over a fresh session store.
+// NewServer builds a Server over a fresh in-memory store.
 func NewServer() *Server { return NewServerWith(ServerOptions{}) }
 
-// NewServerWith is NewServer with daemon-wide defaults.
-func NewServerWith(o ServerOptions) *Server { return &Server{store: NewStore(), opts: o} }
+// NewServerWith is NewServer with daemon-wide defaults. The returned server
+// is not ready until Recover is called (even on an empty store): session
+// routes answer 503 so workers cannot race a recovery replay.
+func NewServerWith(o ServerOptions) *Server {
+	if o.Store == nil {
+		o.Store = NewMemStore()
+	}
+	return &Server{
+		reg:         newRegistry(),
+		store:       o.Store,
+		opts:        o,
+		quarantined: map[string]string{},
+	}
+}
 
-// Store exposes the underlying session store (for shutdown and tests).
-func (sv *Server) Store() *Store { return sv.store }
+// Ready reports whether recovery has completed and sessions are served.
+func (sv *Server) Ready() bool { return sv.ready.Load() }
+
+// SessionCount returns the number of live sessions.
+func (sv *Server) SessionCount() int { return sv.reg.Len() }
+
+// Close shuts the service down in durability order: the caller has already
+// stopped accepting HTTP (http.Server.Shutdown), so Close drains every
+// session actor and flushes and closes its write-ahead log, then closes the
+// store itself. A tell accepted before shutdown is on stable storage when
+// Close returns.
+func (sv *Server) Close() {
+	sv.reg.Close()
+	_ = sv.store.Close()
+}
 
 // maxBodyBytes bounds request bodies; snapshots of long sessions are the
 // largest legitimate payload.
@@ -85,8 +121,12 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrUnknownProposal):
 		code = http.StatusConflict
+	case errors.Is(err, ErrSessionQuarantined):
+		code = http.StatusConflict
 	case errors.Is(err, ErrSessionClosed):
 		code = http.StatusGone
+	case errors.Is(err, ErrNotReady):
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrSnapshotDiverged):
 		code = http.StatusUnprocessableEntity
 	case isBadRequest(err):
@@ -117,13 +157,50 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// quarantineReason returns the reason a session id was quarantined, if it
+// was.
+func (sv *Server) quarantineReason(id string) (string, bool) {
+	sv.qmu.Lock()
+	defer sv.qmu.Unlock()
+	r, ok := sv.quarantined[id]
+	return r, ok
+}
+
+// lookup resolves a live session, distinguishing quarantined ids from
+// unknown ones.
+func (sv *Server) lookup(id string) (*session, error) {
+	s, err := sv.reg.get(id)
+	if err != nil {
+		if reason, ok := sv.quarantineReason(id); ok {
+			return nil, fmt.Errorf("%w: %q (%s)", ErrSessionQuarantined, id, reason)
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
 // ServeHTTP implements http.Handler.
 func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	parts := splitPath(r.URL.Path)
 	switch {
 	case len(parts) == 1 && parts[0] == "healthz":
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "sessions": sv.store.Len()})
+		// Liveness: answers while a recovery replay is still running, so
+		// the orchestrator does not kill a daemon that is busy recovering.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "ready": sv.ready.Load(), "sessions": sv.reg.Len(),
+		})
+	case len(parts) == 1 && parts[0] == "readyz":
+		// Readiness: traffic-worthy only after Recover finished.
+		if !sv.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "sessions": sv.reg.Len()})
 	case len(parts) >= 1 && parts[0] == "sessions":
+		if !sv.ready.Load() {
+			writeError(w, fmt.Errorf("%w: recovery replay in progress", ErrNotReady))
+			return
+		}
 		sv.serveSessions(w, r, parts[1:])
 	default:
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "serve: no such route"})
@@ -147,7 +224,17 @@ func (sv *Server) serveSessions(w http.ResponseWriter, r *http.Request, rest []s
 		case http.MethodPost:
 			sv.handleCreate(w, r)
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, map[string]any{"sessions": sv.store.IDs()})
+			sv.qmu.Lock()
+			q := make(map[string]string, len(sv.quarantined))
+			for id, reason := range sv.quarantined {
+				q[id] = reason
+			}
+			sv.qmu.Unlock()
+			resp := map[string]any{"sessions": sv.reg.IDs()}
+			if len(q) > 0 {
+				resp["quarantined"] = q
+			}
+			writeJSON(w, http.StatusOK, resp)
 		default:
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST or GET"})
 		}
@@ -173,6 +260,31 @@ func (sv *Server) serveSessions(w http.ResponseWriter, r *http.Request, rest []s
 	}
 }
 
+// install durably registers the session (the store's Begin arbitrates id
+// uniqueness), binds its log, starts the actor, and adds it to the live
+// registry. On any failure the partial state is rolled back.
+func (sv *Server) install(s *session, persist func(SessionLog) error) error {
+	l, err := sv.store.Begin(s.id, s.cfg)
+	if err != nil {
+		return err
+	}
+	if persist != nil {
+		if err := persist(l); err != nil {
+			_ = l.Close()
+			_ = sv.store.Remove(s.id)
+			return err
+		}
+	}
+	s.log = l
+	s.start()
+	if err := sv.reg.add(s); err != nil {
+		s.close()
+		_ = sv.store.Remove(s.id)
+		return err
+	}
+	return nil
+}
+
 func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := readJSON(w, r, &req); err != nil {
@@ -189,15 +301,21 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	id := req.ID
 	if id == "" {
-		id = sv.store.newID()
+		id = sv.reg.newID()
+	} else if err := ValidateSessionID(id); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	if reason, ok := sv.quarantineReason(id); ok {
+		writeError(w, fmt.Errorf("%w: %q (%s)", ErrSessionQuarantined, id, reason))
+		return
 	}
 	s, err := newSession(id, cfg)
 	if err != nil {
 		writeError(w, badRequest(err))
 		return
 	}
-	if err := sv.store.add(s); err != nil {
-		s.close()
+	if err := sv.install(s, nil); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -210,13 +328,22 @@ func (sv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if err := ValidateSessionID(snap.ID); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	if reason, ok := sv.quarantineReason(snap.ID); ok {
+		writeError(w, fmt.Errorf("%w: %q (%s)", ErrSessionQuarantined, snap.ID, reason))
+		return
+	}
 	s, err := restoreSession(snap)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	if err := sv.store.add(s); err != nil {
-		s.close()
+	// Persist the verified state in one step: the snapshot becomes the
+	// durable recovery base, and the session appends from there.
+	if err := sv.install(s, func(l SessionLog) error { return l.Compact(s.snapshot()) }); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -229,7 +356,7 @@ func (sv *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleStatus(w http.ResponseWriter, id string) {
-	s, err := sv.store.get(id)
+	s, err := sv.lookup(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -243,7 +370,21 @@ func (sv *Server) handleStatus(w http.ResponseWriter, id string) {
 }
 
 func (sv *Server) handleDelete(w http.ResponseWriter, id string) {
-	if err := sv.store.remove(id); err != nil {
+	// Deleting a quarantined id only forgets it for this process; the
+	// quarantined data stays on disk for forensics.
+	sv.qmu.Lock()
+	if _, ok := sv.quarantined[id]; ok {
+		delete(sv.quarantined, id)
+		sv.qmu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "quarantined": true})
+		return
+	}
+	sv.qmu.Unlock()
+	if err := sv.reg.remove(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := sv.store.Remove(id); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -251,7 +392,7 @@ func (sv *Server) handleDelete(w http.ResponseWriter, id string) {
 }
 
 func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, verb string) {
-	s, err := sv.store.get(id)
+	s, err := sv.lookup(id)
 	if err != nil {
 		writeError(w, err)
 		return

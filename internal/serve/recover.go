@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RecoveryReport summarizes one boot-time recovery pass.
+type RecoveryReport struct {
+	// Recovered lists the session ids rebuilt by replay, sorted.
+	Recovered []string
+	// Quarantined maps session ids that failed integrity or replay
+	// verification to the reason they were set aside.
+	Quarantined map[string]string
+}
+
+// Recover loads every persisted session from the store, re-derives its
+// state by replaying the durable log (every ask verified bit-for-bit
+// against the recorded proposal), and registers the survivors as live
+// sessions. Sessions whose log is corrupt — or whose replay diverges from
+// the recorded history — are quarantined in the store, never silently
+// resurrected.
+//
+// Recover must be called exactly once, before serving traffic is expected
+// to succeed: until it returns, session routes answer 503 and /readyz
+// reports not ready ( /healthz is alive the whole time, so an orchestrator
+// keeps the process while a long replay runs).
+func (sv *Server) Recover() (RecoveryReport, error) {
+	rep := RecoveryReport{Quarantined: map[string]string{}}
+	persisted, err := sv.store.Load()
+	if err != nil {
+		return rep, fmt.Errorf("serve: loading persisted sessions: %w", err)
+	}
+	for _, ps := range persisted {
+		if ps.Corrupt != nil {
+			sv.quarantine(ps, rep.Quarantined, fmt.Errorf("corrupt log: %w", ps.Corrupt))
+			continue
+		}
+		s, err := rebuildSession(ps)
+		if err != nil {
+			sv.quarantine(ps, rep.Quarantined, err)
+			continue
+		}
+		s.log = ps.Log
+		s.start()
+		if err := sv.reg.add(s); err != nil {
+			// Impossible unless the store returned duplicate ids; treat it
+			// as the corruption it is.
+			s.log = nil // keep the log open for quarantine bookkeeping
+			s.close()
+			sv.quarantine(ps, rep.Quarantined, fmt.Errorf("registering recovered session: %w", err))
+			continue
+		}
+		rep.Recovered = append(rep.Recovered, ps.ID)
+	}
+	sort.Strings(rep.Recovered)
+	sv.ready.Store(true)
+	return rep, nil
+}
+
+// quarantine records and persists one failed recovery.
+func (sv *Server) quarantine(ps PersistedSession, out map[string]string, reason error) {
+	if ps.Log != nil {
+		_ = ps.Log.Close()
+	}
+	msg := reason.Error()
+	out[ps.ID] = msg
+	sv.qmu.Lock()
+	sv.quarantined[ps.ID] = msg
+	sv.qmu.Unlock()
+	_ = sv.store.Quarantine(ps.ID, msg)
+}
+
+// rebuildSession re-derives one persisted session: from its snapshot base
+// (if it ever compacted) plus the log tail, or from the config and the full
+// log. Every replayed ask is verified against the recorded one.
+func rebuildSession(ps PersistedSession) (*session, error) {
+	if ps.Snapshot != nil {
+		snap := *ps.Snapshot
+		if snap.ID != ps.ID {
+			return nil, fmt.Errorf("%w (snapshot names session %q, stored under %q)",
+				ErrSnapshotDiverged, snap.ID, ps.ID)
+		}
+		s, err := restoreSession(snap)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.replay(ps.Events, len(snap.Events)); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	cfg := ps.Config
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s, err := newSession(ps.ID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replay(ps.Events, 0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -43,6 +43,13 @@ var (
 	// ErrSnapshotDiverged marks a snapshot whose replay did not reproduce
 	// the recorded proposals (corrupted snapshot or mismatched binary).
 	ErrSnapshotDiverged = errors.New("serve: snapshot replay diverged from recorded history")
+	// ErrSessionQuarantined marks requests for a session whose persisted
+	// log failed integrity or replay verification at boot; it is never
+	// silently resurrected.
+	ErrSessionQuarantined = errors.New("serve: session quarantined")
+	// ErrNotReady marks session requests made before boot recovery
+	// finished replaying the durable logs.
+	ErrNotReady = errors.New("serve: not ready")
 )
 
 // SessionConfig declares one optimization session. The daemon never

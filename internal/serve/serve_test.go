@@ -21,12 +21,22 @@ type client struct {
 
 func newTestServer(t *testing.T) (*client, *Server, func()) {
 	t.Helper()
-	sv := NewServer()
+	return newTestServerWith(t, ServerOptions{})
+}
+
+// newTestServerWith builds a ready-to-serve daemon over the given options
+// (recovery already run, like cmd/easybod does at boot).
+func newTestServerWith(t *testing.T, opts ServerOptions) (*client, *Server, func()) {
+	t.Helper()
+	sv := NewServerWith(opts)
+	if _, err := sv.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
 	ts := httptest.NewServer(sv)
 	c := &client{t: t, base: ts.URL, hc: ts.Client()}
 	return c, sv, func() {
 		ts.Close()
-		sv.Store().Close()
+		sv.Close()
 	}
 }
 

@@ -12,16 +12,30 @@ import (
 	"easybo/internal/surrogate"
 )
 
-// event is one entry of a session's append-only ask/tell log. The log is
-// the session's source of truth for snapshot/restore: replaying it against
-// a fresh machine reconstructs the exact session state (§ restart safety in
-// the package comment).
-type event struct {
-	Kind string    `json:"kind"`          // "ask" or "tell"
+// Event is one entry of a session's append-only ask/tell log. The log is
+// the session's source of truth for snapshot/restore and for the durable
+// write-ahead log: replaying it against a fresh machine reconstructs the
+// exact session state (§ restart safety in the package comment).
+//
+// Kinds:
+//
+//	"ask"   a proposal was issued (ID, X)
+//	"tell"  an outcome was absorbed (ID, X, Y or Err)
+//	"abort" the machine died on the preceding tell (Err holds the abort
+//	        error); replay verifies the dead state rather than mutating
+type Event struct {
+	Kind string    `json:"kind"`
 	ID   int       `json:"id"`            // proposal id (asks; tells that referenced one, else -1)
-	X    []float64 `json:"x"`             // proposal / observed point
+	X    []float64 `json:"x,omitempty"`   // proposal / observed point
 	Y    float64   `json:"y,omitempty"`   // observed value (tells; 0 when failed)
-	Err  string    `json:"err,omitempty"` // failure message (failed tells)
+	Err  string    `json:"err,omitempty"` // failure message (failed tells, abort reason)
+}
+
+// clone deep-copies the event so stores can retain it safely.
+func (ev Event) clone() Event {
+	c := ev
+	c.X = append([]float64(nil), ev.X...)
+	return c
 }
 
 // Record is one told evaluation, kept for status reporting and tests.
@@ -61,6 +75,14 @@ type Ask struct {
 	X          []float64 `json:"x,omitempty"`
 }
 
+// Proposal is one outstanding ask, reported in Status so workers can adopt
+// orphaned proposals after a daemon crash (the ask was durably logged but
+// the response may never have reached its worker).
+type Proposal struct {
+	ProposalID int       `json:"proposal_id"`
+	X          []float64 `json:"x"`
+}
+
 // Tell reports one evaluation back to a session. Either ProposalID (from a
 // previous Ask) or X identifies the point; Error marks the evaluation
 // failed (crashed or diverged simulator), in which case Y is ignored.
@@ -77,32 +99,40 @@ type Status struct {
 	Config SessionConfig `json:"config"`
 	// SurrogateActive is the backend currently serving fits ("exact" until
 	// an auto escalation, "features" after).
-	SurrogateActive string    `json:"surrogate_active"`
-	Observations    int       `json:"observations"` // successful tells absorbed
-	Pending         int       `json:"pending"`      // proposals awaiting their tell
-	Completed       int       `json:"completed"`    // budget slots consumed (successes + skipped failures)
-	Launched        int       `json:"launched"`     // budgeted proposals issued
-	Failures        int       `json:"failures"`     // failed tells handled
-	Done            bool      `json:"done"`
-	Aborted         string    `json:"aborted,omitempty"` // abort error, once dead
-	BestX           []float64 `json:"best_x,omitempty"`
-	BestY           *float64  `json:"best_y,omitempty"` // nil before the first observation
-	Records         []Record  `json:"records,omitempty"`
-	Failed          []Record  `json:"failed,omitempty"`
+	SurrogateActive string `json:"surrogate_active"`
+	Observations    int    `json:"observations"` // successful tells absorbed
+	Pending         int    `json:"pending"`      // proposals awaiting their tell
+	Completed       int    `json:"completed"`    // budget slots consumed (successes + skipped failures)
+	Launched        int    `json:"launched"`     // budgeted proposals issued
+	Failures        int    `json:"failures"`     // failed tells handled
+	Done            bool   `json:"done"`
+	Aborted         string `json:"aborted,omitempty"` // abort error, once dead
+	// Outstanding lists the pending proposals (ask order) so a worker
+	// fleet can re-adopt in-flight work after a crash recovery.
+	Outstanding []Proposal `json:"outstanding,omitempty"`
+	BestX       []float64  `json:"best_x,omitempty"`
+	BestY       *float64   `json:"best_y,omitempty"` // nil before the first observation
+	Records     []Record   `json:"records,omitempty"`
+	Failed      []Record   `json:"failed,omitempty"`
 }
 
 // session is one optimization run hosted by the service. All fields below
-// the mailbox are actor-owned: only the run goroutine touches them, so the
-// GP surrogate, the rng, and the event log need no locks.
+// the channels are actor-owned: only the run goroutine touches them after
+// start(), so the GP surrogate, the rng, and the event log need no locks.
+// (Construction and log replay happen before start, single-threaded.)
 type session struct {
 	id      string
 	mailbox chan func()
 	quit    chan struct{}
+	stopped chan struct{}
+	started bool
 
 	cfg    SessionConfig
 	at     *core.AskTell
 	mm     *core.ModelManager
-	events []event
+	log    SessionLog // durable write-ahead log; nil = not persisted
+	logErr error      // poisoned: a durable append or compaction failed
+	events []Event
 	ledger []ledgerEntry // outstanding proposals, ask order
 	recs   []Record
 	failed []Record
@@ -163,26 +193,34 @@ func newMachine(cfg SessionConfig) (*core.AskTell, *core.ModelManager, error) {
 	return at, mm, nil
 }
 
-// newSession builds a live session and starts its actor goroutine.
+// newSession builds a session without starting its actor; the caller binds
+// a durable log (or replays events) and then calls start().
 func newSession(id string, cfg SessionConfig) (*session, error) {
 	at, mm, err := newMachine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &session{
+	return &session{
 		id:      id,
 		mailbox: make(chan func()),
 		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
 		cfg:     cfg,
 		at:      at,
 		mm:      mm,
-	}
+	}, nil
+}
+
+// start launches the actor goroutine; after this, session state may only be
+// touched through do().
+func (s *session) start() {
+	s.started = true
 	go s.run()
-	return s, nil
 }
 
 // run is the actor loop: it alone touches the session state.
 func (s *session) run() {
+	defer close(s.stopped)
 	for {
 		select {
 		case f := <-s.mailbox:
@@ -218,16 +256,57 @@ func (s *session) do(f func()) error {
 	}
 }
 
-// close shuts the actor down. Idempotent via the store (which removes the
-// session before closing it exactly once).
-func (s *session) close() { close(s.quit) }
+// close shuts the actor down, waits for it to drain, and then flushes and
+// closes the durable log — so an event accepted before shutdown is on
+// stable storage before the process exits. Idempotent via the registry
+// (which removes the session before closing it exactly once).
+func (s *session) close() {
+	close(s.quit)
+	if s.started {
+		// After quit, the actor finishes at most the job it is running and
+		// returns; once stopped is closed, no goroutine touches the log.
+		<-s.stopped
+	}
+	if s.log != nil {
+		_ = s.log.Close()
+	}
+}
 
 // --------------------------------------------------------------- requests
 // The methods below are the actor-side request handlers; Server invokes
 // them through do().
 
-// ask issues the next proposal (or a wait/done status) and logs it.
+// logAppend write-ahead-logs one event. A failed append poisons the
+// session: durability is the contract, so rather than silently diverging
+// from its log the session refuses further work.
+func (s *session) logAppend(ev Event) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Append(ev); err != nil {
+		s.logErr = fmt.Errorf("serve: write-ahead log append failed, session poisoned: %w", err)
+		return s.logErr
+	}
+	return nil
+}
+
+// maybeCompact snapshots and compacts the durable log when it asks for it.
+func (s *session) maybeCompact() {
+	if s.log == nil || s.logErr != nil || !s.log.CompactionDue() {
+		return
+	}
+	if err := s.log.Compact(s.snapshot()); err != nil {
+		s.logErr = fmt.Errorf("serve: snapshot compaction failed, session poisoned: %w", err)
+	}
+}
+
+// ask issues the next proposal (or a wait/done status) and logs it. The
+// event is durably appended before the proposal is handed out: a crash
+// after the response leaves the proposal recoverable as outstanding work.
 func (s *session) ask() (Ask, error) {
+	if s.logErr != nil {
+		return Ask{}, s.logErr
+	}
 	p, ok, err := s.at.Suggest()
 	if err != nil {
 		return Ask{}, err
@@ -238,8 +317,13 @@ func (s *session) ask() (Ask, error) {
 		}
 		return Ask{Status: AskWait}, nil
 	}
-	s.events = append(s.events, event{Kind: "ask", ID: p.ID, X: p.X})
+	ev := Event{Kind: "ask", ID: p.ID, X: p.X}
+	if err := s.logAppend(ev); err != nil {
+		return Ask{}, err
+	}
+	s.events = append(s.events, ev)
 	s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
+	s.maybeCompact()
 	return Ask{Status: AskOK, ProposalID: p.ID, X: p.X}, nil
 }
 
@@ -273,6 +357,9 @@ func (s *session) resolveTell(t Tell) (id int, x []float64, err error) {
 // reflects the post-tell session state; a failed tell under the abort
 // policy kills the session and surfaces the abort error.
 func (s *session) tell(t Tell) (Status, error) {
+	if s.logErr != nil {
+		return Status{}, s.logErr
+	}
 	id, x, err := s.resolveTell(t)
 	if err != nil {
 		return Status{}, err
@@ -283,7 +370,7 @@ func (s *session) tell(t Tell) (Status, error) {
 	} else if math.IsNaN(t.Y) {
 		evalErr = sched.ErrNaN
 	}
-	ev := event{Kind: "tell", ID: id, X: x, Y: t.Y}
+	ev := Event{Kind: "tell", ID: id, X: x, Y: t.Y}
 	rec := Record{ID: id, X: x, Y: t.Y}
 	if evalErr != nil {
 		// Zero Y on failures: NaN is not representable in JSON, and the
@@ -291,8 +378,13 @@ func (s *session) tell(t Tell) (Status, error) {
 		ev.Y, rec.Y = 0, 0
 		ev.Err, rec.Err = evalErr.Error(), evalErr.Error()
 	}
-	// Log before applying: an aborting tell still mutated the machine, so
-	// replay must include it to reproduce the dead state.
+	// Write-ahead, then apply: an aborting tell still mutated the machine,
+	// so replay must include it to reproduce the dead state — and a tell
+	// that cannot be made durable must not be absorbed at all.
+	if err := s.logAppend(ev); err != nil {
+		return Status{}, err
+	}
+	wasDead := s.at.Err() != nil
 	s.events = append(s.events, ev)
 	obsErr := s.applyTell(x, t.Y, evalErr)
 	if evalErr != nil {
@@ -300,6 +392,15 @@ func (s *session) tell(t Tell) (Status, error) {
 	} else if obsErr == nil {
 		s.recs = append(s.recs, rec)
 	}
+	if !wasDead && s.at.Err() != nil {
+		// This tell killed the machine: record the abort durably so
+		// recovery can verify the dead state instead of deriving it.
+		abortEv := Event{Kind: "abort", ID: -1, Err: s.at.Err().Error()}
+		if s.logAppend(abortEv) == nil {
+			s.events = append(s.events, abortEv)
+		}
+	}
+	s.maybeCompact()
 	st := s.status()
 	return st, obsErr
 }
@@ -325,8 +426,13 @@ func (s *session) status() Status {
 		Records:         append([]Record(nil), s.recs...),
 		Failed:          append([]Record(nil), s.failed...),
 	}
+	for _, e := range s.ledger {
+		st.Outstanding = append(st.Outstanding, Proposal{ProposalID: e.id, X: append([]float64(nil), e.x...)})
+	}
 	if err := s.at.Err(); err != nil {
 		st.Aborted = err.Error()
+	} else if s.logErr != nil {
+		st.Aborted = s.logErr.Error()
 	}
 	if bx, by := s.at.Best(); bx != nil {
 		st.BestX = append([]float64(nil), bx...)

@@ -19,7 +19,7 @@ type Snapshot struct {
 	Version int           `json:"version"`
 	ID      string        `json:"id"`
 	Config  SessionConfig `json:"config"`
-	Events  []event       `json:"events"`
+	Events  []Event       `json:"events"`
 
 	// Informational (recomputed on restore).
 	Observations int       `json:"observations"`
@@ -36,7 +36,7 @@ func (s *session) snapshot() Snapshot {
 		Version:      SnapshotVersion,
 		ID:           s.id,
 		Config:       s.cfg,
-		Events:       append([]event(nil), s.events...),
+		Events:       append([]Event(nil), s.events...),
 		Observations: s.at.Observations(),
 		Pending:      len(s.ledger),
 	}
@@ -51,46 +51,26 @@ func (s *session) snapshot() Snapshot {
 	return snap
 }
 
-// restoreSession rebuilds a live session from a snapshot by replaying its
-// event log against a fresh machine. Asks are re-derived — not injected —
-// and verified bit-for-bit against the recorded proposals, so a snapshot
-// from a diverging binary (or a tampered log) fails loudly instead of
-// silently continuing a different run. JSON float64 round-trips exactly
-// (encoding/json emits the shortest representation that parses back to the
-// same bits), so the comparison is legitimate.
-func restoreSession(snap Snapshot) (*session, error) {
-	if snap.Version != SnapshotVersion {
-		return nil, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
-	}
-	if snap.ID == "" {
-		return nil, errors.New("serve: snapshot has no session id")
-	}
-	cfg := snap.Config
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	at, mm, err := newMachine(cfg)
-	if err != nil {
-		return nil, err
-	}
-	s := &session{
-		id:      snap.ID,
-		mailbox: make(chan func()),
-		quit:    make(chan struct{}),
-		cfg:     cfg,
-		at:      at,
-		mm:      mm,
-	}
-	for i, ev := range snap.Events {
+// replay applies recorded events to a freshly built, not-yet-started
+// session. Asks are re-derived — not injected — and verified bit-for-bit
+// against the recorded proposals, so a log from a diverging binary (or a
+// tampered one) fails loudly instead of silently continuing a different
+// run. JSON float64 round-trips exactly (encoding/json emits the shortest
+// representation that parses back to the same bits), so the comparison is
+// legitimate. base offsets event indices in errors when replaying a tail
+// on top of a snapshot.
+func (s *session) replay(events []Event, base int) error {
+	for i, ev := range events {
+		n := base + i
 		switch ev.Kind {
 		case "ask":
 			p, ok, err := s.at.Suggest()
 			if err != nil {
-				return nil, fmt.Errorf("serve: replaying event %d: %w", i, err)
+				return fmt.Errorf("serve: replaying event %d: %w", n, err)
 			}
 			if !ok || p.ID != ev.ID || !equalPoints(p.X, ev.X) {
-				return nil, fmt.Errorf("%w (event %d: got id=%d x=%v, recorded id=%d x=%v)",
-					ErrSnapshotDiverged, i, p.ID, p.X, ev.ID, ev.X)
+				return fmt.Errorf("%w (event %d: got id=%d x=%v, recorded id=%d x=%v)",
+					ErrSnapshotDiverged, n, p.ID, p.X, ev.ID, ev.X)
 			}
 			s.events = append(s.events, ev)
 			s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
@@ -98,9 +78,9 @@ func restoreSession(snap Snapshot) (*session, error) {
 			// The live path validates tell dimensions in resolveTell; a
 			// snapshot bypasses it, and ragged observations would panic the
 			// actor goroutine deep inside the GP fit.
-			if len(ev.X) != len(cfg.Lo) {
-				return nil, fmt.Errorf("%w (event %d: tell dimension %d, want %d)",
-					ErrSnapshotDiverged, i, len(ev.X), len(cfg.Lo))
+			if len(ev.X) != len(s.cfg.Lo) {
+				return fmt.Errorf("%w (event %d: tell dimension %d, want %d)",
+					ErrSnapshotDiverged, n, len(ev.X), len(s.cfg.Lo))
 			}
 			var evalErr error
 			if ev.Err != "" {
@@ -116,28 +96,73 @@ func restoreSession(snap Snapshot) (*session, error) {
 			s.events = append(s.events, ev)
 			rec := Record{ID: ev.ID, X: ev.X, Y: ev.Y, Err: ev.Err}
 			// An aborting tell legitimately returns the abort error; the
-			// machine is then dead and the log holds no further events.
+			// machine is then dead and the log holds only a closing abort
+			// marker after it.
 			obsErr := s.applyTell(ev.X, ev.Y, evalErr)
 			if evalErr != nil {
 				s.failed = append(s.failed, rec)
 			} else if obsErr == nil {
 				s.recs = append(s.recs, rec)
 			}
+		case "abort":
+			// Verification checkpoint, not a mutation: the preceding tell
+			// must already have killed the machine with this exact error.
+			err := s.at.Err()
+			if err == nil {
+				return fmt.Errorf("%w (event %d: abort recorded but replayed session is alive)",
+					ErrSnapshotDiverged, n)
+			}
+			if ev.Err != "" && ev.Err != err.Error() {
+				return fmt.Errorf("%w (event %d: replayed abort %q, recorded %q)",
+					ErrSnapshotDiverged, n, err.Error(), ev.Err)
+			}
+			s.events = append(s.events, ev)
 		default:
-			return nil, fmt.Errorf("serve: unknown snapshot event kind %q at %d", ev.Kind, i)
+			return fmt.Errorf("serve: unknown event kind %q at %d", ev.Kind, n)
 		}
 	}
-	// Cross-check the informational fields; a mismatch means the snapshot
-	// was edited or the replay semantics drifted.
+	return nil
+}
+
+// verifyAgainst cross-checks the replayed state with a snapshot's
+// informational fields; a mismatch means the snapshot was edited or the
+// replay semantics drifted.
+func (s *session) verifyAgainst(snap *Snapshot) error {
 	if snap.Observations != s.at.Observations() || snap.Pending != len(s.ledger) {
-		return nil, fmt.Errorf("%w (replayed %d observations / %d pending, snapshot says %d / %d)",
+		return fmt.Errorf("%w (replayed %d observations / %d pending, snapshot says %d / %d)",
 			ErrSnapshotDiverged, s.at.Observations(), len(s.ledger), snap.Observations, snap.Pending)
 	}
 	if snap.BestY != nil {
 		if _, by := s.at.Best(); math.Float64bits(by) != math.Float64bits(*snap.BestY) {
-			return nil, fmt.Errorf("%w (replayed best %v, snapshot says %v)", ErrSnapshotDiverged, by, *snap.BestY)
+			return fmt.Errorf("%w (replayed best %v, snapshot says %v)", ErrSnapshotDiverged, by, *snap.BestY)
 		}
 	}
-	go s.run()
+	return nil
+}
+
+// restoreSession rebuilds a session from a snapshot by replaying its event
+// log against a fresh machine. The returned session is not started: the
+// caller binds a durable log and calls start().
+func restoreSession(snap Snapshot) (*session, error) {
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("serve: unsupported snapshot version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	if snap.ID == "" {
+		return nil, errors.New("serve: snapshot has no session id")
+	}
+	cfg := snap.Config
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s, err := newSession(snap.ID, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replay(snap.Events, 0); err != nil {
+		return nil, err
+	}
+	if err := s.verifyAgainst(&snap); err != nil {
+		return nil, err
+	}
 	return s, nil
 }

@@ -195,7 +195,7 @@ func TestSnapshotRejectsTamperedHistory(t *testing.T) {
 	c.get("/sessions/tamper/snapshot", &snap)
 
 	tampered := snap
-	tampered.Events = append([]event(nil), snap.Events...)
+	tampered.Events = append([]Event(nil), snap.Events...)
 	for i := range tampered.Events {
 		if tampered.Events[i].Kind == "ask" {
 			tampered.Events[i].X = append([]float64(nil), tampered.Events[i].X...)
@@ -212,7 +212,7 @@ func TestSnapshotRejectsTamperedHistory(t *testing.T) {
 	// A tell event with the wrong dimension must be rejected at restore
 	// time, not panic the actor goroutine later inside the GP fit.
 	ragged := snap
-	ragged.Events = append([]event(nil), snap.Events...)
+	ragged.Events = append([]Event(nil), snap.Events...)
 	for i := range ragged.Events {
 		if ragged.Events[i].Kind == "tell" {
 			ragged.Events[i].X = ragged.Events[i].X[:1]
@@ -222,6 +222,85 @@ func TestSnapshotRejectsTamperedHistory(t *testing.T) {
 	ragged.ID = "tamper3"
 	if code := c.post("/sessions/restore", ragged, &e); code != http.StatusUnprocessableEntity {
 		t.Fatalf("ragged tell dimension accepted: %d (%+v)", code, e)
+	}
+}
+
+// TestSnapshotRestoreAbortedSession: an aborted session's snapshot restores
+// to the same dead state — abort reason intact, asks still refused — rather
+// than resurrecting it live or failing the replay.
+func TestSnapshotRestoreAbortedSession(t *testing.T) {
+	c1, _, stop1 := newTestServer(t)
+	cfg := createRequest{ID: "rip", SessionConfig: SessionConfig{
+		Lo: []float64{0, 0}, Hi: []float64{1, 1}, InitPoints: 3, MaxEvals: 9, Seed: 5, FitIters: 8,
+	}}
+	c1.post("/sessions", cfg, &createResponse{})
+	var a Ask
+	if code := c1.post("/sessions/rip/ask", map[string]any{}, &a); code != http.StatusOK {
+		t.Fatalf("ask: status %d", code)
+	}
+	var dead Status
+	code := c1.post("/sessions/rip/tell", Tell{ProposalID: &a.ProposalID, Error: "spice netlist error"}, &dead)
+	if code != http.StatusOK || dead.Aborted == "" {
+		t.Fatalf("abort tell: status %d, aborted %q", code, dead.Aborted)
+	}
+	var snap Snapshot
+	if code := c1.get("/sessions/rip/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot of aborted session: status %d", code)
+	}
+	stop1()
+
+	c2, _, stop2 := newTestServer(t)
+	defer stop2()
+	var restored Status
+	if code := c2.post("/sessions/restore", snap, &restored); code != http.StatusCreated {
+		t.Fatalf("restore of aborted session: status %d (%+v)", code, restored)
+	}
+	if restored.Aborted != dead.Aborted {
+		t.Fatalf("abort reason diverged: restored %q, original %q", restored.Aborted, dead.Aborted)
+	}
+	if code := c2.post("/sessions/rip/ask", map[string]any{}, nil); code == http.StatusOK {
+		t.Fatal("restored aborted session accepted an ask")
+	}
+}
+
+// TestSnapshotRejectsTamperedObservation: editing a told Y that fed a later
+// proposal must desynchronize the replayed asks and be rejected with 422.
+func TestSnapshotRejectsTamperedObservation(t *testing.T) {
+	c, _, stop := newTestServer(t)
+	defer stop()
+	cfg := createRequest{ID: "obs", SessionConfig: SessionConfig{
+		Lo: []float64{0, 0}, Hi: []float64{1, 1}, InitPoints: 3, MaxEvals: 12, Seed: 8, FitIters: 8,
+	}}
+	c.post("/sessions", cfg, &createResponse{})
+	d := newVirtualDriver(t, 2, func(x []float64) float64 { return -x[0] * x[1] })
+	d.run(c, "obs", 6)
+	var snap Snapshot
+	c.get("/sessions/obs/snapshot", &snap)
+
+	// Find a tell that precedes a post-init ask (so the tampered value
+	// actually changes a downstream suggestion).
+	tampered := snap
+	tampered.Events = append([]Event(nil), snap.Events...)
+	lastAsk := -1
+	for i, ev := range tampered.Events {
+		if ev.Kind == "ask" {
+			lastAsk = i
+		}
+	}
+	tellIdx := -1
+	for i, ev := range tampered.Events {
+		if ev.Kind == "tell" && ev.Err == "" && i < lastAsk {
+			tellIdx = i
+		}
+	}
+	if tellIdx < 0 {
+		t.Fatal("no tell precedes the last ask; drive longer")
+	}
+	tampered.Events[tellIdx].Y += 0.5
+	tampered.ID = "obs2"
+	var e errorResponse
+	if code := c.post("/sessions/restore", tampered, &e); code != http.StatusUnprocessableEntity {
+		t.Fatalf("tampered observation accepted: %d (%+v)", code, e)
 	}
 }
 

@@ -10,58 +10,66 @@ import (
 	"sync/atomic"
 )
 
-// shardCount sizes the fixed shard array. Power of two, large enough that
-// session create/lookup from many concurrent workers never funnels through
-// one mutex, small enough to stay cache-friendly.
+// shardCount sizes the fixed shard arrays (live registry and MemStore).
+// Power of two, large enough that session create/lookup from many
+// concurrent workers never funnels through one mutex, small enough to stay
+// cache-friendly.
 const shardCount = 16
 
-type shard struct {
+// shardIndex maps a session id onto a shard.
+func shardIndex(id string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return h.Sum32() % shardCount
+}
+
+type regShard struct {
 	mu sync.RWMutex
 	m  map[string]*session
 }
 
-// Store holds the live sessions behind a fixed shard array. Only the id →
-// session mapping is guarded here; all session state is actor-owned (see
-// session.run), so shard critical sections are a map operation long.
-type Store struct {
-	shards [shardCount]shard
+// registry holds the live session actors behind a fixed shard array. Only
+// the id → session mapping is guarded here; all session state is
+// actor-owned (see session.run), so shard critical sections are a map
+// operation long. Durability is the Store's job — the registry is purely
+// the in-process routing table.
+type registry struct {
+	shards [shardCount]regShard
 	seq    atomic.Uint64 // monotonic component of generated ids
 	closed atomic.Bool
 }
 
-// NewStore builds an empty session store.
-func NewStore() *Store {
-	st := &Store{}
-	for i := range st.shards {
-		st.shards[i].m = make(map[string]*session)
+// newRegistry builds an empty session registry.
+func newRegistry() *registry {
+	rg := &registry{}
+	for i := range rg.shards {
+		rg.shards[i].m = make(map[string]*session)
 	}
-	return st
+	return rg
 }
 
-func (st *Store) shardFor(id string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return &st.shards[h.Sum32()%shardCount]
+func (rg *registry) shardFor(id string) *regShard {
+	return &rg.shards[shardIndex(id)]
 }
 
 // newID generates a unique session id: a monotonic sequence number plus
 // random entropy so ids are not guessable across daemon restarts.
-func (st *Store) newID() string {
+func (rg *registry) newID() string {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failure is effectively fatal elsewhere; the sequence
 		// number alone still guarantees in-process uniqueness.
-		return fmt.Sprintf("s%d", st.seq.Add(1))
+		return fmt.Sprintf("s%d", rg.seq.Add(1))
 	}
-	return fmt.Sprintf("s%d-%s", st.seq.Add(1), hex.EncodeToString(b[:]))
+	return fmt.Sprintf("s%d-%s", rg.seq.Add(1), hex.EncodeToString(b[:]))
 }
 
 // add registers a session under its id.
-func (st *Store) add(s *session) error {
-	if st.closed.Load() {
+func (rg *registry) add(s *session) error {
+	if rg.closed.Load() {
 		return ErrSessionClosed
 	}
-	sh := st.shardFor(s.id)
+	sh := rg.shardFor(s.id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.m[s.id]; ok {
@@ -72,8 +80,8 @@ func (st *Store) add(s *session) error {
 }
 
 // get returns the session for id.
-func (st *Store) get(id string) (*session, error) {
-	sh := st.shardFor(id)
+func (rg *registry) get(id string) (*session, error) {
+	sh := rg.shardFor(id)
 	sh.mu.RLock()
 	s, ok := sh.m[id]
 	sh.mu.RUnlock()
@@ -83,9 +91,10 @@ func (st *Store) get(id string) (*session, error) {
 	return s, nil
 }
 
-// remove deletes and shuts down the session for id.
-func (st *Store) remove(id string) error {
-	sh := st.shardFor(id)
+// remove deletes and shuts down the session for id (draining its actor and
+// closing its durable log).
+func (rg *registry) remove(id string) error {
+	sh := rg.shardFor(id)
 	sh.mu.Lock()
 	s, ok := sh.m[id]
 	delete(sh.m, id)
@@ -98,10 +107,10 @@ func (st *Store) remove(id string) error {
 }
 
 // IDs returns the live session ids, sorted for stable listings.
-func (st *Store) IDs() []string {
+func (rg *registry) IDs() []string {
 	var ids []string
-	for i := range st.shards {
-		sh := &st.shards[i]
+	for i := range rg.shards {
+		sh := &rg.shards[i]
 		sh.mu.RLock()
 		for id := range sh.m {
 			ids = append(ids, id)
@@ -113,10 +122,10 @@ func (st *Store) IDs() []string {
 }
 
 // Len returns the number of live sessions.
-func (st *Store) Len() int {
+func (rg *registry) Len() int {
 	n := 0
-	for i := range st.shards {
-		sh := &st.shards[i]
+	for i := range rg.shards {
+		sh := &rg.shards[i]
 		sh.mu.RLock()
 		n += len(sh.m)
 		sh.mu.RUnlock()
@@ -124,11 +133,12 @@ func (st *Store) Len() int {
 	return n
 }
 
-// Close shuts down every session and rejects further additions.
-func (st *Store) Close() {
-	st.closed.Store(true)
-	for i := range st.shards {
-		sh := &st.shards[i]
+// Close shuts down every session — draining each actor and flushing and
+// closing its durable log — and rejects further additions.
+func (rg *registry) Close() {
+	rg.closed.Store(true)
+	for i := range rg.shards {
+		sh := &rg.shards[i]
 		sh.mu.Lock()
 		for id, s := range sh.m {
 			s.close()

@@ -1,0 +1,222 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"easybo/internal/serve"
+)
+
+// errEmptySession marks a session directory holding no durable record at
+// all — not even its create record. With fsync=off a kill -9 can lose the
+// entire buffered log, which is the degenerate clean-prefix rewind: the
+// session never durably existed. Recovery frees the id instead of
+// quarantining the husk.
+var errEmptySession = errors.New("wal: no durable records")
+
+// Load implements serve.Store: scan every session directory, validate its
+// snapshot and segments (CRC per record, strict sequence continuity), and
+// return the decoded history for the server to replay. A torn final line in
+// the final segment — the signature of a crash mid-append — is truncated
+// away; any other integrity failure marks the session Corrupt so the
+// server quarantines it.
+func (st *Store) Load() ([]serve.PersistedSession, error) {
+	dir := filepath.Join(st.root, sessionsDirName)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing sessions: %w", err)
+	}
+	var out []serve.PersistedSession
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		ps := serve.PersistedSession{ID: id}
+		sc, err := st.scanSession(id)
+		if errors.Is(err, errEmptySession) {
+			_ = os.RemoveAll(st.sessionDir(id))
+			continue
+		}
+		if err != nil {
+			ps.Corrupt = err
+		} else {
+			ps.Config = sc.cfg
+			ps.Snapshot = sc.snap
+			ps.Events = sc.events
+			l, err := st.reopen(id, sc)
+			if err != nil {
+				ps.Corrupt = err
+			} else {
+				ps.Log = l
+			}
+		}
+		out = append(out, ps)
+	}
+	// ReadDir already sorts by name, so sessions come back ordered by id.
+	return out, nil
+}
+
+// scanResult is one session's decoded on-disk state.
+type scanResult struct {
+	cfg     serve.SessionConfig
+	snap    *serve.Snapshot
+	events  []serve.Event
+	nextSeq uint64 // sequence the live log resumes at
+	lastSeg uint64 // highest existing segment index (0 = none)
+}
+
+// scanSession reads and validates one session directory.
+func (st *Store) scanSession(id string) (*scanResult, error) {
+	dir := st.sessionDir(id)
+	// A crash between writing snapshot.json.tmp and renaming it leaves a
+	// stale tmp; the renamed document is the only one that counts.
+	_ = os.Remove(filepath.Join(dir, snapshotFileName+".tmp"))
+
+	sc := &scanResult{}
+	haveCreate := false
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotFileName)); err == nil {
+		var doc snapshotDoc
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("undecodable snapshot document: %w", err)
+		}
+		if doc.Snapshot.ID != id {
+			return nil, fmt.Errorf("snapshot names session %q, stored under %q", doc.Snapshot.ID, id)
+		}
+		snap := doc.Snapshot
+		sc.snap = &snap
+		sc.cfg = snap.Config
+		sc.nextSeq = doc.NextSeq
+		haveCreate = true // the snapshot subsumes the create record
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("reading snapshot document: %w", err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 && sc.snap == nil {
+		return nil, errEmptySession
+	}
+	for i, seg := range segs {
+		sc.lastSeg = seg.n
+		path := filepath.Join(dir, seg.path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading segment %s: %w", seg.path, err)
+		}
+		last := i == len(segs)-1
+		off := 0
+		for off < len(data) {
+			lineStart := off
+			nl := bytes.IndexByte(data[off:], '\n')
+			var line []byte
+			if nl < 0 {
+				line = data[off:]
+				off = len(data)
+			} else {
+				line = data[off : off+nl]
+				off += nl + 1
+			}
+			rec, perr := parseRecord(line)
+			if perr == nil && rec.Seq != sc.nextSeq {
+				perr = fmt.Errorf("sequence gap: record %d, expected %d", rec.Seq, sc.nextSeq)
+			}
+			if perr != nil {
+				// A bad final line of the final segment is a torn append
+				// from the crash: truncate it away and resume cleanly.
+				// Anything else means the middle of history is damaged.
+				if last && off >= len(data) {
+					if err := os.Truncate(path, int64(lineStart)); err != nil {
+						return nil, fmt.Errorf("truncating torn tail of %s: %w", seg.path, err)
+					}
+					break
+				}
+				return nil, fmt.Errorf("segment %s record %d: %w", seg.path, sc.nextSeq, perr)
+			}
+			switch rec.Kind {
+			case "create":
+				if haveCreate || rec.Seq != 0 {
+					return nil, fmt.Errorf("segment %s: unexpected create record at seq %d", seg.path, rec.Seq)
+				}
+				if rec.Cfg == nil {
+					return nil, fmt.Errorf("segment %s: create record has no config", seg.path)
+				}
+				sc.cfg = *rec.Cfg
+				haveCreate = true
+			case "event":
+				if !haveCreate {
+					return nil, fmt.Errorf("segment %s: event before create record", seg.path)
+				}
+				if rec.Ev == nil {
+					return nil, fmt.Errorf("segment %s: event record %d has no event", seg.path, rec.Seq)
+				}
+				sc.events = append(sc.events, *rec.Ev)
+			default:
+				return nil, fmt.Errorf("segment %s: unknown record kind %q", seg.path, rec.Kind)
+			}
+			sc.nextSeq = rec.Seq + 1
+		}
+	}
+	if !haveCreate {
+		if len(sc.events) == 0 && sc.nextSeq == 0 {
+			return nil, errEmptySession
+		}
+		return nil, fmt.Errorf("no create record and no snapshot")
+	}
+	return sc, nil
+}
+
+// parseRecord validates one framed line: crc8hex SP payload.
+func parseRecord(line []byte) (*record, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("malformed frame (%d bytes)", len(line))
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed checksum: %w", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return nil, fmt.Errorf("checksum mismatch (recorded %08x, computed %08x)", want, got)
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, fmt.Errorf("undecodable payload: %w", err)
+	}
+	return &rec, nil
+}
+
+// reopen builds the live append handle for a scanned session: the last
+// segment is opened for append (any torn tail already truncated), and the
+// sequence counter resumes where the scan ended.
+func (st *Store) reopen(id string, sc *scanResult) (*Log, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, fmt.Errorf("wal: store closed")
+	}
+	if _, ok := st.logs[id]; ok {
+		return nil, fmt.Errorf("wal: session %q already open", id)
+	}
+	l := &Log{st: st, id: id, dir: st.sessionDir(id), seq: sc.nextSeq}
+	if sc.lastSeg > 0 {
+		l.seg = sc.lastSeg
+	} else {
+		// Crash between compaction's segment prune and the fresh segment
+		// creation: start a new segment; the snapshot is the whole state.
+		l.seg = 1
+	}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	st.logs[id] = l
+	return l, nil
+}

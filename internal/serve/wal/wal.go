@@ -1,0 +1,564 @@
+// Package wal is the durable serve.Store: a per-session write-ahead log on
+// local disk, built so a kill -9'd easybod loses nothing it acknowledged.
+//
+// # Layout
+//
+// Under the store root:
+//
+//	sessions/<id>/wal-00000001.log    append-only record segments
+//	sessions/<id>/wal-00000002.log    (rotated at SegmentBytes)
+//	sessions/<id>/snapshot.json       compaction base (atomic replace)
+//	quarantine/<id>/...               sessions set aside by recovery
+//	quarantine/<id>/REASON            why
+//
+// Each segment record is one line: an 8-hex-digit CRC32 (IEEE) of the JSON
+// payload, a space, the payload, a newline. The payload carries a strictly
+// increasing sequence number, so recovery detects both corruption (CRC) and
+// loss or reordering in the middle of history (sequence gaps). A torn final
+// line — the signature of a crash mid-write — is truncated away; a bad
+// record anywhere else quarantines the session instead of resurrecting a
+// wrong state.
+//
+// The first record of a session is its create record (the SessionConfig);
+// every ask, tell, and abort is appended as an event record before the
+// serve layer applies it (write-ahead ordering). Snapshot compaction writes
+// the session's verified snapshot document as the new recovery base and
+// deletes the segments it covers; the segment tail after a snapshot holds
+// only the delta.
+//
+// # Fsync policy
+//
+//	always    flush+fsync every append: survives kill -9 and power loss
+//	          at any point; one fsync per ask/tell.
+//	interval  flush (to the kernel) every append, fsync on a background
+//	          cadence: survives kill -9 at any point — the page cache
+//	          belongs to the kernel, not the process — and bounds power-
+//	          loss exposure to the interval.
+//	off       buffered in user space, flushed on rotation, compaction,
+//	          and graceful close; no fsync. A kill -9 can lose the
+//	          buffered tail; recovery then restarts from a clean earlier
+//	          prefix (never a corrupt state).
+package wal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"easybo/internal/serve"
+)
+
+// Policy selects when appends are fsynced to stable storage.
+type Policy string
+
+const (
+	PolicyAlways   Policy = "always"
+	PolicyInterval Policy = "interval"
+	PolicyOff      Policy = "off"
+)
+
+// ParsePolicy validates a policy name ("" defaults to interval).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "":
+		return PolicyInterval, nil
+	case PolicyAlways, PolicyInterval, PolicyOff:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// Options tunes the store.
+type Options struct {
+	// Fsync is the append durability policy (default interval).
+	Fsync Policy
+	// Interval is the background fsync cadence for PolicyInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (default 1 MiB).
+	SegmentBytes int64
+	// CompactEvery requests a snapshot compaction every this many
+	// appended events (default 256; <0 disables).
+	CompactEvery int
+}
+
+func (o *Options) normalize() error {
+	p, err := ParsePolicy(string(o.Fsync))
+	if err != nil {
+		return err
+	}
+	o.Fsync = p
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 256
+	}
+	return nil
+}
+
+// Store is the on-disk serve.Store. One Store owns one directory tree; the
+// daemon opens it once at boot.
+type Store struct {
+	root string
+	opts Options
+
+	mu     sync.Mutex
+	logs   map[string]*Log
+	closed bool
+	done   chan struct{} // stops the interval syncer
+}
+
+var _ serve.Store = (*Store)(nil)
+
+// Open creates or reopens a WAL store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{sessionsDirName, quarantineDirName} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("wal: preparing %s: %w", sub, err)
+		}
+	}
+	st := &Store{
+		root: dir,
+		opts: opts,
+		logs: map[string]*Log{},
+		done: make(chan struct{}),
+	}
+	if opts.Fsync == PolicyInterval {
+		go st.syncLoop()
+	}
+	return st, nil
+}
+
+const (
+	sessionsDirName   = "sessions"
+	quarantineDirName = "quarantine"
+	snapshotFileName  = "snapshot.json"
+	segmentPrefix     = "wal-"
+	segmentSuffix     = ".log"
+)
+
+func (st *Store) sessionDir(id string) string {
+	return filepath.Join(st.root, sessionsDirName, id)
+}
+
+func segmentName(n uint64) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, n, segmentSuffix)
+}
+
+// record is one WAL line payload.
+type record struct {
+	Seq  uint64               `json:"seq"`
+	Kind string               `json:"kind"` // "create" | "event"
+	Cfg  *serve.SessionConfig `json:"cfg,omitempty"`
+	Ev   *serve.Event         `json:"ev,omitempty"`
+}
+
+// snapshotDoc is the compaction base document: the snapshot plus the
+// sequence number the segment tail resumes from.
+type snapshotDoc struct {
+	NextSeq  uint64         `json:"next_seq"`
+	Snapshot serve.Snapshot `json:"snapshot"`
+}
+
+// Begin implements serve.Store: it claims the id by creating its directory
+// (the filesystem arbitrates duplicates) and writes the create record.
+func (st *Store) Begin(id string, cfg serve.SessionConfig) (serve.SessionLog, error) {
+	if err := serve.ValidateSessionID(id); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, fmt.Errorf("wal: store closed")
+	}
+	if _, ok := st.logs[id]; ok {
+		return nil, fmt.Errorf("%w: %q", serve.ErrDuplicateSession, id)
+	}
+	if _, err := os.Stat(filepath.Join(st.root, quarantineDirName, id)); err == nil {
+		return nil, fmt.Errorf("%w: %q (quarantined on disk)", serve.ErrDuplicateSession, id)
+	}
+	dir := st.sessionDir(id)
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %q (directory exists)", serve.ErrDuplicateSession, id)
+		}
+		return nil, fmt.Errorf("wal: creating session dir: %w", err)
+	}
+	l := &Log{st: st, id: id, dir: dir, seg: 1, seq: 0}
+	if err := l.openSegment(); err != nil {
+		return nil, err
+	}
+	if err := l.appendRecord(record{Kind: "create", Cfg: &cfg}); err != nil {
+		_ = l.closeLocked()
+		return nil, err
+	}
+	st.logs[id] = l
+	return l, nil
+}
+
+// Quarantine implements serve.Store: the session's directory moves under
+// quarantine/ with a REASON file; it is kept for forensics, not deleted.
+func (st *Store) Quarantine(id, reason string) error {
+	st.mu.Lock()
+	if l, ok := st.logs[id]; ok {
+		_ = l.closeLocked()
+		delete(st.logs, id)
+	}
+	st.mu.Unlock()
+	src := st.sessionDir(id)
+	dst := filepath.Join(st.root, quarantineDirName, id)
+	// A session may be re-quarantined across restarts if the operator
+	// copied it back; keep the newest forensics.
+	_ = os.RemoveAll(dst)
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("wal: quarantining %q: %w", id, err)
+	}
+	_ = os.WriteFile(filepath.Join(dst, "REASON"), []byte(reason+"\n"), 0o644)
+	return syncDir(filepath.Join(st.root, quarantineDirName))
+}
+
+// Remove implements serve.Store.
+func (st *Store) Remove(id string) error {
+	st.mu.Lock()
+	if l, ok := st.logs[id]; ok {
+		_ = l.closeLocked()
+		delete(st.logs, id)
+	}
+	st.mu.Unlock()
+	if err := os.RemoveAll(st.sessionDir(id)); err != nil {
+		return fmt.Errorf("wal: removing %q: %w", id, err)
+	}
+	return syncDir(filepath.Join(st.root, sessionsDirName))
+}
+
+// Close implements serve.Store: flush and close every open log.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	close(st.done)
+	logs := make([]*Log, 0, len(st.logs))
+	for _, l := range st.logs {
+		logs = append(logs, l)
+	}
+	st.logs = map[string]*Log{}
+	st.mu.Unlock()
+	var first error
+	for _, l := range logs {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncLoop is the background fsync cadence for PolicyInterval.
+func (st *Store) syncLoop() {
+	t := time.NewTicker(st.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.done:
+			return
+		case <-t.C:
+			st.mu.Lock()
+			logs := make([]*Log, 0, len(st.logs))
+			for _, l := range st.logs {
+				logs = append(logs, l)
+			}
+			st.mu.Unlock()
+			for _, l := range logs {
+				l.syncIfDirty()
+			}
+		}
+	}
+}
+
+// ------------------------------------------------------------------- Log
+
+// Log is one session's segmented append-only log. Appends come from the
+// session actor; the interval syncer and Close may run concurrently, so a
+// mutex guards the file state.
+type Log struct {
+	st  *Store
+	id  string
+	dir string
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	seg      uint64 // current segment index
+	segBytes int64  // bytes written to the current segment
+	seq      uint64 // next record sequence number
+	since    int    // events appended since the last compaction
+	dirty    bool   // unsynced data since the last fsync
+	closed   bool
+}
+
+var _ serve.SessionLog = (*Log)(nil)
+
+// openSegment opens (creating or appending) the current segment.
+func (l *Log) openSegment() error {
+	path := filepath.Join(l.dir, segmentName(l.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	l.f = f
+	l.segBytes = fi.Size()
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return nil
+}
+
+// appendRecord frames, writes, and (per policy) syncs one record, stamping
+// it with the next sequence number. Caller does not hold l.mu.
+func (l *Log) appendRecord(rec record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log %q closed", l.id)
+	}
+	rec.Seq = l.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encoding record: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := l.w.WriteString(line); err != nil {
+		return fmt.Errorf("wal: appending: %w", err)
+	}
+	l.segBytes += int64(len(line))
+	l.seq++
+	l.dirty = true
+	switch l.st.opts.Fsync {
+	case PolicyAlways:
+		if err := l.flushLocked(true); err != nil {
+			return err
+		}
+	case PolicyInterval:
+		// Hand the bytes to the kernel now (survives kill -9); the
+		// background cadence bounds power-loss exposure.
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flushing: %w", err)
+		}
+	case PolicyOff:
+		// Buffered; the bufio layer flushes when full.
+	}
+	if l.segBytes >= l.st.opts.SegmentBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// Append implements serve.SessionLog.
+func (l *Log) Append(ev serve.Event) error {
+	e := ev
+	if err := l.appendRecord(record{Kind: "event", Ev: &e}); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.since++
+	l.mu.Unlock()
+	return nil
+}
+
+// CompactionDue implements serve.SessionLog.
+func (l *Log) CompactionDue() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st.opts.CompactEvery > 0 && l.since >= l.st.opts.CompactEvery
+}
+
+// Compact implements serve.SessionLog: write the snapshot document as the
+// new recovery base (atomic tmp+rename), then delete every covered segment
+// and start a fresh one. The snapshot is taken by the session actor after
+// all appended events, so it covers the entire log.
+func (l *Log) Compact(snap serve.Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log %q closed", l.id)
+	}
+	// Everything appended so far must be on disk before the segments that
+	// hold it are deleted.
+	if err := l.flushLocked(l.st.opts.Fsync != PolicyOff); err != nil {
+		return err
+	}
+	doc, err := json.Marshal(snapshotDoc{NextSeq: l.seq, Snapshot: snap})
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(l.dir, snapshotFileName+".tmp")
+	if err := writeFileSync(tmp, doc, l.st.opts.Fsync != PolicyOff); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFileName)); err != nil {
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	if l.st.opts.Fsync != PolicyOff {
+		if err := syncDir(l.dir); err != nil {
+			return err
+		}
+	}
+	// The snapshot is durable; the covered segments are garbage.
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := os.Remove(filepath.Join(l.dir, seg.path)); err != nil {
+			return fmt.Errorf("wal: pruning segment: %w", err)
+		}
+	}
+	l.seg++
+	l.since = 0
+	return l.openSegment()
+}
+
+// Sync implements serve.SessionLog.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.flushLocked(true)
+}
+
+// Close implements serve.SessionLog: flush, fsync, close. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closeLocked()
+}
+
+func (l *Log) closeLocked() error {
+	if l.closed {
+		return nil
+	}
+	err := l.flushLocked(true)
+	if cerr := l.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// flushLocked drains the bufio buffer to the kernel and optionally fsyncs.
+func (l *Log) flushLocked(fsync bool) error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flushing: %w", err)
+	}
+	if fsync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.dirty = false
+	}
+	return nil
+}
+
+// syncIfDirty is the interval syncer's per-log step.
+func (l *Log) syncIfDirty() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || !l.dirty {
+		return
+	}
+	_ = l.flushLocked(true)
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.flushLocked(l.st.opts.Fsync != PolicyOff); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing segment: %w", err)
+	}
+	l.seg++
+	return l.openSegment()
+}
+
+// ---------------------------------------------------------------- helpers
+
+// writeFileSync writes data to path and optionally fsyncs it.
+func writeFileSync(path string, data []byte, fsync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: writing %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing %s: %w", filepath.Base(path), err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: fsync %s: %w", filepath.Base(path), err)
+		}
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and removals inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: dir fsync: %w", err)
+	}
+	return nil
+}
+
+type segmentRef struct {
+	path string
+	n    uint64
+}
+
+// listSegments returns the session's segments sorted by index.
+func listSegments(dir string) ([]segmentRef, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	var segs []segmentRef
+	for _, e := range entries {
+		name := e.Name()
+		var n uint64
+		if _, err := fmt.Sscanf(name, segmentPrefix+"%08d"+segmentSuffix, &n); err == nil &&
+			name == segmentName(n) {
+			segs = append(segs, segmentRef{path: name, n: n})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+	return segs, nil
+}

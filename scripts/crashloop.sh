@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# Kill-9 fault-injection loop for easybod durability, runnable by hand or in
+# CI (make crash-smoke runs the Go twin of this harness too). The loop:
+#
+#   1. starts easybod against a durable -data-dir
+#   2. drives an ask/tell session partway with curl
+#   3. kill -9s the daemon mid-session
+#   4. restarts it on the same data dir and waits for /readyz
+#   5. re-adopts orphaned proposals and keeps going
+#
+# After the configured number of crash rounds the session runs to
+# completion, and the observation count must equal the full budget: nothing
+# acknowledged was lost, nothing was double-counted. Requires curl; JSON is
+# picked apart with sed/grep so the script runs on a bare CI image.
+set -euo pipefail
+
+GO=${GO:-go}
+PORT=${PORT:-7837}
+FSYNC=${FSYNC:-always}
+ROUNDS=${ROUNDS:-3}
+TELLS_PER_ROUND=${TELLS_PER_ROUND:-3}
+EVALS=${EVALS:-14}
+
+base="http://127.0.0.1:$PORT"
+work=$(mktemp -d)
+data="$work/data"
+dpid=""
+cleanup() {
+	[ -n "$dpid" ] && kill -9 "$dpid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building easybod"
+$GO build -o "$work/easybod" ./cmd/easybod
+
+start_daemon() {
+	"$work/easybod" -addr "127.0.0.1:$PORT" -data-dir "$data" -fsync "$FSYNC" \
+		-fsync-interval 25ms -compact-every 10 -quiet &
+	dpid=$!
+	disown "$dpid" 2>/dev/null || true # keep kill -9 out of bash job chatter
+	for _ in $(seq 1 100); do
+		if curl -fsS "$base/readyz" >/dev/null 2>&1; then
+			return 0
+		fi
+		sleep 0.1
+	done
+	echo "crashloop: FAIL — daemon never became ready"
+	exit 1
+}
+
+# field NUM JSON: pull a bare numeric field out of a JSON object.
+field() {
+	sed -n "s/.*\"$1\":\([0-9eE.+-]*\).*/\1/p" <<<"$2"
+}
+
+# evaluate X_JSON: deterministic objective y = -((x0-0.4)^2 + (x1-0.4)^2),
+# computed with awk so the loop needs no extra tooling.
+evaluate() {
+	awk -v xs="$1" 'BEGIN {
+		gsub(/[][]/, "", xs); split(xs, x, ",");
+		print -((x[1]-0.4)^2 + (x[2]-0.4)^2)
+	}'
+}
+
+# tell_proposal ID X_JSON: evaluate and tell one proposal.
+tell_proposal() {
+	y=$(evaluate "$2")
+	curl -fsS -X POST "$base/sessions/crash/tell" \
+		-d "{\"proposal_id\":$1,\"y\":$y}" >/dev/null
+}
+
+# adopt_outstanding: tell every proposal recovery reports as orphaned.
+# (None outstanding — e.g. right after a fsync=off full rewind — is fine.)
+adopt_outstanding() {
+	st=$(curl -fsS "$base/sessions/crash")
+	props=$(grep -o '{"proposal_id":[0-9]*,"x":\[[^]]*\]}' <<<"$st" || true)
+	[ -z "$props" ] && return 0
+	while read -r p; do
+		pid=$(field proposal_id "$p")
+		x=$(sed -n 's/.*"x":\(\[[^]]*\]\).*/\1/p' <<<"$p")
+		tell_proposal "$pid" "$x"
+	done <<<"$props"
+}
+
+# drive N: run at most N ask/tell rounds; prints "done" if the session
+# completed first.
+drive() {
+	for _ in $(seq 1 "$1"); do
+		a=$(curl -fsS -X POST "$base/sessions/crash/ask" -d '{}')
+		case "$a" in
+		*'"status":"done"'*)
+			echo done
+			return 0
+			;;
+		*'"status":"ok"'*)
+			pid=$(field proposal_id "$a")
+			x=$(sed -n 's/.*"x":\(\[[^]]*\]\).*/\1/p' <<<"$a")
+			tell_proposal "$pid" "$x"
+			;;
+		*)
+			echo "crashloop: FAIL — unexpected ask response: $a"
+			exit 1
+			;;
+		esac
+	done
+}
+
+echo "== starting easybod (fsync=$FSYNC, data dir $data)"
+start_daemon
+curl -fsS -X POST "$base/sessions" -d "{
+	\"id\":\"crash\",\"lo\":[0,0],\"hi\":[1,1],
+	\"init_points\":4,\"max_evals\":$EVALS,\"seed\":23,
+	\"fit_iters\":8,\"refit_every\":4
+}" >/dev/null
+
+for round in $(seq 1 "$ROUNDS"); do
+	drive "$TELLS_PER_ROUND" >/dev/null
+	# Leave one ask in flight so recovery must hand it back as outstanding.
+	curl -fsS -X POST "$base/sessions/crash/ask" -d '{}' >/dev/null
+	echo "== round $round: kill -9"
+	kill -9 "$dpid"
+	wait "$dpid" 2>/dev/null || true
+	dpid=""
+	start_daemon
+	# With fsync=off the whole session may rewind to nothing; re-create it.
+	if ! curl -fsS "$base/sessions/crash" >/dev/null 2>&1; then
+		echo "   session erased by the crash (possible with fsync=off); re-creating"
+		curl -fsS -X POST "$base/sessions" -d "{
+			\"id\":\"crash\",\"lo\":[0,0],\"hi\":[1,1],
+			\"init_points\":4,\"max_evals\":$EVALS,\"seed\":23,
+			\"fit_iters\":8,\"refit_every\":4
+		}" >/dev/null
+	fi
+	adopt_outstanding
+done
+
+echo "== running to completion"
+out=$(drive 1000)
+if [ "$out" != done ]; then
+	echo "crashloop: FAIL — session never finished"
+	exit 1
+fi
+st=$(curl -fsS "$base/sessions/crash")
+obs=$(field observations "$st")
+if [ "$obs" != "$EVALS" ]; then
+	echo "crashloop: FAIL — finished with $obs observations, want $EVALS"
+	echo "$st"
+	exit 1
+fi
+echo "crashloop: ok — $obs/$EVALS observations survived $ROUNDS kill -9s (fsync=$FSYNC)"
