@@ -58,7 +58,7 @@ func main() {
 		fsyncPolicy   = flag.String("fsync", "interval", "write-ahead log fsync policy: always | interval | off")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence for -fsync interval")
 		segmentBytes  = flag.Int64("segment-bytes", 1<<20, "rotate write-ahead log segments past this size")
-		compactEvery  = flag.Int("compact-every", 256, "snapshot-compact a session's log every N events (<0 disables)")
+		compactEvery  = flag.Int("compact-every", 256, "minimum events between snapshot compactions; grows with snapshot size (<0 disables)")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (whole-request bound)")

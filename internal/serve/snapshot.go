@@ -15,6 +15,13 @@ const SnapshotVersion = 1
 // order). The surrogate hyperparameters and incumbent ride along for
 // observability; restore recomputes them from the log and never trusts
 // them.
+//
+// Embedding the full history is deliberate — full replay with bit-for-bit
+// ask verification is the integrity mechanism — so a snapshot grows with
+// its session and every compaction rewrites everything so far. Stores that
+// compact against snapshots must scale their cadence with snapshot size
+// (wal.Log.CompactionDue does) or pay O(n²) compaction I/O over a long
+// session's life.
 type Snapshot struct {
 	Version int           `json:"version"`
 	ID      string        `json:"id"`

@@ -23,9 +23,10 @@ var errEmptySession = errors.New("wal: no durable records")
 // Load implements serve.Store: scan every session directory, validate its
 // snapshot and segments (CRC per record, strict sequence continuity), and
 // return the decoded history for the server to replay. A torn final line in
-// the final segment — the signature of a crash mid-append — is truncated
-// away; any other integrity failure marks the session Corrupt so the
-// server quarantines it.
+// the final segment — an unterminated partial write, the signature of a
+// crash mid-append — is truncated away; any other integrity failure,
+// including a complete final record that fails its CRC or sequence check,
+// marks the session Corrupt so the server quarantines it.
 func (st *Store) Load() ([]serve.PersistedSession, error) {
 	dir := filepath.Join(st.root, sessionsDirName)
 	entries, err := os.ReadDir(dir)
@@ -69,7 +70,7 @@ type scanResult struct {
 	snap    *serve.Snapshot
 	events  []serve.Event
 	nextSeq uint64 // sequence the live log resumes at
-	lastSeg uint64 // highest existing segment index (0 = none)
+	lastSeg uint64 // highest live segment index (0 = none survive the scan)
 }
 
 // scanSession reads and validates one session directory.
@@ -81,6 +82,7 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 
 	sc := &scanResult{}
 	haveCreate := false
+	var snapSeq uint64 // records below this are covered by the snapshot
 	if raw, err := os.ReadFile(filepath.Join(dir, snapshotFileName)); err == nil {
 		var doc snapshotDoc
 		if err := json.Unmarshal(raw, &doc); err != nil {
@@ -93,6 +95,7 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 		sc.snap = &snap
 		sc.cfg = snap.Config
 		sc.nextSeq = doc.NextSeq
+		snapSeq = doc.NextSeq
 		haveCreate = true // the snapshot subsumes the create record
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("reading snapshot document: %w", err)
@@ -105,14 +108,15 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 	if len(segs) == 0 && sc.snap == nil {
 		return nil, errEmptySession
 	}
+	var stale []string // segments fully covered by the snapshot
 	for i, seg := range segs {
-		sc.lastSeg = seg.n
 		path := filepath.Join(dir, seg.path)
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("reading segment %s: %w", seg.path, err)
 		}
 		last := i == len(segs)-1
+		covered := sc.snap != nil // until a live record disproves it
 		off := 0
 		for off < len(data) {
 			lineStart := off
@@ -126,14 +130,28 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 				off += nl + 1
 			}
 			rec, perr := parseRecord(line)
+			if perr == nil && rec.Seq < snapSeq {
+				// Covered by the snapshot: a crash between Compact's atomic
+				// snapshot rename and its segment pruning leaves old
+				// segments behind. Their records — the create included —
+				// are subsumed by the snapshot, and gaps among them are
+				// fine too (the prune itself may have been interrupted
+				// partway); skip rather than quarantining a healthy session.
+				continue
+			}
+			covered = false
 			if perr == nil && rec.Seq != sc.nextSeq {
 				perr = fmt.Errorf("sequence gap: record %d, expected %d", rec.Seq, sc.nextSeq)
 			}
 			if perr != nil {
-				// A bad final line of the final segment is a torn append
-				// from the crash: truncate it away and resume cleanly.
-				// Anything else means the middle of history is damaged.
-				if last && off >= len(data) {
+				// An unterminated final line of the final segment is a torn
+				// append from the crash: truncate it away and resume
+				// cleanly. A complete, newline-terminated record that fails
+				// its CRC or sequence check is damage (bit rot, an edited
+				// log) even at the tail — it may be an acknowledged event,
+				// so it must never be silently dropped — and so is any bad
+				// line in the middle of history: quarantine.
+				if last && nl < 0 {
 					if err := os.Truncate(path, int64(lineStart)); err != nil {
 						return nil, fmt.Errorf("truncating torn tail of %s: %w", seg.path, err)
 					}
@@ -164,12 +182,23 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 			}
 			sc.nextSeq = rec.Seq + 1
 		}
+		if covered {
+			stale = append(stale, path)
+		} else {
+			sc.lastSeg = seg.n
+		}
 	}
 	if !haveCreate {
 		if len(sc.events) == 0 && sc.nextSeq == 0 {
 			return nil, errEmptySession
 		}
 		return nil, fmt.Errorf("no create record and no snapshot")
+	}
+	// The scan validated the live tail; finish the interrupted compaction by
+	// deleting the segments the snapshot fully covers. Best-effort — a
+	// leftover is skipped again on the next boot.
+	for _, path := range stale {
+		_ = os.Remove(path)
 	}
 	return sc, nil
 }
@@ -207,11 +236,19 @@ func (st *Store) reopen(id string, sc *scanResult) (*Log, error) {
 		return nil, fmt.Errorf("wal: session %q already open", id)
 	}
 	l := &Log{st: st, id: id, dir: st.sessionDir(id), seq: sc.nextSeq}
+	// Resume the compaction cadence where the crash left it: the tail
+	// events count as "since the last snapshot", and the snapshot's size
+	// sets the growing due-threshold (see Log.CompactionDue).
+	l.since = len(sc.events)
+	if sc.snap != nil {
+		l.base = len(sc.snap.Events)
+	}
 	if sc.lastSeg > 0 {
 		l.seg = sc.lastSeg
 	} else {
-		// Crash between compaction's segment prune and the fresh segment
-		// creation: start a new segment; the snapshot is the whole state.
+		// No live segment survived the scan (crash inside compaction's
+		// prune/reopen window): start a new segment; the snapshot is the
+		// whole state.
 		l.seg = 1
 	}
 	if err := l.openSegment(); err != nil {

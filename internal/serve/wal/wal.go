@@ -15,16 +15,20 @@
 // payload, a space, the payload, a newline. The payload carries a strictly
 // increasing sequence number, so recovery detects both corruption (CRC) and
 // loss or reordering in the middle of history (sequence gaps). A torn final
-// line — the signature of a crash mid-write — is truncated away; a bad
-// record anywhere else quarantines the session instead of resurrecting a
-// wrong state.
+// line — an unterminated partial write, the signature of a crash
+// mid-append — is truncated away; any other bad record, including a
+// complete final line that fails its CRC or sequence check, quarantines
+// the session instead of resurrecting a wrong state.
 //
 // The first record of a session is its create record (the SessionConfig);
 // every ask, tell, and abort is appended as an event record before the
 // serve layer applies it (write-ahead ordering). Snapshot compaction writes
 // the session's verified snapshot document as the new recovery base and
 // deletes the segments it covers; the segment tail after a snapshot holds
-// only the delta.
+// only the delta. A crash anywhere inside compaction is harmless: until
+// the atomic snapshot rename the old segments are authoritative, and after
+// it recovery skips the records the snapshot covers and finishes the
+// interrupted prune itself.
 //
 // # Fsync policy
 //
@@ -84,8 +88,11 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it grows past this
 	// size (default 1 MiB).
 	SegmentBytes int64
-	// CompactEvery requests a snapshot compaction every this many
-	// appended events (default 256; <0 disables).
+	// CompactEvery is the floor on how many events must accumulate since
+	// the last snapshot before a compaction is requested (default 256;
+	// <0 disables). Snapshots embed the full event history, so the
+	// effective threshold grows with the last snapshot's size (see
+	// Log.CompactionDue) to keep total compaction I/O linear.
 	CompactEvery int
 }
 
@@ -203,7 +210,7 @@ func (st *Store) Begin(id string, cfg serve.SessionConfig) (serve.SessionLog, er
 		return nil, err
 	}
 	if err := l.appendRecord(record{Kind: "create", Cfg: &cfg}); err != nil {
-		_ = l.closeLocked()
+		_ = l.Close()
 		return nil, err
 	}
 	st.logs[id] = l
@@ -214,11 +221,14 @@ func (st *Store) Begin(id string, cfg serve.SessionConfig) (serve.SessionLog, er
 // quarantine/ with a REASON file; it is kept for forensics, not deleted.
 func (st *Store) Quarantine(id, reason string) error {
 	st.mu.Lock()
-	if l, ok := st.logs[id]; ok {
-		_ = l.closeLocked()
-		delete(st.logs, id)
-	}
+	l, ok := st.logs[id]
+	delete(st.logs, id)
 	st.mu.Unlock()
+	if ok {
+		// Close takes l.mu: the interval syncer or an in-flight Append may
+		// still hold the log.
+		_ = l.Close()
+	}
 	src := st.sessionDir(id)
 	dst := filepath.Join(st.root, quarantineDirName, id)
 	// A session may be re-quarantined across restarts if the operator
@@ -234,11 +244,12 @@ func (st *Store) Quarantine(id, reason string) error {
 // Remove implements serve.Store.
 func (st *Store) Remove(id string) error {
 	st.mu.Lock()
-	if l, ok := st.logs[id]; ok {
-		_ = l.closeLocked()
-		delete(st.logs, id)
-	}
+	l, ok := st.logs[id]
+	delete(st.logs, id)
 	st.mu.Unlock()
+	if ok {
+		_ = l.Close()
+	}
 	if err := os.RemoveAll(st.sessionDir(id)); err != nil {
 		return fmt.Errorf("wal: removing %q: %w", id, err)
 	}
@@ -308,6 +319,7 @@ type Log struct {
 	segBytes int64  // bytes written to the current segment
 	seq      uint64 // next record sequence number
 	since    int    // events appended since the last compaction
+	base     int    // events embedded in the last snapshot (0 = none)
 	dirty    bool   // unsynced data since the last fsync
 	closed   bool
 }
@@ -384,11 +396,24 @@ func (l *Log) Append(ev serve.Event) error {
 	return nil
 }
 
-// CompactionDue implements serve.SessionLog.
+// CompactionDue implements serve.SessionLog. A snapshot embeds the
+// session's full event history (full replay is the recovery verification
+// mechanism), so each compaction rewrites everything so far; at a fixed
+// cadence that costs O(n²) I/O over a session's life. The threshold
+// therefore grows with the last snapshot: compaction waits until the tail
+// matches the snapshot's size (floored at CompactEvery), so the history
+// roughly doubles between snapshots and total compaction I/O stays O(n).
 func (l *Log) CompactionDue() bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.st.opts.CompactEvery > 0 && l.since >= l.st.opts.CompactEvery
+	due := l.st.opts.CompactEvery
+	if due <= 0 {
+		return false
+	}
+	if l.base > due {
+		due = l.base
+	}
+	return l.since >= due
 }
 
 // Compact implements serve.SessionLog: write the snapshot document as the
@@ -422,22 +447,33 @@ func (l *Log) Compact(snap serve.Snapshot) error {
 			return err
 		}
 	}
-	// The snapshot is durable; the covered segments are garbage.
+	// The snapshot is durable; the covered segments are garbage. Once the
+	// segment file is closed the buffered writer is dead, so any failure
+	// from here on marks the log closed — later Appends then fail with a
+	// clear "log closed" instead of writing into a closed file.
 	if err := l.f.Close(); err != nil {
+		l.closed = true
 		return fmt.Errorf("wal: closing segment: %w", err)
 	}
 	segs, err := listSegments(l.dir)
 	if err != nil {
+		l.closed = true
 		return err
 	}
 	for _, seg := range segs {
 		if err := os.Remove(filepath.Join(l.dir, seg.path)); err != nil {
+			l.closed = true
 			return fmt.Errorf("wal: pruning segment: %w", err)
 		}
 	}
 	l.seg++
 	l.since = 0
-	return l.openSegment()
+	l.base = len(snap.Events)
+	if err := l.openSegment(); err != nil {
+		l.closed = true
+		return err
+	}
+	return nil
 }
 
 // Sync implements serve.SessionLog.
@@ -493,16 +529,23 @@ func (l *Log) syncIfDirty() {
 	_ = l.flushLocked(true)
 }
 
-// rotateLocked seals the active segment and opens the next one.
+// rotateLocked seals the active segment and opens the next one. As in
+// Compact, a failure after the segment file is closed marks the log closed
+// so the dead writer is never appended to.
 func (l *Log) rotateLocked() error {
 	if err := l.flushLocked(l.st.opts.Fsync != PolicyOff); err != nil {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
+		l.closed = true
 		return fmt.Errorf("wal: closing segment: %w", err)
 	}
 	l.seg++
-	return l.openSegment()
+	if err := l.openSegment(); err != nil {
+		l.closed = true
+		return err
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------- helpers

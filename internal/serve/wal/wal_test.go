@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -206,6 +207,104 @@ func TestWALCompaction(t *testing.T) {
 	}
 }
 
+// TestWALCrashBetweenSnapshotAndPruneRecovers simulates a kill -9 landing
+// inside Compact, after the atomic snapshot rename but before (or partway
+// through) the covered segments are pruned. The leftover segments hold only
+// records the snapshot subsumes; recovery must skip them — gaps and the
+// duplicate create included — not quarantine the healthy session, and must
+// finish the interrupted prune itself.
+func TestWALCrashBetweenSnapshotAndPruneRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	// Tiny segments so the covered history spans several files.
+	st := mustOpen(t, dir, Options{Fsync: PolicyAlways, SegmentBytes: 64, CompactEvery: -1})
+	l, err := st.Begin("mid", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := []serve.Event{
+		askEvent(0, 0.1, 0.1), tellEvent(0, -1, 0.1, 0.1),
+		askEvent(1, 0.2, 0.2), tellEvent(1, -2, 0.2, 0.2),
+	}
+	for _, ev := range pre {
+		if err := l.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Hand-write the snapshot document Compact would have renamed into
+	// place: create record is seq 0, the events are seqs 1..len(pre).
+	doc := snapshotDoc{
+		NextSeq: uint64(len(pre)) + 1,
+		Snapshot: serve.Snapshot{
+			Version: serve.SnapshotVersion, ID: "mid", Config: cfg,
+			Events: pre, Observations: 2,
+		},
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdir := st.sessionDir("mid")
+	if err := os.WriteFile(filepath.Join(sdir, snapshotFileName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The prune got partway: one covered segment is already gone, leaving a
+	// gap in the covered region.
+	segs, err := listSegments(sdir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need >=3 segments to prune a middle one, got %d (err %v)", len(segs), err)
+	}
+	if err := os.Remove(filepath.Join(sdir, segs[1].path)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, Options{Fsync: PolicyAlways})
+	ps := loadOne(t, st2, "mid")
+	if ps.Corrupt != nil {
+		t.Fatalf("healthy session quarantined after crash mid-compaction: %v", ps.Corrupt)
+	}
+	if ps.Snapshot == nil || len(ps.Snapshot.Events) != len(pre) {
+		t.Fatalf("snapshot base missing or wrong: %+v", ps.Snapshot)
+	}
+	if len(ps.Events) != 0 {
+		t.Fatalf("covered records resurrected as tail events: %+v", ps.Events)
+	}
+	if ps.Config.Seed != cfg.Seed {
+		t.Fatalf("config did not come back from the snapshot: %+v", ps.Config)
+	}
+	// Recovery finished the prune: no covered segment remains.
+	left, err := listSegments(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range left {
+		data, err := os.ReadFile(filepath.Join(sdir, seg.path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 0 {
+			t.Fatalf("covered segment %s survived recovery with %d bytes", seg.path, len(data))
+		}
+	}
+	// And the log keeps appending with continuous sequence numbers.
+	tail := askEvent(2, 0.3, 0.3)
+	if err := ps.Log.Append(tail); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3 := mustOpen(t, dir, Options{Fsync: PolicyAlways})
+	defer st3.Close()
+	ps3 := loadOne(t, st3, "mid")
+	if ps3.Corrupt != nil {
+		t.Fatalf("post-recovery append corrupted the log: %v", ps3.Corrupt)
+	}
+	if !eventsEqual(ps3.Events, []serve.Event{tail}) {
+		t.Fatalf("tail after recovered compaction diverged: %+v", ps3.Events)
+	}
+}
+
 func TestWALTornTailTruncated(t *testing.T) {
 	dir := t.TempDir()
 	st := mustOpen(t, dir, Options{Fsync: PolicyAlways, CompactEvery: -1})
@@ -249,6 +348,137 @@ func TestWALTornTailTruncated(t *testing.T) {
 	ps3 := loadOne(t, st3, "torn")
 	if ps3.Corrupt != nil || len(ps3.Events) != 3 {
 		t.Fatalf("post-truncation append lost: corrupt=%v events=%d", ps3.Corrupt, len(ps3.Events))
+	}
+}
+
+// TestWALCompleteBadTailQuarantines: a complete, newline-terminated final
+// record that fails its CRC is damage (bit rot, an edited log), not a torn
+// append — under fsync=always it may be an acknowledged durable event, so
+// it must quarantine the session, never be silently truncated away.
+func TestWALCompleteBadTailQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{Fsync: PolicyAlways, CompactEvery: -1})
+	l, err := st.Begin("rot13", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(askEvent(i, float64(i)/4, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Flip a payload byte of the final record, keeping its newline intact.
+	segs, _ := listSegments(st.sessionDir("rot13"))
+	path := filepath.Join(st.sessionDir("rot13"), segs[len(segs)-1].path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Fatal("final record not newline-terminated")
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := mustOpen(t, dir, Options{})
+	defer st2.Close()
+	ps := loadOne(t, st2, "rot13")
+	if ps.Corrupt == nil {
+		t.Fatal("complete corrupt final record silently truncated instead of quarantined")
+	}
+	if ps.Log != nil {
+		t.Fatal("corrupt session returned an open log")
+	}
+}
+
+// TestWALCompactionCadenceScalesWithHistory: snapshots embed the full
+// history, so the due-threshold must grow with the last snapshot — a fixed
+// cadence would rewrite O(n²) bytes over a session's life.
+func TestWALCompactionCadenceScalesWithHistory(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	st := mustOpen(t, dir, Options{Fsync: PolicyOff, CompactEvery: 2})
+	l, err := st.Begin("scale", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []serve.Event
+	appendN := func(lg serve.SessionLog, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			ev := askEvent(len(hist), float64(len(hist))/64, 0.5)
+			hist = append(hist, ev)
+			if err := lg.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	appendN(l, 6)
+	if !l.CompactionDue() {
+		t.Fatal("compaction not due past the CompactEvery floor")
+	}
+	snap := serve.Snapshot{
+		Version: serve.SnapshotVersion, ID: "scale", Config: cfg,
+		Events: append([]serve.Event(nil), hist...),
+	}
+	if err := l.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	// The floor alone (2 events) no longer triggers: the threshold grew to
+	// the snapshot's 6 events.
+	appendN(l, 2)
+	if l.CompactionDue() {
+		t.Fatal("cadence did not scale with snapshot size")
+	}
+	st.Close()
+
+	// The grown threshold survives a restart.
+	st2 := mustOpen(t, dir, Options{Fsync: PolicyOff, CompactEvery: 2})
+	defer st2.Close()
+	ps := loadOne(t, st2, "scale")
+	if ps.Corrupt != nil {
+		t.Fatal(ps.Corrupt)
+	}
+	if ps.Log.CompactionDue() {
+		t.Fatal("reopened log forgot the snapshot-scaled threshold")
+	}
+	appendN(ps.Log, 4)
+	if !ps.Log.CompactionDue() {
+		t.Fatal("compaction not due once the tail matches the snapshot size")
+	}
+}
+
+// TestWALQuarantineConcurrentWithAppends: Quarantine and Remove are
+// documented safe for concurrent use; closing the log out from under a
+// writing session must synchronize on the log mutex (exercised under
+// -race), with the loser seeing a clean "log closed" error.
+func TestWALQuarantineConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	st := mustOpen(t, dir, Options{Fsync: PolicyInterval, Interval: time.Millisecond})
+	l, err := st.Begin("live", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1_000_000; i++ {
+			if l.Append(askEvent(i, 0.5, 0.5)) != nil {
+				return // closed underneath us by Quarantine — expected
+			}
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := st.Quarantine("live", "operator request"); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
