@@ -1,10 +1,14 @@
 GO ?= go
 BENCH_HEAD ?= /tmp/bench_head.json
 STATICCHECK ?= staticcheck
+# Pinned staticcheck release: CI installs exactly this version so a new
+# upstream release cannot break the build unreviewed. Bump deliberately.
+STATICCHECK_VERSION ?= 2025.1.1
+FUZZTIME ?= 10s
 
-.PHONY: check vet fmt staticcheck build test race bench-smoke bench bench-json bench-gate smoke crash-smoke
+.PHONY: check vet fmt lint staticcheck build test race cover fuzz-smoke bench-smoke bench bench-json bench-gate smoke crash-smoke
 
-check: vet fmt staticcheck build test race bench-smoke
+check: vet fmt lint staticcheck build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -15,14 +19,22 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Project-specific analyzers (cmd/easybolint): determinism and durability
+# invariants vet cannot express — map-iteration order, wall-clock and
+# global-rand use in replayed packages, raw float ==, dropped errors on
+# durability calls, and suppression-directive hygiene. Zero dependencies,
+# so it always runs, everywhere.
+lint:
+	$(GO) run ./cmd/easybolint ./...
+
 # Static analysis beyond vet. The tool is not vendored; when it is absent
 # (e.g. a hermetic build container) the target skips with a notice instead
-# of failing — CI installs it explicitly and always runs it.
+# of failing — CI installs it explicitly (pinned) and always runs it.
 staticcheck:
 	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
 		$(STATICCHECK) ./...; \
 	else \
-		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck: not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 build:
@@ -31,11 +43,32 @@ build:
 test: build
 	$(GO) test ./...
 
-# The async evaluation stack (executor slot pool, failure paths, AsyncLoop,
-# the ask/tell machine) and the session-actor service must stay race-free:
-# these packages spawn real goroutines.
+# Every package that spawns goroutines outside tests runs under the race
+# detector: the executor slot pool, the ask/tell machine, the session-actor
+# service and its WAL syncLoop, parallel AC sweeps (circuit), the multistart
+# optimizer's worker pool, the experiment harness, the client retrier
+# (cmd/easybo), and the daemon's serve/shutdown paths (cmd/easybod).
 race:
-	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/serve/...
+	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/serve/... \
+		./internal/circuit/... ./internal/optimize/... ./internal/harness/... \
+		./cmd/easybo/... ./cmd/easybod/...
+
+# Coverage with a ratchet: scripts/coverage.sh fails if the durability
+# stack (./internal/serve/...) drops below its recorded floor.
+cover:
+	GO=$(GO) ./scripts/coverage.sh
+
+# Short fuzz legs over the two untrusted parsers — the WAL frame/record
+# decoder plus session scanner, and the netlist parser — so CI keeps
+# probing them beyond the seeded corpora. FUZZTIME=2s makes a quick local
+# run; each target needs its own invocation (go test allows one -fuzz
+# pattern per run).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRecord$$' -fuzztime $(FUZZTIME) ./internal/serve/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzScanSession$$' -fuzztime $(FUZZTIME) ./internal/serve/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzScanSessionWithSnapshot$$' -fuzztime $(FUZZTIME) ./internal/serve/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzParseValue$$' -fuzztime $(FUZZTIME) ./internal/circuit
+	$(GO) test -run '^$$' -fuzz '^FuzzParseNetlist$$' -fuzztime $(FUZZTIME) ./internal/circuit
 
 # Smoke-run the incremental-engine and surrogate-backend benchmarks so a
 # regression on the hot path (or a compile error in a bench file) fails CI

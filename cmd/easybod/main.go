@@ -128,6 +128,7 @@ func main() {
 	report, err := sv.Recover()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "easybod: recovery failed:", err)
+		//easybolint:ok errdrop exiting on the recovery error; the listener teardown is best-effort
 		_ = hs.Close()
 		sv.Close()
 		os.Exit(1)
@@ -158,6 +159,7 @@ func main() {
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
+			//easybolint:ok errdrop grace expired; force-close so sv.Close below still flushes the WAL
 			_ = hs.Close()
 		}
 		sv.Close()

@@ -143,4 +143,25 @@
 // runs the built-in testbenches as such a remote worker pool. See the
 // README for a curl walkthrough and DESIGN.md for the session-actor
 // concurrency model.
+//
+// # Determinism and static enforcement
+//
+// Snapshot restore and crash recovery replay the ask/tell event log and
+// verify every recorded proposal against the recomputed one, so the whole
+// suggestion path — core, surrogates, linear algebra, the simulator — must
+// be bit-for-bit deterministic given (seed, config, tell order). That
+// invariant is enforced statically: `make lint` runs cmd/easybolint, a
+// suite of project-specific analyzers (internal/analysis, stdlib
+// go/ast+go/types only) that flag map-iteration order, wall-clock or
+// global-rand use, and raw float ==/!= inside the replay-deterministic
+// packages, dropped errors on durability calls in the WAL and daemon, and
+// malformed or stale suppressions. Intentional exceptions are annotated in
+// place:
+//
+//	//easybolint:ok walltime executor edge: worker timing is wall-clock by nature
+//
+// The analyzer name and a reason are mandatory, and a directive that no
+// longer silences anything is itself reported. DESIGN.md §6 records the
+// package-level boundary and the idioms the analyzers steer toward (e.g.
+// math.Float64bits comparison for stored-value identity).
 package easybo

@@ -1,0 +1,187 @@
+// Package analysis is easybo's project-specific static-analysis suite: the
+// mechanical enforcement of the determinism boundary that every replay
+// guarantee in this repo rests on.
+//
+// The ask/tell core re-derives every recorded ask bit-for-bit during
+// snapshot restore and WAL crash recovery; a single source of hidden
+// nondeterminism — map iteration order feeding float accumulation, an
+// unseeded random source, a wall-clock read — silently turns recovery into
+// quarantine storms. The analyzers in this package encode that invariant as
+// a compiler-enforced property instead of folklore:
+//
+//   - maporder: flags `range` over a map in determinism-critical packages
+//     unless the loop body is provably order-independent (collect-and-sort,
+//     map-to-map transfer, integer counting).
+//   - walltime: flags time.Now/Since/Until/timers, the global math/rand
+//     source, and crypto/rand inside replay-deterministic packages.
+//   - floateq: flags ==/!= on floating-point operands outside
+//     math.Float64bits-style comparisons and constant guards.
+//   - errdrop: flags discarded error returns from durability-critical calls
+//     (Sync, Close, Append, Compact, Rename, snapshot writes) in the WAL
+//     layer and the daemon.
+//   - directive: validates that every //easybolint:ok suppression names a
+//     real analyzer and carries a reason, so suppressions cannot rot.
+//
+// A finding is silenced with a directive comment on the flagged line or on
+// its own line immediately above:
+//
+//	//easybolint:ok walltime fsync pacing only; never reaches replayed bytes
+//
+// The runner additionally reports suppressions that no longer match any
+// finding, so stale directives are removed rather than accumulating.
+//
+// The suite is intentionally built on the standard library only (go/ast,
+// go/types, `go list -export` for import resolution) to preserve the
+// module's zero-dependency property. Only non-test files are analyzed:
+// tests exercise wall-clock and tolerance-based comparison freely, and the
+// replay invariant is a property of runtime code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one check in the suite.
+type Analyzer struct {
+	// Name is the identifier used in output and //easybolint:ok directives.
+	Name string
+	// Doc is a one-line description shown by easybolint -list.
+	Doc string
+	// Applies reports whether the analyzer runs on the given import path.
+	// Nil means every package.
+	Applies func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Pkg       *Package
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the original source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapOrder, WallTime, FloatEq, ErrDrop, Directive}
+}
+
+// analyzerNames mirrors All(); a literal so the directive analyzer's
+// validity check doesn't create an initialization cycle through All.
+var analyzerNames = map[string]bool{
+	"maporder": true, "walltime": true, "floateq": true,
+	"errdrop": true, "directive": true,
+}
+
+// known reports whether name identifies an analyzer in the suite.
+func known(name string) bool { return analyzerNames[name] }
+
+// Config tunes a Run over loaded packages.
+type Config struct {
+	// Analyzers is the set to run (default All()).
+	Analyzers []*Analyzer
+	// CheckUnused additionally reports //easybolint:ok directives that
+	// suppressed nothing. Only meaningful when the full suite runs:
+	// a subset run would misreport the other analyzers' suppressions
+	// as stale.
+	CheckUnused bool
+}
+
+// Run applies the configured analyzers to every package, resolves
+// suppression directives, and returns the surviving diagnostics in
+// deterministic (file, line, column, analyzer) order.
+func Run(pkgs []*Package, cfg Config) []Diagnostic {
+	azs := cfg.Analyzers
+	if azs == nil {
+		azs = All()
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, az := range azs {
+			if az.Applies != nil && !az.Applies(pkg.PkgPath) {
+				continue
+			}
+			runAnalyzer(pkg, az, &raw)
+		}
+		dirs := parseDirectives(pkg)
+		kept, used := applySuppressions(raw, dirs)
+		out = append(out, kept...)
+		if cfg.CheckUnused {
+			out = append(out, unusedSuppressions(pkg, azs, dirs, used)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunAnalyzer applies a single analyzer to one package, honoring
+// suppression directives but skipping the Applies scope — the self-test
+// fixtures live outside the real package tree on purpose.
+func RunAnalyzer(pkg *Package, az *Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	runAnalyzer(pkg, az, &raw)
+	kept, _ := applySuppressions(raw, parseDirectives(pkg))
+	sortDiagnostics(kept)
+	return kept
+}
+
+func runAnalyzer(pkg *Package, az *Analyzer, diags *[]Diagnostic) {
+	az.Run(&Pass{
+		Analyzer:  az,
+		Pkg:       pkg,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Types:     pkg.Types,
+		TypesInfo: pkg.Info,
+		diags:     diags,
+	})
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

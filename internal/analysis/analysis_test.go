@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one seeded-violation package from testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgs, err := LoadPackages("", "./testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+// wantRe matches `// want <analyzer>` or `// want <analyzer> "substr"`
+// markers trailing the line an analyzer must flag.
+var wantRe = regexp.MustCompile(`// want ([a-z]+)(?: "([^"]*)")?`)
+
+type want struct {
+	line     int
+	analyzer string
+	substr   string
+}
+
+// parseWants scans a fixture's source for want markers.
+func parseWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, want{line: i + 1, analyzer: m[1], substr: m[2]})
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs one analyzer over its fixture and requires the
+// diagnostics to match the want markers exactly: every want is hit, every
+// diagnostic is wanted. The fixture's suppression case doubles as the
+// directive-matching test — a finding silenced by //easybolint:ok must not
+// surface.
+func checkFixture(t *testing.T, az *Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, az.Name)
+	diags := RunAnalyzer(pkg, az)
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want markers; the self-test would pass vacuously", az.Name)
+	}
+
+	type key struct {
+		line     int
+		analyzer string
+	}
+	unmatched := map[key][]string{}
+	for _, d := range diags {
+		k := key{d.Pos.Line, d.Analyzer}
+		unmatched[k] = append(unmatched[k], d.Message)
+	}
+	for _, w := range wants {
+		k := key{w.line, w.analyzer}
+		msgs := unmatched[k]
+		if len(msgs) == 0 {
+			t.Errorf("%s: line %d: want a %s finding, got none", az.Name, w.line, w.analyzer)
+			continue
+		}
+		if w.substr != "" && !strings.Contains(msgs[0], w.substr) {
+			t.Errorf("%s: line %d: finding %q does not contain %q", az.Name, w.line, msgs[0], w.substr)
+		}
+		if len(msgs) == 1 {
+			delete(unmatched, k)
+		} else {
+			unmatched[k] = msgs[1:]
+		}
+	}
+	for k, msgs := range unmatched {
+		for _, m := range msgs {
+			t.Errorf("%s: line %d: unexpected finding: %s", az.Name, k.line, m)
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) { checkFixture(t, MapOrder) }
+
+func TestWallTimeFixture(t *testing.T) { checkFixture(t, WallTime) }
+
+func TestFloatEqFixture(t *testing.T) { checkFixture(t, FloatEq) }
+
+func TestErrDropFixture(t *testing.T) { checkFixture(t, ErrDrop) }
+
+// TestDirectiveFixture asserts the malformed-comment findings explicitly:
+// a trailing want marker would be swallowed into the directive text.
+func TestDirectiveFixture(t *testing.T) {
+	pkg := loadFixture(t, "directive")
+	diags := RunAnalyzer(pkg, Directive)
+	wantSubstrs := []string{
+		`unknown easybolint directive "nolint"`,
+		`unknown analyzer "nosuchanalyzer"`,
+		"has no reason",
+	}
+	if len(diags) != len(wantSubstrs) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(wantSubstrs), fmtDiags(diags))
+	}
+	for i, sub := range wantSubstrs {
+		if !strings.Contains(diags[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, sub)
+		}
+	}
+}
+
+// TestUnusedSuppression runs the full suite the way easybolint does and
+// requires the stale directive in the fixture to be reported.
+func TestUnusedSuppression(t *testing.T) {
+	pkgs, err := LoadPackages("", "./testdata/src/unused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Config{CheckUnused: true})
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(diags), fmtDiags(diags))
+	}
+	if d := diags[0]; d.Analyzer != "directive" || !strings.Contains(d.Message, "maporder") {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestPolicyScope pins the written-down determinism boundary: the replay
+// core is covered, the executor edge is not.
+func TestPolicyScope(t *testing.T) {
+	cases := []struct {
+		pkg           string
+		deterministic bool
+		durability    bool
+	}{
+		{"easybo", true, false},
+		{"easybo/internal/core", true, false},
+		{"easybo/internal/serve", true, false},
+		{"easybo/internal/serve/wal", true, true},
+		{"easybo/internal/gp", true, false},
+		{"easybo/internal/circuit", true, false},
+		{"easybo/cmd/easybod", false, true},
+		{"easybo/internal/sched", false, false},   // executor edge: wall-clock worker timing
+		{"easybo/internal/harness", false, false}, // experiment tables, wall clock
+		{"easybo/cmd/easybo", false, false},       // client retrier's jittered backoff
+		{"easybo/internal/analysis", false, false},
+	}
+	for _, c := range cases {
+		if got := isDeterministic(c.pkg); got != c.deterministic {
+			t.Errorf("isDeterministic(%s) = %v, want %v", c.pkg, got, c.deterministic)
+		}
+		if got := isDurability(c.pkg); got != c.durability {
+			t.Errorf("isDurability(%s) = %v, want %v", c.pkg, got, c.durability)
+		}
+	}
+}
+
+// TestTreeClean is the self-hosted gate: the suite, run exactly as `make
+// lint` runs it, must be clean on the real tree — zero findings and zero
+// stale suppressions.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := LoadPackages("", "easybo/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the tree gate is not seeing the module", len(pkgs))
+	}
+	diags := Run(pkgs, Config{CheckUnused: true})
+	if len(diags) > 0 {
+		t.Errorf("tree is not lint-clean:\n%s", fmtDiags(diags))
+	}
+}
+
+func fmtDiags(ds []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		fmt.Fprintln(&b, d.String())
+	}
+	return b.String()
+}
+
+// TestLoadDirRejectsMissing pins the loader's error path.
+func TestLoadMissingPattern(t *testing.T) {
+	if _, err := LoadPackages("", "./testdata/src/nosuchpkg"); err == nil {
+		t.Fatal("loading a nonexistent package succeeded")
+	}
+}

@@ -1,0 +1,34 @@
+package analysis
+
+// Directive validates every //easybolint: control comment in the tree, so
+// suppressions cannot rot into unreadable noise:
+//
+//   - the verb must be "ok" (the only control form)
+//   - the named analyzer must exist in the suite
+//   - a non-empty reason is mandatory — a suppression is a documented
+//     exception to the determinism contract, not an opt-out
+//
+// The runner separately reports valid suppressions that no longer match
+// any finding (see unusedSuppressions), closing the other rot path: code
+// gets fixed, directive stays behind.
+var Directive = &Analyzer{
+	Name: "directive",
+	Doc:  "malformed //easybolint: suppression comments (all packages)",
+	Run:  runDirective,
+}
+
+func runDirective(pass *Pass) {
+	for _, d := range parseDirectives(pass.Pkg) {
+		switch {
+		case d.verb != "ok":
+			pass.Reportf(d.tokPos,
+				"unknown easybolint directive %q (only //easybolint:ok <analyzer> <reason> exists)", d.verb)
+		case !known(d.analyzer):
+			pass.Reportf(d.tokPos,
+				"suppression names unknown analyzer %q (have maporder, walltime, floateq, errdrop, directive)", d.analyzer)
+		case d.reason == "":
+			pass.Reportf(d.tokPos,
+				"suppression for %s has no reason; say why the exception is sound", d.analyzer)
+		}
+	}
+}

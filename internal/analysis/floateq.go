@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point (or float-containing) operands
+// in determinism-critical packages.
+//
+// Two floats that "should" be equal rarely are after independent
+// recomputation, and NaN breaks == entirely — which is why every replay
+// check in this repo (snapshot restore, WAL recovery, the crash harness)
+// compares math.Float64bits instead. Two shapes stay legal without
+// annotation:
+//
+//   - comparison against a compile-time constant (x == 0, x != 1): a
+//     sentinel/guard on a stored value, not equality of two computations
+//   - comparisons whose operands are not floats (Float64bits comparisons
+//     are uint64 and never reach this analyzer)
+//
+// Everything else — computed-vs-computed float equality, == on structs or
+// arrays with float fields — needs math.Float64bits, an explicit
+// tolerance, or a reasoned //easybolint:ok floateq directive.
+var FloatEq = &Analyzer{
+	Name:    "floateq",
+	Doc:     "==/!= on floating-point operands outside Float64bits-style comparisons",
+	Applies: isDeterministic,
+	Run:     runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, okx := pass.TypesInfo.Types[be.X]
+			ty, oky := pass.TypesInfo.Types[be.Y]
+			if !okx || !oky {
+				return true
+			}
+			// A constant operand means a sentinel guard, not equality of two
+			// computed values.
+			if tx.Value != nil || ty.Value != nil {
+				return true
+			}
+			if containsFloat(tx.Type) || containsFloat(ty.Type) {
+				pass.Reportf(be.OpPos,
+					"%s on floating-point operands is replay-hostile (rounding, NaN); compare math.Float64bits, use a tolerance, or annotate //easybolint:ok floateq <reason>", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// containsFloat reports whether == on a value of type t compares any
+// floating-point bits: floats and complexes themselves, and structs/arrays
+// with float elements. Pointers, channels, and interfaces compare by
+// identity, not contents, so they don't count.
+func containsFloat(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Info()&(types.IsFloat|types.IsComplex) != 0
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map in determinism-critical packages.
+//
+// Go randomizes map iteration order per run, so a map range whose order can
+// reach emitted values — an ask vector, JSON/WAL bytes, float accumulation
+// (float addition does not commute) — breaks the replay invariant. The
+// required idiom is collect-keys-and-sort; a handful of loop-body shapes
+// are provably order-independent and allowed without ceremony:
+//
+//   - appending keys and/or values to a slice (the collect half of
+//     collect-and-sort; the subsequent sort is what makes order die)
+//   - storing into another map, or delete()
+//   - integer counting (n++, n += len(v), ...) — integer addition commutes
+//
+// Anything else needs the sorted-keys rewrite or a reasoned
+// //easybolint:ok maporder directive.
+var MapOrder = &Analyzer{
+	Name:    "maporder",
+	Doc:     "range over a map where iteration order can escape (determinism-critical packages)",
+	Applies: isDeterministic,
+	Run:     runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderIndependentBody(pass, rs.Body) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map is iteration-order-dependent; collect and sort keys, or annotate //easybolint:ok maporder <reason>")
+			return true
+		})
+	}
+}
+
+// orderIndependentBody reports whether every statement in the loop body is
+// one of the allowed commutative shapes.
+func orderIndependentBody(pass *Pass, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		if !orderIndependentStmt(pass, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderIndependentStmt(pass *Pass, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- on integers commutes exactly.
+		return isIntegral(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m, k)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.AssignStmt:
+		return orderIndependentAssign(pass, s)
+	}
+	return false
+}
+
+func orderIndependentAssign(pass *Pass, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	switch s.Tok.String() {
+	case "=":
+		// m2[k] = v — writing into a map is order-independent (last write
+		// wins per key; keys from a range are distinct).
+		if _, ok := lhs.(*ast.IndexExpr); ok {
+			if lt, ok := pass.TypesInfo.Types[lhs.(*ast.IndexExpr).X]; ok {
+				if _, isMap := lt.Type.Underlying().(*types.Map); isMap {
+					return true
+				}
+			}
+		}
+		// s = append(s, ...) — the collect half of collect-and-sort.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return len(call.Args) > 0 && sameExpr(lhs, call.Args[0])
+				}
+			}
+		}
+		return false
+	case "+=", "-=", "|=", "&=", "^=":
+		// Integer accumulation commutes; float accumulation does not.
+		return isIntegral(pass, lhs)
+	}
+	return false
+}
+
+// isIntegral reports whether the expression has integer type.
+func isIntegral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sameExpr reports whether two expressions are the identical ident or
+// selector chain — enough to recognize `s = append(s, ...)`.
+func sameExpr(a, b ast.Expr) bool {
+	switch x := a.(type) {
+	case *ast.Ident:
+		y, ok := b.(*ast.Ident)
+		return ok && x.Name == y.Name
+	case *ast.SelectorExpr:
+		y, ok := b.(*ast.SelectorExpr)
+		return ok && x.Sel.Name == y.Sel.Name && sameExpr(x.X, y.X)
+	}
+	return false
+}

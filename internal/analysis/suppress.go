@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// directivePrefix introduces an easybolint control comment. The canonical
+// form is
+//
+//	//easybolint:ok <analyzer> <reason>
+//
+// placed either at the end of the flagged line or on its own line
+// immediately above it (stacked directives are allowed). The reason is
+// mandatory: a suppression is a documented exception to the determinism
+// contract, not an opt-out.
+const directivePrefix = "easybolint:"
+
+// directive is one parsed //easybolint: comment.
+type directive struct {
+	pos      token.Position // of the comment itself
+	tokPos   token.Pos      // same position, for Reportf
+	verb     string         // "ok" is the only valid verb
+	analyzer string         // first argument
+	reason   string         // rest of the line
+	raw      string
+}
+
+// parseDirectives collects every easybolint control comment in the package,
+// valid or not; the directive analyzer reports the malformed ones, the
+// suppression pass consumes the valid ones.
+func parseDirectives(pkg *Package) []directive {
+	var dirs []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				d := directive{pos: pkg.Fset.Position(c.Pos()), tokPos: c.Pos(), raw: c.Text}
+				verb, rest, _ := strings.Cut(text, " ")
+				d.verb = verb
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				d.analyzer = name
+				d.reason = strings.TrimSpace(reason)
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// valid reports whether the directive is a well-formed suppression.
+func (d directive) valid() bool {
+	return d.verb == "ok" && known(d.analyzer) && d.reason != ""
+}
+
+// applySuppressions drops diagnostics covered by a valid ok-directive on
+// the same line or on a directly preceding stack of directive lines, and
+// returns the surviving diagnostics plus the set of directives that fired
+// (keyed by file:line of the directive).
+func applySuppressions(diags []Diagnostic, dirs []directive) (kept []Diagnostic, used map[string]bool) {
+	used = map[string]bool{}
+	// index valid suppressions by file -> line -> analyzers
+	type key struct {
+		file string
+		line int
+	}
+	byLine := map[key][]directive{}
+	for _, d := range dirs {
+		if d.valid() {
+			k := key{d.pos.Filename, d.pos.Line}
+			byLine[k] = append(byLine[k], d)
+		}
+	}
+	match := func(file string, line int, analyzer string) (directive, bool) {
+		// Same line first, then walk up through contiguous directive-only
+		// lines so several suppressions can stack above one statement.
+		for l := line; l >= 1; l-- {
+			ds, ok := byLine[key{file, l}]
+			if l != line && !ok {
+				break
+			}
+			for _, d := range ds {
+				if d.analyzer == analyzer {
+					return d, true
+				}
+			}
+		}
+		return directive{}, false
+	}
+	for _, dg := range diags {
+		if d, ok := match(dg.Pos.Filename, dg.Pos.Line, dg.Analyzer); ok {
+			used[dirKey(d)] = true
+			continue
+		}
+		kept = append(kept, dg)
+	}
+	return kept, used
+}
+
+func dirKey(d directive) string {
+	return d.pos.Filename + ":" + strconv.Itoa(d.pos.Line)
+}
+
+// unusedSuppressions reports valid ok-directives that suppressed nothing in
+// this run: either the code they excused was fixed (remove the directive)
+// or they sit in a package their analyzer does not cover.
+func unusedSuppressions(pkg *Package, azs []*Analyzer, dirs []directive, used map[string]bool) []Diagnostic {
+	inScope := func(name string) bool {
+		for _, az := range azs {
+			if az.Name == name {
+				return az.Applies == nil || az.Applies(pkg.PkgPath)
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range dirs {
+		if !d.valid() || used[dirKey(d)] {
+			continue
+		}
+		msg := "suppression matches no " + d.analyzer + " finding; remove the stale directive"
+		if !inScope(d.analyzer) {
+			msg = "suppression for " + d.analyzer + ", which does not run in " + pkg.PkgPath + "; remove it"
+		}
+		out = append(out, Diagnostic{Pos: d.pos, Analyzer: Directive.Name, Message: msg})
+	}
+	return out
+}

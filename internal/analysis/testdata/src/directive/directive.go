@@ -1,0 +1,17 @@
+// Package directive seeds malformed control comments for the directive
+// analyzer self-test. The expected findings are asserted explicitly in
+// analysis_test.go — a trailing `// want` marker would become part of the
+// directive text itself.
+package directive
+
+//easybolint:nolint maporder wrong verb
+
+//easybolint:ok nosuchanalyzer with a reason
+
+//easybolint:ok floateq
+
+// A well-formed suppression is not a directive finding (staleness is the
+// runner's job, not this analyzer's).
+//
+//easybolint:ok walltime fixture: valid form
+func ok() {}

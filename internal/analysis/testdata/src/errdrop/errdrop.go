@@ -1,0 +1,43 @@
+// Package errdrop seeds violations for the errdrop analyzer self-test.
+package errdrop
+
+import "os"
+
+type wlog struct{ f *os.File }
+
+func (l *wlog) Sync() error { return l.f.Sync() }
+
+func (l *wlog) Append(b []byte) (int, error) { return l.f.Write(b) }
+
+func drops(l *wlog) {
+	l.Sync()          // want errdrop "Sync"
+	_ = l.Sync()      // want errdrop "Sync"
+	defer l.f.Close() // want errdrop "Close"
+}
+
+func renames(a, b string) {
+	os.Rename(a, b) // want errdrop "Rename"
+}
+
+func blankInTuple(l *wlog, b []byte) int {
+	n, _ := l.Append(b) // want errdrop "Append"
+	return n
+}
+
+// Capturing the error is the point.
+func captured(l *wlog) error { return l.Sync() }
+
+func capturedTuple(l *wlog, b []byte) error {
+	_, err := l.Append(b)
+	return err
+}
+
+// Names outside the durability set are not this analyzer's business.
+func notDurability() {
+	println("x")
+}
+
+func suppressedDrop(l *wlog) {
+	//easybolint:ok errdrop fixture: best-effort on purpose to test suppression
+	_ = l.Sync()
+}

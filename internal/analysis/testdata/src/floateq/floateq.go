@@ -1,0 +1,42 @@
+// Package floateq seeds violations for the floateq analyzer self-test.
+package floateq
+
+import "math"
+
+func computed(a, b float64) bool { return a == b } // want floateq "=="
+
+func neq(a, b float64) bool { return a != b } // want floateq "!="
+
+func narrow(a, b float32) bool { return a == b } // want floateq "=="
+
+func cplx(a, b complex128) bool { return a == b } // want floateq "=="
+
+type pt struct{ X, Y float64 }
+
+func structs(a, b pt) bool { return a == b } // want floateq "=="
+
+func arrays(a, b [2]float64) bool { return a == b } // want floateq "=="
+
+// Comparison against a compile-time constant is a sentinel guard, allowed.
+func sentinel(x float64) bool { return x == 0 }
+
+func sentinelNamed(x float64) bool {
+	const unset = -1.0
+	return x != unset
+}
+
+// The sanctioned idiom: uint64 bit patterns, never floats.
+func bits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// Non-float comparisons are out of scope.
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a == b }
+
+// Pointers compare by identity, not float contents.
+func ptrs(a, b *pt) bool { return a == b }
+
+func suppressedCmp(a, b float64) bool {
+	//easybolint:ok floateq fixture: exact equality on purpose to test suppression
+	return a == b
+}

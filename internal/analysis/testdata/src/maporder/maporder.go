@@ -1,0 +1,76 @@
+// Package maporder seeds violations for the maporder analyzer self-test.
+// Comments of the form `// want <analyzer>` mark lines the analyzer must
+// flag; every other line must stay silent.
+package maporder
+
+import "sort"
+
+// Float accumulation over map order: the canonical violation.
+func emitSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want maporder
+		sum += v
+	}
+	return sum
+}
+
+// Calling out of the loop body lets order escape arbitrarily.
+func emitCalls(m map[int]string, f func(string)) {
+	for _, v := range m { // want maporder
+		f(v)
+	}
+}
+
+// The collect half of collect-and-sort is allowed without ceremony.
+func collectAndSort(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Map-to-map transfer is order-independent (distinct keys, last write wins).
+func transfer(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Integer counting commutes exactly.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func totalLen(m map[string][]int) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}
+
+// delete() during range is explicitly sanctioned by the spec and
+// order-independent.
+func clear2(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// A reasoned directive silences a genuine violation.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	//easybolint:ok maporder fixture: order-dependent on purpose to test suppression
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Package walltime seeds violations for the walltime analyzer self-test.
+package walltime
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func now() int64 { return time.Now().UnixNano() } // want walltime "time.Now"
+
+func elapsed(t0 time.Time) time.Duration { return time.Since(t0) } // want walltime "time.Since"
+
+func ticker(d time.Duration) *time.Ticker { return time.NewTicker(d) } // want walltime "time.NewTicker"
+
+func globalRand() float64 { return rand.Float64() } // want walltime "rand.Float64"
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want walltime "rand.Shuffle"
+}
+
+func entropy(b []byte) {
+	crand.Read(b) // want walltime "crypto/rand.Read"
+}
+
+// Seeded sources are the sanctioned way to be random.
+func seeded(seed int64) float64 { return rand.New(rand.NewSource(seed)).Float64() }
+
+// Duration arithmetic and type references never read the clock.
+func durationMath(d time.Duration) time.Duration { return 2 * d }
+
+func parse(s string) (time.Time, error) { return time.Parse(time.RFC3339, s) }
+
+func suppressedNow() time.Time {
+	//easybolint:ok walltime fixture: wall clock on purpose to test suppression
+	return time.Now()
+}

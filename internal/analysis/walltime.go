@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime flags sources of wall-clock and ambient randomness inside
+// replay-deterministic packages.
+//
+// A replayed session must re-derive every ask from (seed, config, tell
+// order) alone. time.Now (and friends), the global math/rand source, and
+// crypto/rand all read state that differs between the original run and the
+// replay, so their mere presence in a deterministic package is a landmine
+// even when "only used for logging today". Seeded sources
+// (rand.New(rand.NewSource(seed))) are the sanctioned way to be random;
+// the executor edge (internal/sched, cmd/*) is outside the boundary and
+// free to read the clock.
+var WallTime = &Analyzer{
+	Name:    "walltime",
+	Doc:     "time.Now / global math/rand / crypto/rand in replay-deterministic packages",
+	Applies: isDeterministic,
+	Run:     runWallTime,
+}
+
+// wallClockFuncs are the package `time` references that read or depend on
+// the wall clock / a timer. Duration arithmetic and constants stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions backed
+// by the shared global source — unseeded, and since Go 1.20 randomly seeded
+// per process. rand.New/NewSource/NewZipf and the Rand methods are fine.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+	// math/rand/v2 spellings
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "N": true,
+}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a replay-deterministic package; move it across the executor boundary or annotate //easybolint:ok walltime <reason>", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the process-global random source; thread a seeded *rand.Rand instead, or annotate //easybolint:ok walltime <reason>", name)
+				}
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(),
+					"crypto/rand.%s is nondeterministic by design; a replay-deterministic package cannot depend on it, or annotate //easybolint:ok walltime <reason>", name)
+			}
+			return true
+		})
+	}
+}

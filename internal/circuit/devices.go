@@ -64,7 +64,8 @@ type Capacitor struct {
 // recomputing the division only when dt, the integration method, or the
 // capacitance changed.
 func (d *Capacitor) geqFor(e *env) float64 {
-	if e.dt != d.cdt || e.trapFlag != d.ctrap || d.C != d.cC {
+	if math.Float64bits(e.dt) != math.Float64bits(d.cdt) || e.trapFlag != d.ctrap ||
+		math.Float64bits(d.C) != math.Float64bits(d.cC) {
 		if e.trapFlag {
 			d.cgeq = 2 * d.C / e.dt
 		} else {
@@ -165,7 +166,8 @@ type Inductor struct {
 // 1/(1 + k·ESR), recomputing the divisions only when dt, the integration
 // method, or the element values changed.
 func (d *Inductor) coeffs(e *env) (k, geq, inv float64) {
-	if !d.cPrimed || e.dt != d.cdt || e.trapFlag != d.ctrap || d.L != d.cL || d.ESR != d.cESR {
+	if !d.cPrimed || math.Float64bits(e.dt) != math.Float64bits(d.cdt) || e.trapFlag != d.ctrap ||
+		math.Float64bits(d.L) != math.Float64bits(d.cL) || math.Float64bits(d.ESR) != math.Float64bits(d.cESR) {
 		if e.trapFlag {
 			d.ck = e.dt / (2 * d.L)
 		} else {

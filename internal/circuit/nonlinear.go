@@ -279,6 +279,7 @@ func (d *Switch) init(c *Circuit) error {
 	if d.Ron <= 0 || d.Roff <= 0 || d.Ron >= d.Roff {
 		return fmt.Errorf("switch requires 0 < Ron < Roff")
 	}
+	//easybolint:ok floateq config validation: exact equality is the degenerate case being rejected
 	if d.Von == d.Voff {
 		return fmt.Errorf("switch requires Von != Voff")
 	}
@@ -289,7 +290,7 @@ func (d *Switch) init(c *Circuit) error {
 
 // conductance returns g(vc) and dg/dvc.
 func (d *Switch) conductance(vc float64) (g, dg float64) {
-	if d.lgRon != d.Ron || d.lgRoff != d.Roff {
+	if math.Float64bits(d.lgRon) != math.Float64bits(d.Ron) || math.Float64bits(d.lgRoff) != math.Float64bits(d.Roff) {
 		d.lgOn = math.Log(1 / d.Ron)
 		d.lgOff = math.Log(1 / d.Roff)
 		d.lgRon, d.lgRoff = d.Ron, d.Roff

@@ -386,9 +386,12 @@ func (ws *realWorkspace) dirtyFrom() int {
 	}
 	from := ws.A.N
 	vals := ws.A.Val
+	// The factor-skip is bitwise by design: a column is clean only when its
+	// entries are the identical bits the factors were computed from, so a
+	// NaN poisoning a value can never be mistaken for "unchanged".
 	if ws.lastEpoch == ws.baseEpoch {
 		for _, s := range ws.dynSlots {
-			if vals[s] != ws.lastVals[s] {
+			if math.Float64bits(vals[s]) != math.Float64bits(ws.lastVals[s]) {
 				if p := int(ws.lu.ColPos(ws.colOfSlot[s])); p < from {
 					from = p
 				}
@@ -397,7 +400,7 @@ func (ws *realWorkspace) dirtyFrom() int {
 		return from
 	}
 	for i, v := range vals {
-		if v != ws.lastVals[i] {
+		if math.Float64bits(v) != math.Float64bits(ws.lastVals[i]) {
 			if p := int(ws.lu.ColPos(ws.colOfSlot[i])); p < from {
 				from = p
 			}

@@ -296,12 +296,15 @@ func (s *AskTell) Best() ([]float64, float64) { return s.bestX, s.bestY }
 // internal state; callers must not mutate them.
 func (s *AskTell) Data() ([][]float64, []float64) { return s.obsX, s.obsY }
 
+// equalPoints compares coordinate vectors bit-for-bit: matching a tell to
+// a pending proposal means "the same emitted value", so identical bits is
+// the right relation (and NaN, which breaks ==, still matches itself).
 func equalPoints(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return false
 		}
 	}

@@ -81,17 +81,17 @@ func (r *RFF) PhiInto(dst, x []float64) []float64 {
 // the training data.
 //
 // Only stationary kernels are supported; the spectral density used here is
-// the SE-ARD one, matching the paper's kernel. m is the number of features
-// (a few hundred is plenty for d ≤ 12); m < MinRFFFeatures is an error.
+// the SE-ARD one, matching the paper's kernel. nf is the number of features
+// (a few hundred is plenty for d ≤ 12); nf < MinRFFFeatures is an error.
 //
 // The sample is expressed in raw output units.
-func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, error) {
-	if _, ok := mdl.Kern.(SEARD); !ok {
+func (m *Model) SampleRFF(rng *rand.Rand, nf int) (func(x []float64) float64, error) {
+	if _, ok := m.Kern.(SEARD); !ok {
 		return nil, errors.New("gp: SampleRFF requires the SE-ARD kernel")
 	}
-	g := mdl.gp
+	g := m.gp
 	d := g.Dim()
-	basis, err := NewRFF(rng, g.Theta, d, m)
+	basis, err := NewRFF(rng, g.Theta, d, nf)
 	if err != nil {
 		return nil, err
 	}
@@ -104,28 +104,28 @@ func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, e
 	for i := 0; i < n; i++ {
 		phiX[i] = basis.Phi(g.X[i])
 	}
-	a := linalg.NewMatrix(m, m)
-	for i := 0; i < m; i++ {
+	a := linalg.NewMatrix(nf, nf)
+	for i := 0; i < nf; i++ {
 		a.Add(i, i, 1)
 	}
 	for k := 0; k < n; k++ {
 		pk := phiX[k]
-		for i := 0; i < m; i++ {
+		for i := 0; i < nf; i++ {
 			pki := pk[i] / noise2
 			if pki == 0 {
 				continue
 			}
 			row := a.Row(i)
-			for j := 0; j < m; j++ {
+			for j := 0; j < nf; j++ {
 				row[j] += pki * pk[j]
 			}
 		}
 	}
-	rhs := make([]float64, m)
+	rhs := make([]float64, nf)
 	for k := 0; k < n; k++ {
 		pk := phiX[k]
 		yk := g.Y[k] / noise2
-		for i := 0; i < m; i++ {
+		for i := 0; i < nf; i++ {
 			rhs[i] += pk[i] * yk
 		}
 	}
@@ -136,20 +136,19 @@ func (mdl *Model) SampleRFF(rng *rand.Rand, m int) (func(x []float64) float64, e
 	mean := chol.Solve(rhs)
 	// Sample θ = mean + A^{-1/2}·z. With A = LLᵀ, cov = A⁻¹ = L⁻ᵀL⁻¹, so a
 	// valid square root of the covariance is L⁻ᵀ: solve Lᵀ·u = z.
-	z := make([]float64, m)
+	z := make([]float64, nf)
 	for i := range z {
 		z[i] = rng.NormFloat64()
 	}
 	u := chol.SolveUpperT(z)
-	thetaS := make([]float64, m)
+	thetaS := make([]float64, nf)
 	for i := range thetaS {
 		thetaS[i] = mean[i] + u[i]
 	}
 
-	ymean, ystd := mdl.ymean, mdl.ystd
-	mm := mdl
+	ymean, ystd := m.ymean, m.ystd
 	return func(x []float64) float64 {
-		f := linalg.Dot(basis.Phi(mm.scale(x)), thetaS)
+		f := linalg.Dot(basis.Phi(m.scale(x)), thetaS)
 		return f*ystd + ymean
 	}, nil
 }

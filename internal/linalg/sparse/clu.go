@@ -129,6 +129,7 @@ func (f *CLU) Factor(a *CMatrix) error {
 				continue
 			}
 			av := cmplx.Abs(f.w[r])
+			//easybolint:ok floateq deterministic pivot tie-break: equal magnitudes pick the lower row; NaN is rejected after the scan
 			if av > maxAbs || (av == maxAbs && r < pivRow) {
 				maxAbs = av
 				pivRow = r

@@ -165,6 +165,7 @@ func (f *LU) Factor(a *Matrix) error {
 				continue
 			}
 			av := math.Abs(f.w[r])
+			//easybolint:ok floateq deterministic pivot tie-break: equal magnitudes pick the lower row; NaN is rejected after the scan
 			if av > maxAbs || (av == maxAbs && r < pivRow) {
 				maxAbs = av
 				pivRow = r

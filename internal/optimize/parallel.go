@@ -73,6 +73,7 @@ func MaximizeParallel(newF ObjectiveFactory, lo, hi []float64, rng *rand.Rand, o
 	}
 	sort.Slice(order, func(a, b int) bool {
 		ia, ib := order[a], order[b]
+		//easybolint:ok floateq deterministic sort tie-break: only exactly equal objective values fall through to the index order
 		if vals[ia] != vals[ib] {
 			return vals[ia] > vals[ib]
 		}

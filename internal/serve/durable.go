@@ -153,6 +153,7 @@ func (st *MemStore) Load() ([]PersistedSession, error) {
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
+		//easybolint:ok maporder collection only; sortPersisted below is where iteration order dies
 		for id, l := range sh.m {
 			l.mu.Lock()
 			ps := PersistedSession{ID: id, Config: l.cfg, Log: l}

@@ -441,12 +441,16 @@ func (s *session) status() Status {
 	return st
 }
 
+// equalPoints compares coordinate vectors bit-for-bit. Replay verification
+// and ledger matching both mean "the same recorded value", not numeric
+// closeness: encoding/json round-trips float64 exactly, so identical bits
+// is the invariant (and NaN, which breaks ==, still matches itself).
 func equalPoints(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
 			return false
 		}
 	}

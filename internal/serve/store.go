@@ -56,6 +56,7 @@ func (rg *registry) shardFor(id string) *regShard {
 // random entropy so ids are not guessable across daemon restarts.
 func (rg *registry) newID() string {
 	var b [6]byte
+	//easybolint:ok walltime ids are minted once at create, recorded in the log, and never re-derived during replay
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand failure is effectively fatal elsewhere; the sequence
 		// number alone still guarantees in-process uniqueness.
@@ -140,6 +141,7 @@ func (rg *registry) Close() {
 	for i := range rg.shards {
 		sh := &rg.shards[i]
 		sh.mu.Lock()
+		//easybolint:ok maporder shutdown order across independent session actors reaches no emitted byte
 		for id, s := range sh.m {
 			s.close()
 			delete(sh.m, id)

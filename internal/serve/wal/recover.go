@@ -42,6 +42,7 @@ func (st *Store) Load() ([]serve.PersistedSession, error) {
 		ps := serve.PersistedSession{ID: id}
 		sc, err := st.scanSession(id)
 		if errors.Is(err, errEmptySession) {
+			//easybolint:ok errdrop best-effort: an empty dir that survives is re-freed on the next boot
 			_ = os.RemoveAll(st.sessionDir(id))
 			continue
 		}
@@ -78,6 +79,7 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 	dir := st.sessionDir(id)
 	// A crash between writing snapshot.json.tmp and renaming it leaves a
 	// stale tmp; the renamed document is the only one that counts.
+	//easybolint:ok errdrop best-effort: a stale tmp that survives is removed again on the next boot
 	_ = os.Remove(filepath.Join(dir, snapshotFileName+".tmp"))
 
 	sc := &scanResult{}
@@ -198,6 +200,7 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 	// deleting the segments the snapshot fully covers. Best-effort — a
 	// leftover is skipped again on the next boot.
 	for _, path := range stale {
+		//easybolint:ok errdrop best-effort, as documented above: a leftover segment is skipped again next boot
 		_ = os.Remove(path)
 	}
 	return sc, nil

@@ -36,6 +36,7 @@ func MannWhitneyU(a, b []float64) (u, p float64) {
 	var tieTerm float64
 	for i := 0; i < len(all); {
 		j := i
+		//easybolint:ok floateq a statistical tie IS exact numeric equality of sorted neighbors
 		for j < len(all) && all[j].v == all[i].v {
 			j++
 		}
