@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,24 +29,57 @@ type httpError struct {
 func (e *httpError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status) }
 
 // retrier retries transient failures against the daemon: transport errors
-// (connection refused or reset while an orchestrator restarts easybod) and
-// 5xx responses (503 while a recovery replay runs). Backoff is exponential
-// from 100ms capped at 3s, with half-interval jitter so a whole worker
-// pool does not hammer a recovering daemon in lockstep. Semantic errors
-// (4xx) return immediately.
+// (connection refused or reset while an orchestrator restarts easybod),
+// 5xx responses (503 while a recovery replay runs), and 412 (the session
+// is mid-handoff between cluster nodes and will land somewhere routable).
+// Backoff is exponential from 100ms capped at 3s, with half-interval
+// jitter so a whole worker pool does not hammer a recovering daemon in
+// lockstep. Semantic errors (other 4xx) return immediately.
+//
+// With several endpoints (-serve a,b,c against an easybod cluster) the
+// retrier pins a preferred endpoint and fails over to the next on a
+// transport error or 5xx: any cluster node routes any session, so the
+// surviving nodes keep the run alive through a node loss.
+//
+// Retries are bounded two ways: maxRetries per call, and budget — a total
+// retry wall-clock cap enforced as a context deadline on every attempt, so
+// a daemon that stays down fails the run in bounded time instead of each
+// worker sleeping through its full backoff schedule.
 type retrier struct {
 	hc         *http.Client
+	bases      []string
 	maxRetries int
+	budget     time.Duration
 
 	mu  sync.Mutex
+	cur int // index of the preferred endpoint in bases
 	rng *rand.Rand
 }
 
-func newRetrier(hc *http.Client, maxRetries int) *retrier {
+func newRetrier(hc *http.Client, bases []string, maxRetries int, budget time.Duration) *retrier {
 	return &retrier{
 		hc:         hc,
+		bases:      bases,
 		maxRetries: maxRetries,
+		budget:     budget,
 		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// base returns the preferred endpoint.
+func (r *retrier) base() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bases[r.cur]
+}
+
+// demote rotates away from a failed endpoint, if it is still the
+// preferred one (a concurrent worker may already have rotated).
+func (r *retrier) demote(failed string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bases[r.cur] == failed && len(r.bases) > 1 {
+		r.cur = (r.cur + 1) % len(r.bases)
 	}
 }
 
@@ -64,20 +100,43 @@ func (r *retrier) backoff(retry int) time.Duration {
 func retryable(err error) bool {
 	var he *httpError
 	if errors.As(err, &he) {
-		return he.status >= 500
+		return he.status >= 500 || he.status == http.StatusPreconditionFailed
 	}
 	return err != nil // transport-level failure
 }
 
-// call is callJSON plus the retry loop. resent reports whether the request
-// was re-sent after a transport error — i.e. the daemon may have applied an
-// earlier attempt whose response was lost, so a 409 on a resent tell means
-// "already applied", not a bug.
-func (r *retrier) call(method, url string, body, out any) (resent bool, err error) {
+// failover reports whether the error justifies demoting the endpoint: the
+// node is unreachable or broken. A 412 does not — any node routes, the
+// session is just mid-transfer.
+func failover(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status >= 500
+	}
+	return err != nil
+}
+
+// call is callJSON plus the retry/failover loop; path is endpoint-relative
+// ("/sessions/x/ask"). ik, when non-empty, rides every attempt as the
+// idempotency header so a re-sent mutation is recognized and applied once.
+// resent reports whether the request was re-sent after a transport error —
+// i.e. the daemon may have applied an earlier attempt whose response was
+// lost, so a 409 on a resent tell means "already applied", not a bug.
+func (r *retrier) call(method, path string, body, out any, ik string) (resent bool, err error) {
+	ctx := context.Background()
+	if r.budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.budget)
+		defer cancel()
+	}
 	for retry := 0; ; retry++ {
-		err = callJSON(r.hc, method, url, body, out)
+		base := r.base()
+		err = callJSON(ctx, r.hc, method, base+path, body, out, ik)
 		if err == nil || !retryable(err) || retry >= r.maxRetries {
-			return resent, err
+			break
+		}
+		if failover(err) {
+			r.demote(base)
 		}
 		var he *httpError
 		if !errors.As(err, &he) {
@@ -85,8 +144,28 @@ func (r *retrier) call(method, url string, body, out any) (resent bool, err erro
 			// daemon even though the response never came back.
 			resent = true
 		}
-		time.Sleep(r.backoff(retry))
+		d := r.backoff(retry)
+		if deadline, ok := ctx.Deadline(); ok {
+			if remain := time.Until(deadline); remain <= d {
+				err = fmt.Errorf("retry budget %s exhausted after %d attempt(s): %w", r.budget, retry+1, err)
+				break
+			}
+		}
+		time.Sleep(d)
 	}
+	if err != nil && ctx.Err() != nil && !strings.Contains(err.Error(), "retry budget") {
+		err = fmt.Errorf("retry budget %s exhausted: %w", r.budget, err)
+	}
+	return resent, err
+}
+
+// newIK mints a client-side idempotency key for one logical mutation.
+func newIK() string {
+	var b [12]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "" // no key: the retry falls back to the 409 heuristic
+	}
+	return "cli-" + hex.EncodeToString(b[:])
 }
 
 // runRemote drives a remote easybod daemon: it creates one optimization
@@ -95,11 +174,23 @@ func (r *retrier) call(method, url string, body, out any) (resent bool, err erro
 // surrogate and the suggestion sequence; this process is nothing but
 // simulator capacity, exactly how a farm of HSPICE hosts would attach.
 //
+// serveURL may list several comma-separated endpoints — the nodes of an
+// easybod cluster. Any of them serves any session, so the client fails
+// over to the next endpoint when one dies and the run survives.
+//
 // Evaluation wall-clock intervals are measured locally, so the returned
 // Result carries real per-worker timing and utilization like
 // OptimizeParallel does.
-func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string, maxRetries int) (*easybo.Result, error) {
-	base = strings.TrimRight(base, "/")
+func runRemote(serveURL string, p easybo.Problem, opts easybo.Options, policy string, maxRetries int, retryBudget time.Duration) (*easybo.Result, error) {
+	var bases []string
+	for _, b := range strings.Split(serveURL, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("easybo: -serve needs at least one endpoint")
+	}
 	var algo string
 	switch opts.Algorithm {
 	case "", easybo.EasyBO:
@@ -119,7 +210,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 		policy = "resubmit" // the daemon's name for the same policy
 	}
 	hc := &http.Client{Timeout: 30 * time.Second}
-	rt := newRetrier(hc, maxRetries)
+	rt := newRetrier(hc, bases, maxRetries, retryBudget)
 
 	createBody := map[string]any{
 		"name":        p.Name,
@@ -146,7 +237,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 	var created struct {
 		ID string `json:"id"`
 	}
-	if _, err := rt.call(http.MethodPost, base+"/sessions", createBody, &created); err != nil {
+	if _, err := rt.call(http.MethodPost, "/sessions", createBody, &created, newIK()); err != nil {
 		return nil, fmt.Errorf("easybo: creating session: %w", err)
 	}
 
@@ -195,7 +286,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 				X          []float64 `json:"x"`
 			} `json:"outstanding"`
 		}
-		if _, err := rt.call(http.MethodGet, base+"/sessions/"+created.ID, nil, &st); err != nil {
+		if _, err := rt.call(http.MethodGet, "/sessions/"+created.ID, nil, &st, ""); err != nil {
 			return askResp{}, false, err
 		}
 		for _, p := range st.Outstanding {
@@ -219,7 +310,11 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 					return
 				}
 				var a askResp
-				if _, err := rt.call(http.MethodPost, base+"/sessions/"+created.ID+"/ask", map[string]any{}, &a); err != nil {
+				// One key per logical ask: if the response is lost and the
+				// call re-sent, the daemon returns the same proposal instead
+				// of minting a second one (orphan adoption is the backstop
+				// for pre-cluster daemons).
+				if _, err := rt.call(http.MethodPost, "/sessions/"+created.ID+"/ask", map[string]any{}, &a, newIK()); err != nil {
 					setErr(fmt.Errorf("easybo: ask: %w", err))
 					return
 				}
@@ -261,7 +356,7 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 				var st struct {
 					Aborted string `json:"aborted"`
 				}
-				resent, err := rt.call(http.MethodPost, base+"/sessions/"+created.ID+"/tell", t, &st)
+				resent, err := rt.call(http.MethodPost, "/sessions/"+created.ID+"/tell", t, &st, newIK())
 				if err != nil {
 					// A 409 on a resent tell means the daemon durably applied
 					// an earlier attempt and already consumed the proposal —
@@ -296,13 +391,13 @@ func runRemote(base string, p easybo.Problem, opts easybo.Options, policy string
 		BestX []float64 `json:"best_x"`
 		BestY *float64  `json:"best_y"`
 	}
-	if _, err := rt.call(http.MethodGet, base+"/sessions/"+created.ID, nil, &status); err != nil {
+	if _, err := rt.call(http.MethodGet, "/sessions/"+created.ID, nil, &status, ""); err != nil {
 		return nil, fmt.Errorf("easybo: reading final status: %w", err)
 	}
 	// This client created the session, so it owns the lifecycle: delete it
 	// so repeated CLI runs don't accumulate actors and event logs in a
 	// long-lived daemon. Best effort — the result is already local.
-	_ = callJSON(hc, http.MethodDelete, base+"/sessions/"+created.ID, nil, nil)
+	_ = callJSON(context.Background(), hc, http.MethodDelete, rt.base()+"/sessions/"+created.ID, nil, nil, "")
 	res := &easybo.Result{
 		BestX:       status.BestX,
 		Evaluations: evals,
@@ -339,8 +434,9 @@ func safeEval(obj func([]float64) float64, x []float64) (y float64, evalErr stri
 }
 
 // callJSON performs one JSON request/response round trip, surfacing the
-// daemon's error body on non-2xx statuses.
-func callJSON(hc *http.Client, method, url string, body, out any) error {
+// daemon's error body on non-2xx statuses. The context carries the
+// retrier's total-budget deadline so a hung attempt cannot outlive it.
+func callJSON(ctx context.Context, hc *http.Client, method, url string, body, out any, ik string) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -349,11 +445,14 @@ func callJSON(hc *http.Client, method, url string, body, out any) error {
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequest(method, url, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if ik != "" {
+		req.Header.Set("X-Easybod-Idempotency", ik)
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -23,11 +24,11 @@ func TestRetrierRecoversFrom5xx(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	rt := newRetrier(ts.Client(), 4)
+	rt := newRetrier(ts.Client(), []string{ts.URL}, 4, 0)
 	var out struct {
 		Ready bool `json:"ready"`
 	}
-	resent, err := rt.call(http.MethodGet, ts.URL, nil, &out)
+	resent, err := rt.call(http.MethodGet, "", nil, &out, "")
 	if err != nil || !out.Ready {
 		t.Fatalf("call = %v, ready=%v; want success after retries", err, out.Ready)
 	}
@@ -61,8 +62,8 @@ func TestRetrierFlagsTransportResend(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	rt := newRetrier(ts.Client(), 4)
-	resent, err := rt.call(http.MethodPost, ts.URL, map[string]any{}, nil)
+	rt := newRetrier(ts.Client(), []string{ts.URL}, 4, 0)
+	resent, err := rt.call(http.MethodPost, "", map[string]any{}, nil, "")
 	if err != nil {
 		t.Fatalf("call after dropped connection: %v", err)
 	}
@@ -81,8 +82,8 @@ func TestRetrierStopsOn4xx(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	rt := newRetrier(ts.Client(), 4)
-	_, err := rt.call(http.MethodPost, ts.URL, map[string]any{}, nil)
+	rt := newRetrier(ts.Client(), []string{ts.URL}, 4, 0)
+	_, err := rt.call(http.MethodPost, "", map[string]any{}, nil, "")
 	var he *httpError
 	if !errors.As(err, &he) || he.status != http.StatusConflict {
 		t.Fatalf("err = %v, want typed 409", err)
@@ -95,7 +96,7 @@ func TestRetrierStopsOn4xx(t *testing.T) {
 // TestRetrierBackoffBoundedWithJitter pins the backoff envelope: grows
 // exponentially, never exceeds the 3s cap, never collapses to zero.
 func TestRetrierBackoffBoundedWithJitter(t *testing.T) {
-	rt := newRetrier(http.DefaultClient, 10)
+	rt := newRetrier(http.DefaultClient, []string{"http://unused"}, 10, 0)
 	for retry := 0; retry < 12; retry++ {
 		base := 100 * time.Millisecond
 		for i := 0; i < retry && base < 3*time.Second; i++ {
@@ -110,5 +111,85 @@ func TestRetrierBackoffBoundedWithJitter(t *testing.T) {
 				t.Fatalf("backoff(%d) = %v outside [%v, %v]", retry, d, base/2, base)
 			}
 		}
+	}
+}
+
+// TestRetrierFailsOverToNextEndpoint: with several -serve endpoints, a
+// dead preferred node must be demoted and the call completed against a
+// survivor — and subsequent calls must go straight to the survivor.
+func TestRetrierFailsOverToNextEndpoint(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close() // connection refused from now on
+	var hits atomic.Int32
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"ready":true}`))
+	}))
+	defer alive.Close()
+
+	rt := newRetrier(alive.Client(), []string{dead.URL, alive.URL}, 4, 0)
+	var out struct {
+		Ready bool `json:"ready"`
+	}
+	if _, err := rt.call(http.MethodGet, "", nil, &out, ""); err != nil || !out.Ready {
+		t.Fatalf("call with one dead endpoint = %v, ready=%v", err, out.Ready)
+	}
+	if rt.base() != alive.URL {
+		t.Fatalf("preferred endpoint %q after failover, want the survivor %q", rt.base(), alive.URL)
+	}
+	if _, err := rt.call(http.MethodGet, "", nil, &out, ""); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("survivor saw %d calls, want 2", hits.Load())
+	}
+}
+
+// TestRetrierBudgetBoundsTotalWallClock: a daemon that stays down must
+// fail the call once the retry budget elapses — long before the full
+// backoff schedule would — and the final error must count the attempts.
+func TestRetrierBudgetBoundsTotalWallClock(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	rt := newRetrier(ts.Client(), []string{ts.URL}, 100, 250*time.Millisecond)
+	_, err := rt.call(http.MethodGet, "", nil, nil, "")
+	if err == nil {
+		t.Fatal("call against a permanently down daemon succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("budgeted call took %v, want well under the backoff schedule", elapsed)
+	}
+	if !strings.Contains(err.Error(), "retry budget") || !strings.Contains(err.Error(), "attempt") {
+		t.Fatalf("error %q does not report the exhausted budget and attempt count", err)
+	}
+}
+
+// TestRetrier412IsRetriedButNotFailedOver: 412 means the session is
+// mid-handoff — retry on the same endpoint (any node routes) until the
+// transfer settles.
+func TestRetrier412IsRetriedButNotFailedOver(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"serve: stale ownership epoch"}`, http.StatusPreconditionFailed)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rt := newRetrier(ts.Client(), []string{ts.URL, "http://127.0.0.1:1"}, 4, 0)
+	if _, err := rt.call(http.MethodPost, "", map[string]any{}, nil, "cli-test"); err != nil {
+		t.Fatalf("call through a mid-handoff 412: %v", err)
+	}
+	if rt.base() != ts.URL {
+		t.Fatal("412 demoted the endpoint; only transport errors and 5xx should")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"easybo"
 	"easybo/circuits"
@@ -66,14 +67,15 @@ func main() {
 		surrogateB = flag.String("surrogate", "auto", "surrogate backend: auto | exact | features")
 		escalateAt = flag.Int("escalate", 0, "auto backend: observation count that escalates exact -> features (0 = default 500)")
 
-		parallel   = flag.Bool("parallel", false, "evaluate on real goroutines (wall-clock) instead of virtual time")
-		serveURL   = flag.String("serve", "", "drive a remote easybod daemon at this base URL; this process becomes the worker pool")
-		maxRetries = flag.Int("max-retries", 4, "retries per transient -serve HTTP failure (connection refused, 5xx), exponential backoff with jitter")
-		onfail     = flag.String("onfail", "abort", "failed-evaluation policy: abort | skip | retry")
-		retries    = flag.Int("retries", 0, "extra attempts per failed evaluation before the policy applies")
-		timeout    = flag.Duration("timeout", 0, "per-evaluation timeout for -parallel (0 = none)")
-		maxfail    = flag.Int("maxfail", 0, "abort after this many failures (0 = policy default)")
-		faults     = flag.Float64("faults", 0, "inject faults: fraction of evaluations that crash or return NaN (demo)")
+		parallel    = flag.Bool("parallel", false, "evaluate on real goroutines (wall-clock) instead of virtual time")
+		serveURL    = flag.String("serve", "", "drive a remote easybod daemon at this base URL (comma-separate several cluster nodes for failover); this process becomes the worker pool")
+		maxRetries  = flag.Int("max-retries", 4, "retries per transient -serve HTTP failure (connection refused, 5xx, 412 mid-handoff), exponential backoff with jitter")
+		retryBudget = flag.Duration("retry-budget", 2*time.Minute, "total wall-clock cap across the retries of one -serve call (0 = unbounded)")
+		onfail      = flag.String("onfail", "abort", "failed-evaluation policy: abort | skip | retry")
+		retries     = flag.Int("retries", 0, "extra attempts per failed evaluation before the policy applies")
+		timeout     = flag.Duration("timeout", 0, "per-evaluation timeout for -parallel (0 = none)")
+		maxfail     = flag.Int("maxfail", 0, "abort after this many failures (0 = policy default)")
+		faults      = flag.Float64("faults", 0, "inject faults: fraction of evaluations that crash or return NaN (demo)")
 	)
 	flag.Parse()
 	stop, err := profiling.Start(*cpuprofile, *memprofile)
@@ -142,7 +144,7 @@ func main() {
 			// refuse rather than silently ignoring the flag.
 			fatalExit(2, "easybo: -timeout is not supported with -serve")
 		}
-		res, err = runRemote(*serveURL, p, opts, strings.ToLower(*onfail), *maxRetries)
+		res, err = runRemote(*serveURL, p, opts, strings.ToLower(*onfail), *maxRetries, *retryBudget)
 	case *parallel:
 		res, err = easybo.OptimizeParallel(p, opts)
 	default:

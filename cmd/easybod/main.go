@@ -29,6 +29,14 @@
 // accepting HTTP and drain in-flight requests, then drain every session
 // actor, then flush and close the write-ahead logs — so a tell accepted
 // before the signal is on stable storage before the process exits.
+//
+// With -peers, several daemons form one fault-tolerant cluster: every
+// session lives on the node a consistent-hash ring assigns it, any node
+// accepts any request and transparently proxies to the owner, and when the
+// peers share -data-dir (a shared filesystem) the loss of a node is healed
+// by a survivor replaying its sessions' write-ahead logs. See DESIGN.md §7.
+//
+//	easybod -addr :7823 -node-id a -peers a=http://h1:7823,b=http://h2:7823,c=http://h3:7823 -data-dir /mnt/shared/easybod
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"easybo/internal/cluster"
 	"easybo/internal/serve"
 	"easybo/internal/serve/wal"
 	surrogatepkg "easybo/internal/surrogate"
@@ -63,6 +72,12 @@ func main() {
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout (whole-request bound)")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (keep-alive reaper)")
+
+		nodeID       = flag.String("node-id", "", "this node's cluster member id (required with -peers)")
+		peers        = flag.String("peers", "", "cluster membership as comma-separated id=url pairs including this node (empty: single-node)")
+		ringVersion  = flag.Uint64("ring-version", 1, "membership table version; every node of a cluster must agree")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "peer heartbeat probe cadence in cluster mode")
+		suspectAfter = flag.Int("suspect-after", 3, "consecutive failed probes before a peer is routed around")
 	)
 	flag.Parse()
 
@@ -76,6 +91,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "easybod:", err)
 		os.Exit(2)
+	}
+	var table cluster.Table
+	if *peers != "" {
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "easybod: -peers requires -node-id")
+			os.Exit(2)
+		}
+		table, err = cluster.ParsePeers(*peers, *ringVersion)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easybod:", err)
+			os.Exit(2)
+		}
 	}
 
 	var store serve.Store
@@ -96,10 +123,30 @@ func main() {
 	sv := serve.NewServerWith(serve.ServerOptions{
 		DefaultSurrogate: *surrogate,
 		Store:            store,
+		NodeID:           *nodeID,
 	})
+	var handler http.Handler = sv
+	var node *cluster.Node
+	if *peers != "" {
+		node, err = cluster.New(sv, cluster.Config{
+			Self:         *nodeID,
+			Table:        table,
+			Heartbeat:    *heartbeat,
+			SuspectAfter: *suspectAfter,
+			// A durable data directory is the shared-store contract: every
+			// node opens the same WAL tree (shared filesystem), so a dead
+			// peer's sessions fail over by replay-in-place.
+			SharedStore: *dataDir != "",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "easybod:", err)
+			os.Exit(2)
+		}
+		handler = node
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           sv,
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
@@ -123,9 +170,21 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, "easybod: in-memory store: sessions will NOT survive a restart (set -data-dir)")
 		}
+		if node != nil {
+			fmt.Fprintf(os.Stderr, "easybod: cluster node %s of %d (ring v%d, heartbeat=%s, suspect-after=%d, shared-store=%v)\n",
+				*nodeID, len(table.Members), table.Version, *heartbeat, *suspectAfter, *dataDir != "")
+		}
 	}
 
-	report, err := sv.Recover()
+	// In cluster mode a node replays only its share of the (shared) store;
+	// the rest stays on disk for its owners. Sessions whose fence records
+	// name another holder are skipped and forwarded until healed.
+	var report serve.RecoveryReport
+	if node != nil {
+		report, err = sv.RecoverOwned(node.Owns)
+	} else {
+		report, err = sv.Recover()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "easybod: recovery failed:", err)
 		//easybolint:ok errdrop exiting on the recovery error; the listener teardown is best-effort
@@ -140,11 +199,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "easybod: quarantined %s: %s\n", id, reason)
 		}
 	}
+	if node != nil {
+		node.Start(report)
+	}
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "easybod:", err)
+			if node != nil {
+				node.Stop()
+			}
 			sv.Close()
 			os.Exit(1)
 		}
@@ -161,6 +226,11 @@ func main() {
 		if err := hs.Shutdown(sctx); err != nil {
 			//easybolint:ok errdrop grace expired; force-close so sv.Close below still flushes the WAL
 			_ = hs.Close()
+		}
+		// Heartbeats (and their heal handoffs) stop after HTTP drains and
+		// before the actors flush: no transfer can race the WAL close.
+		if node != nil {
+			node.Stop()
 		}
 		sv.Close()
 	}

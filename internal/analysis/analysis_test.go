@@ -155,6 +155,10 @@ func TestPolicyScope(t *testing.T) {
 		{"easybo/internal/gp", true, false},
 		{"easybo/internal/circuit", true, false},
 		{"easybo/cmd/easybod", false, true},
+		// The cluster layer is durability territory (a dropped Fence or
+		// Adopt error forks a session) but NOT deterministic: heartbeats
+		// and retry pacing legitimately read the wall clock.
+		{"easybo/internal/cluster", false, true},
 		{"easybo/internal/sched", false, false},   // executor edge: wall-clock worker timing
 		{"easybo/internal/harness", false, false}, // experiment tables, wall clock
 		{"easybo/cmd/easybo", false, false},       // client retrier's jittered backoff

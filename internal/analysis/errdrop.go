@@ -33,6 +33,12 @@ var durabilityVerbs = map[string]bool{
 	"Flush": true, "Truncate": true,
 	"Mkdir": true, "MkdirAll": true,
 	"Quarantine": true, "Snapshot": true,
+	// Cluster ownership-transfer verbs: a dropped error here means a
+	// session served from a copy whose fence, transfer, or replay silently
+	// failed — a forked history waiting to happen.
+	"Fence": true, "Adopt": true, "Release": true, "Forward": true,
+	"BeginHandoff": true, "AbortHandoff": true, "CompleteHandoff": true,
+	"InstallSnapshot": true,
 }
 
 func runErrDrop(pass *Pass) {

@@ -44,9 +44,14 @@ var deterministicPkgs = map[string]bool{
 }
 
 // durabilityPkgs are where a silently dropped error can lose acknowledged
-// data: the WAL itself and the daemon that owns shutdown ordering.
+// data: the WAL itself, the daemon that owns shutdown ordering, and the
+// cluster layer that moves fenced sessions between nodes. The cluster
+// package is deliberately NOT in deterministicPkgs — heartbeats and retry
+// pacing legitimately read the wall clock — but a dropped Fence or Adopt
+// error there silently forks a session, so errdrop still applies.
 var durabilityPkgs = map[string]bool{
 	"easybo/internal/serve/wal": true,
+	"easybo/internal/cluster":   true,
 	"easybo/cmd/easybod":        true,
 }
 

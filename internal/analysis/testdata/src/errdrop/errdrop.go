@@ -41,3 +41,38 @@ func suppressedDrop(l *wlog) {
 	//easybolint:ok errdrop fixture: best-effort on purpose to test suppression
 	_ = l.Sync()
 }
+
+// Cluster ownership-transfer verbs: a dropped error silently forks a
+// session between two nodes.
+type xfer struct{}
+
+func (x *xfer) Fence(epoch uint64, owner string) error      { return nil }
+func (x *xfer) Adopt(id, self string) (int, error)          { return 0, nil }
+func (x *xfer) BeginHandoff(id, to string) ([]byte, error)  { return nil, nil }
+func (x *xfer) AbortHandoff(id, self string) error          { return nil }
+func (x *xfer) CompleteHandoff(id string, rm bool) error    { return nil }
+func (x *xfer) InstallSnapshot(snap []byte) (int, error)    { return 0, nil }
+func (x *xfer) Release(id string) error                     { return nil }
+func (x *xfer) Forward(id string, body []byte) (int, error) { return 0, nil }
+
+func dropsTransfers(x *xfer) {
+	x.Fence(2, "n1")             // want errdrop "Fence"
+	_ = x.AbortHandoff("s", "a") // want errdrop "AbortHandoff"
+	defer x.Release("s")         // want errdrop "Release"
+	n, _ := x.Forward("s", nil)  // want errdrop "Forward"
+	_ = n
+	_, _ = x.Adopt("s", "a") // want errdrop "Adopt"
+}
+
+func capturedTransfers(x *xfer) error {
+	if err := x.CompleteHandoff("s", false); err != nil {
+		return err
+	}
+	_, err := x.InstallSnapshot(nil)
+	return err
+}
+
+func suppressedTransfer(x *xfer) {
+	//easybolint:ok errdrop fixture: abort on an already-failed path is best-effort
+	_ = x.AbortHandoff("s", "a")
+}

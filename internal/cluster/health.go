@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// health tracks peer liveness by heartbeat. A peer is suspected dead after
+// suspectAfter consecutive probe failures (or inline forward failures —
+// the forwarder reports transport errors here too, so failover does not
+// wait out a full heartbeat cycle) and rejoins the moment a probe
+// succeeds. Liveness is advisory routing state, not truth: correctness
+// against a wrongly suspected node comes from the ownership fence, which
+// rejects the stale copy's writes no matter what this table believed.
+type health struct {
+	client  *http.Client
+	timeout time.Duration
+	suspect int
+
+	mu    sync.Mutex
+	fails map[string]int // peer id -> consecutive failures
+}
+
+func newHealth(probeTimeout time.Duration, suspectAfter int) *health {
+	if suspectAfter <= 0 {
+		suspectAfter = 3
+	}
+	return &health{
+		client:  &http.Client{},
+		timeout: probeTimeout,
+		suspect: suspectAfter,
+		fails:   map[string]int{},
+	}
+}
+
+// alive reports whether a peer is currently believed reachable.
+func (h *health) alive(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.fails[id] < h.suspect
+}
+
+// dead returns the set of currently suspected peers.
+func (h *health) dead() map[string]bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := map[string]bool{}
+	for id, n := range h.fails {
+		if n >= h.suspect {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// fail records one failed contact (probe or forward) with a peer.
+func (h *health) fail(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[id]++
+}
+
+// ok records one successful contact with a peer.
+func (h *health) ok(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails[id] = 0
+}
+
+// probe performs one heartbeat round against every peer but self.
+func (h *health) probe(ctx context.Context, self string, members []Member) {
+	for _, m := range members {
+		if m.ID == self {
+			continue
+		}
+		if h.probeOne(ctx, m) {
+			h.ok(m.ID)
+		} else {
+			h.fail(m.ID)
+		}
+	}
+}
+
+func (h *health) probeOne(ctx context.Context, m Member) bool {
+	ctx, cancel := context.WithTimeout(ctx, h.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+"/cluster/health", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return false
+	}
+	//easybolint:ok errdrop heartbeat response body is empty of meaning; status code is the signal
+	_ = resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// heartbeatLoop probes peers on a fixed cadence until ctx is canceled.
+func (n *Node) heartbeatLoop(ctx context.Context) {
+	defer close(n.hbDone)
+	t := time.NewTicker(n.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n.health.probe(ctx, n.cfg.Self, n.ring.Table().Members)
+			n.healHeldSessions(ctx)
+		}
+	}
+}
+
+// String renders liveness for /cluster/health diagnostics.
+func (h *health) view(members []Member, self string) map[string]string {
+	out := map[string]string{}
+	for _, m := range members {
+		switch {
+		case m.ID == self:
+			out[m.ID] = "self"
+		case h.alive(m.ID):
+			out[m.ID] = "alive"
+		default:
+			out[m.ID] = "suspect"
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePeers parses an operator-supplied membership list — comma-separated
+// id=url pairs, e.g.
+//
+//	a=http://10.0.0.1:7823,b=http://10.0.0.2:7823,c=http://10.0.0.3:7823
+//
+// — into a membership table at the given version. Every node of a cluster
+// must be started with the identical list and version: placement is a pure
+// function of the table, so a disagreement splits routing.
+func ParsePeers(s string, version uint64) (Table, error) {
+	t := Table{Version: version}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(pair, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return Table{}, fmt.Errorf("cluster: bad peer %q (want id=url)", pair)
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		t.Members = append(t.Members, Member{ID: id, URL: strings.TrimRight(url, "/")})
+	}
+	if err := t.normalize(); err != nil {
+		return Table{}, err
+	}
+	return t, nil
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testTable(n int) Table {
+	t := Table{Version: 1}
+	for i := 0; i < n; i++ {
+		t.Members = append(t.Members, Member{
+			ID:  fmt.Sprintf("node%d", i),
+			URL: fmt.Sprintf("http://127.0.0.1:%d", 9000+i),
+		})
+	}
+	return t
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(testTable(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same table, members listed in a different order: placement must be
+	// identical — routing is a pure function of (table, id).
+	tbl := testTable(3)
+	tbl.Members[0], tbl.Members[2] = tbl.Members[2], tbl.Members[0]
+	b, err := NewRing(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		if got, want := b.Owner(id).ID, a.Owner(id).ID; got != want {
+			t.Fatalf("owner of %q differs across identical rings: %q vs %q", id, got, want)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(testTable(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("session-%d", i)).ID]++
+	}
+	for id, c := range counts {
+		// With 64 virtual nodes per member the spread stays well inside
+		// [15%, 55%] for 3 nodes; a violation means the ring is broken.
+		if c < n*15/100 || c > n*55/100 {
+			t.Errorf("member %s owns %d/%d sessions — ring badly unbalanced: %v", id, c, n, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members own sessions: %v", len(counts), counts)
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	r3, err := NewRing(testTable(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(testTable(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	moved := 0
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		if r3.Owner(id).ID != r4.Owner(id).ID {
+			moved++
+		}
+	}
+	// Adding a 4th node should move roughly 1/4 of keys; consistent hashing
+	// fails if half the keyspace reshuffles.
+	if moved > n/2 {
+		t.Fatalf("adding one member moved %d/%d sessions — not consistent hashing", moved, n)
+	}
+	if moved == 0 {
+		t.Fatalf("adding a member moved nothing — new node gets no load")
+	}
+}
+
+func TestOwnerExcluding(t *testing.T) {
+	r, err := NewRing(testTable(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		owner := r.Owner(id)
+		failover, ok := r.OwnerExcluding(id, map[string]bool{owner.ID: true})
+		if !ok {
+			t.Fatalf("no failover owner for %q with one node down", id)
+		}
+		if failover.ID == owner.ID {
+			t.Fatalf("failover owner for %q is the excluded node %q", id, owner.ID)
+		}
+		// Sessions whose owner is alive must not move when another node is
+		// excluded: failover only reroutes the dead node's share.
+		other := "node0"
+		if owner.ID == other {
+			other = "node1"
+		}
+		stay, ok := r.OwnerExcluding(id, map[string]bool{other: true})
+		if !ok || stay.ID != owner.ID {
+			t.Fatalf("excluding %q moved %q from %q to %q", other, id, owner.ID, stay.ID)
+		}
+	}
+	if _, ok := r.OwnerExcluding("x", map[string]bool{"node0": true, "node1": true, "node2": true}); ok {
+		t.Fatal("owner found with every member excluded")
+	}
+}

@@ -3,15 +3,17 @@ package serve
 import (
 	"fmt"
 	"regexp"
+	"sort"
 	"sync"
 )
 
 // Store is the session durability backend. The server writes every session
 // lifecycle event through it — create (Begin), ask/tell/abort (SessionLog
-// appends), delete (Remove) — and enumerates it at boot (Load) to recover
-// sessions that outlived the process. Two implementations ship: MemStore,
-// the original sharded in-memory map (sessions die with the process), and
-// wal.Store, a per-session write-ahead log on disk.
+// appends), delete (Remove) — and enumerates it at boot (List +
+// LoadSession) to recover sessions that outlived the process. Two
+// implementations ship: MemStore, the original sharded in-memory map
+// (sessions die with the process), and wal.Store, a per-session
+// write-ahead log on disk.
 //
 // All methods must be safe for concurrent use; Append/Compact on a single
 // SessionLog are only ever called from that session's actor goroutine.
@@ -21,11 +23,17 @@ type Store interface {
 	// ErrDuplicateSession (wrapped) if the id already exists.
 	Begin(id string, cfg SessionConfig) (SessionLog, error)
 
-	// Load returns every persisted session, sorted by id, for boot-time
-	// recovery. Undecodable sessions are returned with Corrupt set (and a
-	// nil Log) so the server can quarantine them instead of resurrecting
-	// a wrong state.
-	Load() ([]PersistedSession, error)
+	// List returns every persisted session id, sorted, without opening
+	// logs. A cluster node recovers only the ids it owns (LoadSession) and
+	// leaves the rest on disk for their owners.
+	List() ([]string, error)
+
+	// LoadSession scans and reopens one persisted session for recovery or
+	// failover adoption. An undecodable session is returned with Corrupt
+	// set (and a nil Log) so the server can quarantine it instead of
+	// resurrecting a wrong state; an id the store does not hold fails with
+	// ErrUnknownSession (wrapped).
+	LoadSession(id string) (PersistedSession, error)
 
 	// Quarantine moves a session's persisted state aside with a reason.
 	// The session will not be returned by future Loads; its data is kept
@@ -55,6 +63,16 @@ type SessionLog interface {
 	// the log entries it covers.
 	Compact(snap Snapshot) error
 
+	// Fence durably records an ownership-epoch fence naming the node the
+	// session now belongs to. Epochs are minted by the cluster layer:
+	// every ownership transfer (snapshot handoff or failover adoption)
+	// bumps the session's epoch and fences the log before the new owner
+	// serves a single request, so a stale owner's copy is recognizably
+	// behind — and a rebooted previous owner sees at recovery that the
+	// session moved while it was down. Sessions that never moved stay at
+	// epoch 1 with no fence record.
+	Fence(epoch uint64, owner string) error
+
 	// Sync flushes buffered appends to stable storage.
 	Sync() error
 
@@ -70,6 +88,14 @@ type PersistedSession struct {
 	// compacted); Events are the log entries after it.
 	Snapshot *Snapshot
 	Events   []Event
+	// Epoch is the session's last durably fenced ownership epoch (1 when
+	// the session never changed owners; fence records and snapshot bases
+	// both carry it forward).
+	Epoch uint64
+	// Owner names the cluster node the last fence (or the snapshot base)
+	// assigned the session to; "" means it never moved and belongs to
+	// whatever the hash ring says.
+	Owner string
 	// Log is the reopened live log, positioned to append. nil when
 	// Corrupt is set.
 	Log SessionLog
@@ -108,7 +134,7 @@ type MemStore struct {
 
 type memShard struct {
 	mu sync.Mutex
-	m  map[string]*memLog
+	m  map[string]*memSess
 	q  map[string]string // quarantined id -> reason
 }
 
@@ -120,7 +146,7 @@ func NewMemStore() *MemStore { return NewMemStoreCompacting(0) }
 func NewMemStoreCompacting(compactEvery int) *MemStore {
 	st := &MemStore{compactEvery: compactEvery}
 	for i := range st.shards {
-		st.shards[i].m = make(map[string]*memLog)
+		st.shards[i].m = make(map[string]*memSess)
 		st.shards[i].q = make(map[string]string)
 	}
 	return st
@@ -143,31 +169,78 @@ func (st *MemStore) Begin(id string, cfg SessionConfig) (SessionLog, error) {
 	if _, ok := sh.q[id]; ok {
 		return nil, fmt.Errorf("%w: %q (quarantined)", ErrDuplicateSession, id)
 	}
-	l := &memLog{st: st, id: id, cfg: cfg}
-	sh.m[id] = l
-	return l, nil
+	s := &memSess{cfg: cfg}
+	sh.m[id] = s
+	return &memLog{st: st, id: id, s: s}, nil
 }
 
-func (st *MemStore) Load() ([]PersistedSession, error) {
-	var out []PersistedSession
+// List implements Store.
+func (st *MemStore) List() ([]string, error) {
+	var ids []string
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
-		//easybolint:ok maporder collection only; sortPersisted below is where iteration order dies
-		for id, l := range sh.m {
-			l.mu.Lock()
-			ps := PersistedSession{ID: id, Config: l.cfg, Log: l}
-			if l.snap != nil {
-				snap := *l.snap
-				ps.Snapshot = &snap
-			}
-			ps.Events = append([]Event(nil), l.events...)
-			l.mu.Unlock()
-			out = append(out, ps)
+		for id := range sh.m {
+			ids = append(ids, id)
 		}
 		sh.mu.Unlock()
 	}
-	sortPersisted(out)
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// LoadSession implements Store. The returned Log is a fresh handle onto
+// the shared session state — mirroring a new file descriptor onto the same
+// WAL — so closing one loader's handle never severs a concurrent holder's.
+func (st *MemStore) LoadSession(id string) (PersistedSession, error) {
+	sh := st.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.m[id]
+	sh.mu.Unlock()
+	if !ok {
+		return PersistedSession{}, fmt.Errorf("%w: %q", ErrUnknownSession, id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := PersistedSession{
+		ID:     id,
+		Config: s.cfg,
+		Log:    &memLog{st: st, id: id, s: s},
+		Epoch:  s.epoch,
+		Owner:  s.owner,
+	}
+	if ps.Epoch == 0 {
+		ps.Epoch = 1
+	}
+	if s.snap != nil {
+		snap := *s.snap
+		ps.Snapshot = &snap
+		if ps.Owner == "" {
+			ps.Owner = snap.Owner
+		}
+		if snap.Epoch > ps.Epoch {
+			ps.Epoch = snap.Epoch
+		}
+	}
+	ps.Events = append([]Event(nil), s.events...)
+	return ps, nil
+}
+
+// Load returns every persisted session, sorted by id — the whole-store
+// recovery convenience over List + LoadSession.
+func (st *MemStore) Load() ([]PersistedSession, error) {
+	ids, err := st.List()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PersistedSession, 0, len(ids))
+	for _, id := range ids {
+		ps, err := st.LoadSession(id)
+		if err != nil {
+			continue // removed concurrently
+		}
+		out = append(out, ps)
+	}
 	return out, nil
 }
 
@@ -194,42 +267,74 @@ func (st *MemStore) Remove(id string) error {
 
 func (st *MemStore) Close() error { return nil }
 
-type memLog struct {
+// memSess is one session's shared persisted state (the "file"); memLog is
+// a handle onto it (the "file descriptor"). The split matters to the
+// cluster: a loader inspecting a session and closing its handle must not
+// sever the holder's.
+type memSess struct {
 	mu     sync.Mutex
-	st     *MemStore
-	id     string
 	cfg    SessionConfig
 	snap   *Snapshot
 	events []Event
+	epoch  uint64 // last fenced ownership epoch (0 = never fenced = 1)
+	owner  string // node named by the last fence ("" = never moved)
+}
+
+type memLog struct {
+	st *MemStore
+	id string
+	s  *memSess
+
+	mu     sync.Mutex
 	closed bool
 }
 
-func (l *memLog) Append(ev Event) error {
+func (l *memLog) live() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("serve: mem log %q closed", l.id)
 	}
-	l.events = append(l.events, ev.clone())
+	return nil
+}
+
+func (l *memLog) Append(ev Event) error {
+	if err := l.live(); err != nil {
+		return err
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	l.s.events = append(l.s.events, ev.clone())
 	return nil
 }
 
 func (l *memLog) CompactionDue() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.st.compactEvery > 0 && len(l.events) >= l.st.compactEvery
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	return l.st.compactEvery > 0 && len(l.s.events) >= l.st.compactEvery
 }
 
 func (l *memLog) Compact(snap Snapshot) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return fmt.Errorf("serve: mem log %q closed", l.id)
+	if err := l.live(); err != nil {
+		return err
 	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
 	c := snap
 	c.Events = append([]Event(nil), snap.Events...)
-	l.snap = &c
-	l.events = l.events[:0]
+	l.s.snap = &c
+	l.s.events = l.s.events[:0]
+	return nil
+}
+
+func (l *memLog) Fence(epoch uint64, owner string) error {
+	if err := l.live(); err != nil {
+		return err
+	}
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	l.s.epoch = epoch
+	l.s.owner = owner
 	return nil
 }
 
@@ -240,12 +345,4 @@ func (l *memLog) Close() error {
 	defer l.mu.Unlock()
 	l.closed = true
 	return nil
-}
-
-func sortPersisted(ps []PersistedSession) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].ID < ps[j-1].ID; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
 }

@@ -35,6 +35,12 @@ type Server struct {
 	opts  ServerOptions
 	ready atomic.Bool
 
+	// Recovery progress, reported by /readyz while the boot replay runs.
+	recTotal atomic.Int64
+	recDone  atomic.Int64
+	recQuar  atomic.Int64
+	recSkip  atomic.Int64
+
 	qmu         sync.Mutex
 	quarantined map[string]string // id -> quarantine reason
 }
@@ -49,6 +55,11 @@ type ServerOptions struct {
 	// Store is the session durability backend; nil uses an in-memory
 	// MemStore (sessions die with the process).
 	Store Store
+	// NodeID is this process's cluster node name ("" outside a cluster).
+	// Recovery uses it to leave sessions alone whose last durable fence
+	// names a different node (they moved while this node was down), and
+	// new sessions record it as their owner.
+	NodeID string
 }
 
 // NewServer builds a Server over a fresh in-memory store.
@@ -75,6 +86,11 @@ func (sv *Server) Ready() bool { return sv.ready.Load() }
 // SessionCount returns the number of live sessions.
 func (sv *Server) SessionCount() int { return sv.reg.Len() }
 
+// SessionIDs returns the live session ids, sorted. The cluster layer scans
+// them to find sessions this node holds against the hash ring's preference
+// (failover adoptees) so it can heal them back when their owner returns.
+func (sv *Server) SessionIDs() []string { return sv.reg.IDs() }
+
 // Close shuts the service down in durability order: the caller has already
 // stopped accepting HTTP (http.Server.Shutdown), so Close drains every
 // session actor and flushes and closes its write-ahead log, then closes the
@@ -88,6 +104,11 @@ func (sv *Server) Close() {
 // maxBodyBytes bounds request bodies; snapshots of long sessions are the
 // largest legitimate payload.
 const maxBodyBytes = 8 << 20
+
+// IdempotencyHeader carries a request's idempotency key when it is not in
+// the body: asks have no body, and a cluster node forwarding a tell keys
+// its at-least-once retries without rewriting the client's payload.
+const IdempotencyHeader = "X-Easybod-Idempotency"
 
 type createRequest struct {
 	// ID optionally names the session; the store generates one otherwise.
@@ -129,8 +150,16 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, ErrSnapshotDiverged):
 		code = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrStaleEpoch):
+		// Precondition Failed: the session moved owners; the caller should
+		// re-resolve ownership and retry there.
+		code = http.StatusPreconditionFailed
 	case isBadRequest(err):
 		code = http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
 	}
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
@@ -149,6 +178,13 @@ func (e *badRequestError) Unwrap() error { return e.err }
 func badRequest(err error) error { return &badRequestError{err: err} }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	// A declared oversize is rejected before a byte is decoded (413); a
+	// body that lies about its length trips MaxBytesReader mid-decode and
+	// maps to 413 in writeError.
+	if r.ContentLength > maxBodyBytes {
+		return badRequest(fmt.Errorf("serve: request body %d bytes exceeds the %d-byte limit: %w",
+			r.ContentLength, maxBodyBytes, &http.MaxBytesError{Limit: maxBodyBytes}))
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -190,12 +226,18 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"ok": true, "ready": sv.ready.Load(), "sessions": sv.reg.Len(),
 		})
 	case len(parts) == 1 && parts[0] == "readyz":
-		// Readiness: traffic-worthy only after Recover finished.
+		// Readiness: traffic-worthy only after Recover finished. While the
+		// replay runs the body reports its progress, so an operator (or
+		// the cluster harness) can tell a long recovery from a wedged one.
 		if !sv.ready.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready": false, "recovery": sv.Progress(),
+			})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ready": true, "sessions": sv.reg.Len()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ready": true, "sessions": sv.reg.Len(), "recovery": sv.Progress(),
+		})
 	case len(parts) >= 1 && parts[0] == "sessions":
 		if !sv.ready.Load() {
 			writeError(w, fmt.Errorf("%w: recovery replay in progress", ErrNotReady))
@@ -315,6 +357,7 @@ func (sv *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest(err))
 		return
 	}
+	s.owner = sv.opts.NodeID
 	if err := sv.install(s, nil); err != nil {
 		writeError(w, err)
 		return
@@ -403,9 +446,10 @@ func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, 
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST"})
 			return
 		}
+		ik := r.Header.Get(IdempotencyHeader)
 		var ask Ask
 		var askErr error
-		if err := s.do(func() { ask, askErr = s.ask() }); err != nil {
+		if err := s.do(func() { ask, askErr = s.ask(ik) }); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -423,6 +467,11 @@ func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, 
 		if err := readJSON(w, r, &t); err != nil {
 			writeError(w, err)
 			return
+		}
+		if t.IK == "" {
+			// A forwarding node keys retried deliveries without rewriting
+			// the client's body.
+			t.IK = r.Header.Get(IdempotencyHeader)
 		}
 		var st Status
 		var tellErr error

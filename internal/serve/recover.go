@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -9,9 +10,40 @@ import (
 type RecoveryReport struct {
 	// Recovered lists the session ids rebuilt by replay, sorted.
 	Recovered []string
+	// Skipped lists ids left on disk because this node does not own them
+	// (cluster recovery with an ownership filter), sorted.
+	Skipped []string
+	// HeldElsewhere maps ids this node would own by the hash ring to the
+	// node their last durable fence assigned them to — they moved (via
+	// failover adoption or handoff) while this node was down, and serving
+	// them here would fork the session. The cluster layer forwards their
+	// traffic to the recorded holder instead.
+	HeldElsewhere map[string]string
 	// Quarantined maps session ids that failed integrity or replay
 	// verification to the reason they were set aside.
 	Quarantined map[string]string
+}
+
+// Progress is a point-in-time view of a recovery replay, served by /readyz
+// while it runs so operators and the cluster can tell "recovering" from
+// "wedged".
+type Progress struct {
+	Ready       bool `json:"ready"`
+	Total       int  `json:"total"`       // sessions discovered on the store
+	Replayed    int  `json:"replayed"`    // sessions rebuilt so far
+	Quarantined int  `json:"quarantined"` // sessions set aside so far
+	Skipped     int  `json:"skipped"`     // sessions owned by other nodes
+}
+
+// Progress reports how far the boot recovery replay has come.
+func (sv *Server) Progress() Progress {
+	return Progress{
+		Ready:       sv.ready.Load(),
+		Total:       int(sv.recTotal.Load()),
+		Replayed:    int(sv.recDone.Load()),
+		Quarantined: int(sv.recQuar.Load()),
+		Skipped:     int(sv.recSkip.Load()),
+	}
 }
 
 // Recover loads every persisted session from the store, re-derives its
@@ -25,37 +57,85 @@ type RecoveryReport struct {
 // to succeed: until it returns, session routes answer 503 and /readyz
 // reports not ready ( /healthz is alive the whole time, so an orchestrator
 // keeps the process while a long replay runs).
-func (sv *Server) Recover() (RecoveryReport, error) {
-	rep := RecoveryReport{Quarantined: map[string]string{}}
-	persisted, err := sv.store.Load()
+func (sv *Server) Recover() (RecoveryReport, error) { return sv.RecoverOwned(nil) }
+
+// RecoverOwned is Recover restricted to the sessions owns reports true
+// for; the rest stay untouched on disk for the nodes that own them (a
+// shared-store cluster boots every node against the same tree). owns ==
+// nil recovers everything.
+func (sv *Server) RecoverOwned(owns func(id string) bool) (RecoveryReport, error) {
+	rep := RecoveryReport{Quarantined: map[string]string{}, HeldElsewhere: map[string]string{}}
+	ids, err := sv.store.List()
 	if err != nil {
-		return rep, fmt.Errorf("serve: loading persisted sessions: %w", err)
+		return rep, fmt.Errorf("serve: listing persisted sessions: %w", err)
 	}
-	for _, ps := range persisted {
-		if ps.Corrupt != nil {
-			sv.quarantine(ps, rep.Quarantined, fmt.Errorf("corrupt log: %w", ps.Corrupt))
+	sv.recTotal.Store(int64(len(ids)))
+	for _, id := range ids {
+		if owns != nil && !owns(id) {
+			sv.recSkip.Add(1)
+			rep.Skipped = append(rep.Skipped, id)
 			continue
 		}
-		s, err := rebuildSession(ps)
+		ps, err := sv.store.LoadSession(id)
+		if errors.Is(err, ErrUnknownSession) {
+			// Freed husk (no durable record survived) or removed between
+			// List and LoadSession: nothing to recover, nothing to keep.
+			sv.recTotal.Add(-1)
+			continue
+		}
 		if err != nil {
-			sv.quarantine(ps, rep.Quarantined, err)
+			ps = PersistedSession{ID: id, Corrupt: err}
+		}
+		if sv.opts.NodeID != "" && ps.Owner != "" && ps.Owner != sv.opts.NodeID {
+			// The session's last durable fence names another node: it moved
+			// (failover adoption or handoff) while this node was down.
+			// Replaying it here would fork the history the holder is still
+			// extending — leave it on disk and route traffic to the holder.
+			if ps.Log != nil {
+				_ = ps.Log.Close()
+			}
+			sv.recSkip.Add(1)
+			rep.Skipped = append(rep.Skipped, id)
+			rep.HeldElsewhere[id] = ps.Owner
 			continue
 		}
-		s.log = ps.Log
-		s.start()
-		if err := sv.reg.add(s); err != nil {
-			// Impossible unless the store returned duplicate ids; treat it
-			// as the corruption it is.
-			s.log = nil // keep the log open for quarantine bookkeeping
-			s.close()
-			sv.quarantine(ps, rep.Quarantined, fmt.Errorf("registering recovered session: %w", err))
-			continue
+		if sv.recoverOne(ps, rep.Quarantined) {
+			rep.Recovered = append(rep.Recovered, id)
 		}
-		rep.Recovered = append(rep.Recovered, ps.ID)
 	}
 	sort.Strings(rep.Recovered)
+	sort.Strings(rep.Skipped)
 	sv.ready.Store(true)
 	return rep, nil
+}
+
+// recoverOne replays a single persisted session and registers it, updating
+// the progress counters; it reports whether the session recovered.
+func (sv *Server) recoverOne(ps PersistedSession, quarantined map[string]string) bool {
+	if ps.Corrupt != nil {
+		sv.recQuar.Add(1)
+		sv.quarantine(ps, quarantined, fmt.Errorf("corrupt log: %w", ps.Corrupt))
+		return false
+	}
+	s, err := rebuildSession(ps)
+	if err != nil {
+		sv.recQuar.Add(1)
+		sv.quarantine(ps, quarantined, err)
+		return false
+	}
+	s.log = ps.Log
+	s.start()
+	if err := sv.reg.add(s); err != nil {
+		// Impossible unless the store returned duplicate ids; treat it
+		// as the corruption it is.
+		s.log = nil // keep the log open for quarantine bookkeeping
+		s.close()
+		sv.recQuar.Add(1)
+		sv.quarantine(ps, quarantined, fmt.Errorf("registering recovered session: %w", err))
+		return false
+	}
+	sv.recDone.Add(1)
+	return true
 }
 
 // quarantine records and persists one failed recovery.
@@ -73,8 +153,23 @@ func (sv *Server) quarantine(ps PersistedSession, out map[string]string, reason 
 
 // rebuildSession re-derives one persisted session: from its snapshot base
 // (if it ever compacted) plus the log tail, or from the config and the full
-// log. Every replayed ask is verified against the recorded one.
+// log. Every replayed ask is verified against the recorded one; the
+// session resumes at its last durably fenced ownership epoch.
 func rebuildSession(ps PersistedSession) (*session, error) {
+	s, err := rebuildReplayed(ps)
+	if err != nil {
+		return nil, err
+	}
+	if ps.Epoch > s.epoch {
+		s.epoch = ps.Epoch
+	}
+	if ps.Owner != "" {
+		s.owner = ps.Owner
+	}
+	return s, nil
+}
+
+func rebuildReplayed(ps PersistedSession) (*session, error) {
 	if ps.Snapshot != nil {
 		snap := *ps.Snapshot
 		if snap.ID != ps.ID {

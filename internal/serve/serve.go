@@ -50,7 +50,24 @@ var (
 	// ErrNotReady marks session requests made before boot recovery
 	// finished replaying the durable logs.
 	ErrNotReady = errors.New("serve: not ready")
+	// ErrStaleEpoch marks a mutating request to a session whose ownership
+	// is moving (or has moved) to another cluster node: this copy is
+	// fenced, and accepting the write would diverge from the new owner.
+	ErrStaleEpoch = errors.New("serve: stale ownership epoch")
 )
+
+// HeldElsewhereError is Adopt refusing to take a session whose last
+// durable fence names a node the caller's guard did not clear (typically:
+// the recorded holder is still alive, and stealing a live node's session
+// would fork it). The caller routes traffic to Owner instead.
+type HeldElsewhereError struct {
+	ID    string
+	Owner string
+}
+
+func (e *HeldElsewhereError) Error() string {
+	return fmt.Sprintf("serve: session %q is held by node %q", e.ID, e.Owner)
+}
 
 // SessionConfig declares one optimization session. The daemon never
 // evaluates the objective itself — bounds are all it needs; external

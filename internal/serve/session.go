@@ -29,6 +29,12 @@ type Event struct {
 	X    []float64 `json:"x,omitempty"`   // proposal / observed point
 	Y    float64   `json:"y,omitempty"`   // observed value (tells; 0 when failed)
 	Err  string    `json:"err,omitempty"` // failure message (failed tells, abort reason)
+	// IK is the request's idempotency key, recorded so a retried
+	// at-least-once delivery (a cluster forward whose response was lost, a
+	// worker resending a tell) is recognized as already applied — across
+	// crashes too, because the key rides in the WAL with the event it
+	// keyed. Empty for requests that carried none.
+	IK string `json:"ik,omitempty"`
 }
 
 // clone deep-copies the event so stores can retain it safely.
@@ -86,17 +92,26 @@ type Proposal struct {
 // Tell reports one evaluation back to a session. Either ProposalID (from a
 // previous Ask) or X identifies the point; Error marks the evaluation
 // failed (crashed or diverged simulator), in which case Y is ignored.
+//
+// IK is an optional idempotency key: a tell resent with the same key is
+// acknowledged with the current status instead of being applied twice, so
+// at-least-once delivery (client retries, cluster forwarding) yields
+// exactly-once observation.
 type Tell struct {
 	ProposalID *int      `json:"proposal_id,omitempty"`
 	X          []float64 `json:"x,omitempty"`
 	Y          float64   `json:"y"`
 	Error      string    `json:"error,omitempty"`
+	IK         string    `json:"ik,omitempty"`
 }
 
 // Status is a session's externally visible state.
 type Status struct {
 	ID     string        `json:"id"`
 	Config SessionConfig `json:"config"`
+	// Epoch is the session's current ownership epoch (1 until a cluster
+	// handoff or failover adoption moves it).
+	Epoch uint64 `json:"epoch,omitempty"`
 	// SurrogateActive is the backend currently serving fits ("exact" until
 	// an auto escalation, "features" after).
 	SurrogateActive string `json:"surrogate_active"`
@@ -136,6 +151,25 @@ type session struct {
 	ledger []ledgerEntry // outstanding proposals, ask order
 	recs   []Record
 	failed []Record
+
+	// Cluster ownership state. epoch is the session's current ownership
+	// epoch (1 until it moves); fenced marks a session whose ownership is
+	// transferring away — every mutating request fails with ErrStaleEpoch
+	// so nothing this node accepts can diverge from the new owner. owner
+	// names the cluster node holding the session ("" = whatever the hash
+	// ring says); it rides in snapshots and fence records so a rebooted
+	// previous owner can tell the session moved while it was down.
+	epoch  uint64
+	fenced bool
+	owner  string
+
+	// Idempotency dedup, rebuilt from the event log on replay: ikAsks maps
+	// a key to the exact Ask it produced (a retried forward must see the
+	// same proposal, not consume a second one); ikTells records applied
+	// tell keys (lookups and point stores only — never ranged, so replay
+	// determinism is untouched).
+	ikAsks  map[string]Ask
+	ikTells map[string]bool
 }
 
 // newMachine builds the deterministic ask/tell machine a config describes:
@@ -208,6 +242,9 @@ func newSession(id string, cfg SessionConfig) (*session, error) {
 		cfg:     cfg,
 		at:      at,
 		mm:      mm,
+		epoch:   1,
+		ikAsks:  map[string]Ask{},
+		ikTells: map[string]bool{},
 	}, nil
 }
 
@@ -300,12 +337,28 @@ func (s *session) maybeCompact() {
 	}
 }
 
+// staleErr renders the fencing rejection for this session.
+func (s *session) staleErr() error {
+	return fmt.Errorf("%w: session %q moved owners at epoch %d", ErrStaleEpoch, s.id, s.epoch)
+}
+
 // ask issues the next proposal (or a wait/done status) and logs it. The
 // event is durably appended before the proposal is handed out: a crash
 // after the response leaves the proposal recoverable as outstanding work.
-func (s *session) ask() (Ask, error) {
+// ik, when non-empty, makes the ask idempotent: a retried delivery of the
+// same key gets the originally issued proposal back instead of consuming a
+// second budget slot.
+func (s *session) ask(ik string) (Ask, error) {
+	if s.fenced {
+		return Ask{}, s.staleErr()
+	}
 	if s.logErr != nil {
 		return Ask{}, s.logErr
+	}
+	if ik != "" {
+		if a, ok := s.ikAsks[ik]; ok {
+			return a, nil
+		}
 	}
 	p, ok, err := s.at.Suggest()
 	if err != nil {
@@ -317,14 +370,18 @@ func (s *session) ask() (Ask, error) {
 		}
 		return Ask{Status: AskWait}, nil
 	}
-	ev := Event{Kind: "ask", ID: p.ID, X: p.X}
+	ev := Event{Kind: "ask", ID: p.ID, X: p.X, IK: ik}
 	if err := s.logAppend(ev); err != nil {
 		return Ask{}, err
 	}
 	s.events = append(s.events, ev)
 	s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
+	a := Ask{Status: AskOK, ProposalID: p.ID, X: p.X}
+	if ik != "" {
+		s.ikAsks[ik] = a
+	}
 	s.maybeCompact()
-	return Ask{Status: AskOK, ProposalID: p.ID, X: p.X}, nil
+	return a, nil
 }
 
 // resolveTell maps a tell onto concrete coordinates, consuming the matching
@@ -357,8 +414,17 @@ func (s *session) resolveTell(t Tell) (id int, x []float64, err error) {
 // reflects the post-tell session state; a failed tell under the abort
 // policy kills the session and surfaces the abort error.
 func (s *session) tell(t Tell) (Status, error) {
+	if s.fenced {
+		return Status{}, s.staleErr()
+	}
 	if s.logErr != nil {
 		return Status{}, s.logErr
+	}
+	if t.IK != "" && s.ikTells[t.IK] {
+		// Already applied: a resent at-least-once delivery. Acknowledge
+		// with the current state; applying again would double-count the
+		// observation.
+		return s.status(), nil
 	}
 	id, x, err := s.resolveTell(t)
 	if err != nil {
@@ -370,7 +436,7 @@ func (s *session) tell(t Tell) (Status, error) {
 	} else if math.IsNaN(t.Y) {
 		evalErr = sched.ErrNaN
 	}
-	ev := Event{Kind: "tell", ID: id, X: x, Y: t.Y}
+	ev := Event{Kind: "tell", ID: id, X: x, Y: t.Y, IK: t.IK}
 	rec := Record{ID: id, X: x, Y: t.Y}
 	if evalErr != nil {
 		// Zero Y on failures: NaN is not representable in JSON, and the
@@ -386,6 +452,9 @@ func (s *session) tell(t Tell) (Status, error) {
 	}
 	wasDead := s.at.Err() != nil
 	s.events = append(s.events, ev)
+	if t.IK != "" {
+		s.ikTells[t.IK] = true
+	}
 	obsErr := s.applyTell(x, t.Y, evalErr)
 	if evalErr != nil {
 		s.failed = append(s.failed, rec)
@@ -416,6 +485,7 @@ func (s *session) status() Status {
 	st := Status{
 		ID:              s.id,
 		Config:          s.cfg,
+		Epoch:           s.epoch,
 		SurrogateActive: string(s.mm.Active()),
 		Observations:    s.at.Observations(),
 		Pending:         len(s.ledger),

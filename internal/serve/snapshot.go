@@ -27,6 +27,15 @@ type Snapshot struct {
 	ID      string        `json:"id"`
 	Config  SessionConfig `json:"config"`
 	Events  []Event       `json:"events"`
+	// Epoch is the ownership epoch at snapshot time (0 decodes as 1 for
+	// pre-cluster snapshots). A handoff ships the snapshot together with
+	// the epoch the receiver must fence at.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Owner names the cluster node that held the session at snapshot time
+	// ("" = the hash-ring owner). Carrying it in the snapshot keeps the
+	// ownership override alive across compactions, which prune the fence
+	// records that first established it.
+	Owner string `json:"owner,omitempty"`
 
 	// Informational (recomputed on restore).
 	Observations int       `json:"observations"`
@@ -44,6 +53,8 @@ func (s *session) snapshot() Snapshot {
 		ID:           s.id,
 		Config:       s.cfg,
 		Events:       append([]Event(nil), s.events...),
+		Epoch:        s.epoch,
+		Owner:        s.owner,
 		Observations: s.at.Observations(),
 		Pending:      len(s.ledger),
 	}
@@ -81,6 +92,9 @@ func (s *session) replay(events []Event, base int) error {
 			}
 			s.events = append(s.events, ev)
 			s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
+			if ev.IK != "" {
+				s.ikAsks[ev.IK] = Ask{Status: AskOK, ProposalID: p.ID, X: p.X}
+			}
 		case "tell":
 			// The live path validates tell dimensions in resolveTell; a
 			// snapshot bypasses it, and ragged observations would panic the
@@ -101,6 +115,9 @@ func (s *session) replay(events []Event, base int) error {
 				}
 			}
 			s.events = append(s.events, ev)
+			if ev.IK != "" {
+				s.ikTells[ev.IK] = true
+			}
 			rec := Record{ID: ev.ID, X: ev.X, Y: ev.Y, Err: ev.Err}
 			// An aborting tell legitimately returns the abort error; the
 			// machine is then dead and the log holds only a closing abort
@@ -165,6 +182,10 @@ func restoreSession(snap Snapshot) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if snap.Epoch > 0 {
+		s.epoch = snap.Epoch
+	}
+	s.owner = snap.Owner
 	if err := s.replay(snap.Events, 0); err != nil {
 		return nil, err
 	}

@@ -20,48 +20,83 @@ import (
 // quarantining the husk.
 var errEmptySession = errors.New("wal: no durable records")
 
-// Load implements serve.Store: scan every session directory, validate its
-// snapshot and segments (CRC per record, strict sequence continuity), and
-// return the decoded history for the server to replay. A torn final line in
-// the final segment — an unterminated partial write, the signature of a
-// crash mid-append — is truncated away; any other integrity failure,
-// including a complete final record that fails its CRC or sequence check,
-// marks the session Corrupt so the server quarantines it.
-func (st *Store) Load() ([]serve.PersistedSession, error) {
+// List implements serve.Store: the persisted session ids, sorted, without
+// opening or validating anything.
+func (st *Store) List() ([]string, error) {
 	dir := filepath.Join(st.root, sessionsDirName)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: listing sessions: %w", err)
 	}
-	var out []serve.PersistedSession
+	var ids []string
 	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+		if e.IsDir() {
+			ids = append(ids, e.Name())
 		}
-		id := e.Name()
-		ps := serve.PersistedSession{ID: id}
-		sc, err := st.scanSession(id)
-		if errors.Is(err, errEmptySession) {
-			//easybolint:ok errdrop best-effort: an empty dir that survives is re-freed on the next boot
-			_ = os.RemoveAll(st.sessionDir(id))
-			continue
-		}
+	}
+	// ReadDir already sorts by name.
+	return ids, nil
+}
+
+// LoadSession implements serve.Store: scan one session directory, validate
+// its snapshot and segments (CRC per record, strict sequence continuity),
+// and return the decoded history with a reopened append handle. A torn
+// final line in the final segment — an unterminated partial write, the
+// signature of a crash mid-append — is truncated away; any other integrity
+// failure, including a complete final record that fails its CRC or
+// sequence check, marks the session Corrupt so the server quarantines it.
+// A directory holding no durable record at all (fsync=off lost the whole
+// buffered log) is freed and reported as ErrUnknownSession.
+func (st *Store) LoadSession(id string) (serve.PersistedSession, error) {
+	ps := serve.PersistedSession{ID: id}
+	if err := serve.ValidateSessionID(id); err != nil {
+		return ps, fmt.Errorf("%w: %q", serve.ErrUnknownSession, id)
+	}
+	if _, err := os.Stat(st.sessionDir(id)); err != nil {
+		return ps, fmt.Errorf("%w: %q", serve.ErrUnknownSession, id)
+	}
+	sc, err := st.scanSession(id)
+	if errors.Is(err, errEmptySession) {
+		//easybolint:ok errdrop best-effort: an empty dir that survives is re-freed on the next boot
+		_ = os.RemoveAll(st.sessionDir(id))
+		return ps, fmt.Errorf("%w: %q (no durable records)", serve.ErrUnknownSession, id)
+	}
+	if err != nil {
+		ps.Corrupt = err
+		return ps, nil
+	}
+	ps.Config = sc.cfg
+	ps.Snapshot = sc.snap
+	ps.Events = sc.events
+	ps.Epoch = sc.epoch
+	if ps.Epoch == 0 {
+		ps.Epoch = 1
+	}
+	ps.Owner = sc.owner
+	l, err := st.reopen(id, sc)
+	if err != nil {
+		ps.Corrupt = err
+		return ps, nil
+	}
+	ps.Log = l
+	return ps, nil
+}
+
+// Load scans every persisted session — the whole-store convenience over
+// List + LoadSession, kept for single-node recovery and tests.
+func (st *Store) Load() ([]serve.PersistedSession, error) {
+	ids, err := st.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []serve.PersistedSession
+	for _, id := range ids {
+		ps, err := st.LoadSession(id)
 		if err != nil {
-			ps.Corrupt = err
-		} else {
-			ps.Config = sc.cfg
-			ps.Snapshot = sc.snap
-			ps.Events = sc.events
-			l, err := st.reopen(id, sc)
-			if err != nil {
-				ps.Corrupt = err
-			} else {
-				ps.Log = l
-			}
+			continue // freed husk or removed concurrently
 		}
 		out = append(out, ps)
 	}
-	// ReadDir already sorts by name, so sessions come back ordered by id.
 	return out, nil
 }
 
@@ -70,6 +105,8 @@ type scanResult struct {
 	cfg     serve.SessionConfig
 	snap    *serve.Snapshot
 	events  []serve.Event
+	epoch   uint64 // last fenced ownership epoch (0 = never fenced)
+	owner   string // node named by the last fence or the snapshot
 	nextSeq uint64 // sequence the live log resumes at
 	lastSeg uint64 // highest live segment index (0 = none survive the scan)
 }
@@ -96,6 +133,8 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 		snap := doc.Snapshot
 		sc.snap = &snap
 		sc.cfg = snap.Config
+		sc.epoch = snap.Epoch
+		sc.owner = snap.Owner
 		sc.nextSeq = doc.NextSeq
 		snapSeq = doc.NextSeq
 		haveCreate = true // the snapshot subsumes the create record
@@ -179,6 +218,17 @@ func (st *Store) scanSession(id string) (*scanResult, error) {
 					return nil, fmt.Errorf("segment %s: event record %d has no event", seg.path, rec.Seq)
 				}
 				sc.events = append(sc.events, *rec.Ev)
+			case "fence":
+				if !haveCreate {
+					return nil, fmt.Errorf("segment %s: fence before create record", seg.path)
+				}
+				if rec.Epoch <= sc.epoch {
+					// Epochs only ever grow; a regressing fence is an edited
+					// or replayed log, not a valid transfer.
+					return nil, fmt.Errorf("segment %s: fence epoch %d not after %d", seg.path, rec.Epoch, sc.epoch)
+				}
+				sc.epoch = rec.Epoch
+				sc.owner = rec.Owner
 			default:
 				return nil, fmt.Errorf("segment %s: unknown record kind %q", seg.path, rec.Kind)
 			}
@@ -235,8 +285,17 @@ func (st *Store) reopen(id string, sc *scanResult) (*Log, error) {
 	if st.closed {
 		return nil, fmt.Errorf("wal: store closed")
 	}
-	if _, ok := st.logs[id]; ok {
-		return nil, fmt.Errorf("wal: session %q already open", id)
+	if old, ok := st.logs[id]; ok {
+		// A handoff closes the source's handle but leaves the entry (only
+		// Remove/Quarantine delete); adoption reopens over a closed log. A
+		// handle that is still live means two writers — refuse.
+		old.mu.Lock()
+		stale := old.closed
+		old.mu.Unlock()
+		if !stale {
+			return nil, fmt.Errorf("wal: session %q already open", id)
+		}
+		delete(st.logs, id)
 	}
 	l := &Log{st: st, id: id, dir: st.sessionDir(id), seq: sc.nextSeq}
 	// Resume the compaction cadence where the crash left it: the tail

@@ -169,9 +169,13 @@ func segmentName(n uint64) string {
 // record is one WAL line payload.
 type record struct {
 	Seq  uint64               `json:"seq"`
-	Kind string               `json:"kind"` // "create" | "event"
+	Kind string               `json:"kind"` // "create" | "event" | "fence"
 	Cfg  *serve.SessionConfig `json:"cfg,omitempty"`
 	Ev   *serve.Event         `json:"ev,omitempty"`
+	// Fence records only: the ownership epoch being installed and the
+	// cluster node the session now belongs to.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Owner string `json:"owner,omitempty"`
 }
 
 // snapshotDoc is the compaction base document: the snapshot plus the
@@ -401,6 +405,30 @@ func (l *Log) Append(ev serve.Event) error {
 	l.since++
 	l.mu.Unlock()
 	return nil
+}
+
+// Fence implements serve.SessionLog: it durably records an ownership
+// transfer. The record participates in the ordinary sequence numbering (so
+// its position in history is integrity-checked like any event), and it is
+// pushed to stable storage immediately under every policy but off — the
+// whole point of a fence is that it is on disk before the new owner serves
+// a request, regardless of the append cadence.
+func (l *Log) Fence(epoch uint64, owner string) error {
+	if err := l.appendRecord(record{Kind: "fence", Epoch: epoch, Owner: owner}); err != nil {
+		return err
+	}
+	if l.st.opts.Fsync == PolicyOff {
+		// Honor the configured no-fsync contract, but at least hand the
+		// record to the kernel so only power loss — not a process kill —
+		// can lose it.
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.closed {
+			return nil
+		}
+		return l.flushLocked(false)
+	}
+	return l.Sync()
 }
 
 // CompactionDue implements serve.SessionLog. A snapshot embeds the
