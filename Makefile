@@ -5,10 +5,17 @@ STATICCHECK ?= staticcheck
 # upstream release cannot break the build unreviewed. Bump deliberately.
 STATICCHECK_VERSION ?= 2025.1.1
 FUZZTIME ?= 10s
+# Load-smoke knobs: CI runs the full 16x30s profile; local `make check`
+# inherits these shorter defaults.
+LOADTIME ?= 10s
+LOADSESSIONS ?= 8
+LOADWORKERS ?= 1
+LOADP99 ?= 2s
+LOAD_OUT ?= /tmp/easyboload.json
 
-.PHONY: check vet fmt lint staticcheck build test race cover fuzz-smoke bench-smoke bench bench-json bench-gate smoke crash-smoke cluster-smoke
+.PHONY: check vet fmt lint staticcheck build test race cover fuzz-smoke load-smoke bench-smoke bench bench-json bench-gate smoke crash-smoke cluster-smoke
 
-check: vet fmt lint staticcheck build test race bench-smoke
+check: vet fmt lint staticcheck build test race bench-smoke fuzz-smoke load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -51,9 +58,9 @@ test: build
 # (cmd/easybo), and the daemon's serve/shutdown paths (cmd/easybod).
 race:
 	$(GO) test -race ./internal/sched/... ./internal/core/... ./internal/serve/... \
-		./internal/cluster/... \
+		./internal/cluster/... ./internal/loadgen/... \
 		./internal/circuit/... ./internal/optimize/... ./internal/harness/... \
-		./cmd/easybo/... ./cmd/easybod/...
+		./cmd/easybo/... ./cmd/easybod/... ./cmd/easyboload/...
 
 # Coverage with a ratchet: scripts/coverage.sh fails if the durability
 # stack (./internal/serve/...) drops below its recorded floor.
@@ -72,6 +79,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseValue$$' -fuzztime $(FUZZTIME) ./internal/circuit
 	$(GO) test -run '^$$' -fuzz '^FuzzParseNetlist$$' -fuzztime $(FUZZTIME) ./internal/circuit
 
+# Serving-path throughput smoke: first the shed-equivalence test (admission
+# control loses no tells, history bitwise-identical to unthrottled), then a
+# real easyboload run against an in-process daemon asserting zero errors,
+# nonzero cache traffic on its repeated-point workload, and a p99 ceiling.
+# The benchjson-shaped result lands in LOAD_OUT (uploaded as a CI artifact).
+load-smoke:
+	$(GO) test -race -run TestShedEquivalence -v ./cmd/easyboload
+	$(GO) run ./cmd/easyboload -sessions $(LOADSESSIONS) -workers $(LOADWORKERS) \
+		-duration $(LOADTIME) -out $(LOAD_OUT) \
+		-assert-max-errors 0 -assert-min-cache-hits 1 -assert-min-asks 1 \
+		-assert-max-p99 $(LOADP99)
+
 # Smoke-run the incremental-engine and surrogate-backend benchmarks so a
 # regression on the hot path (or a compile error in a bench file) fails CI
 # loudly.
@@ -84,19 +103,19 @@ bench:
 
 # Machine-readable hot-path benchmark results: newton-iteration, tran-step,
 # AC-sweep, full testbench evaluations (sparse vs. dense), the
-# exact-vs-feature-space surrogate scaling suite, and the end-to-end
-# 40-eval EasyBO-A run, with speedups derived.
+# exact-vs-feature-space surrogate scaling suite, the end-to-end 40-eval
+# EasyBO-A run, and the easyboload serving-path rows, with speedups derived.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_4.json
+	$(GO) run ./cmd/benchjson -out BENCH_5.json
 
 # CI bench-regression gate: measure a short fresh report and compare it to
-# the committed BENCH_4.json baseline. Gated hot-path benchmarks
-# (newton-iteration, testbench evals, feature-space surrogate updates) fail
-# CI on a >2x slowdown; everything else only warns, since shared runners
-# are noisy.
+# the committed BENCH_5.json baseline. Gated hot-path benchmarks
+# (newton-iteration, testbench evals, feature-space surrogate updates, and
+# the serving-path throughput/latency rows) fail CI on a >2x slowdown;
+# everything else only warns, since shared runners are noisy.
 bench-gate:
-	$(GO) run ./cmd/benchjson -out $(BENCH_HEAD) -benchtime 0.3s -count 2
-	$(GO) run ./cmd/benchcmp -baseline BENCH_4.json -head $(BENCH_HEAD)
+	$(GO) run ./cmd/benchjson -out $(BENCH_HEAD) -benchtime 0.3s -count 2 -loadtime 5s
+	$(GO) run ./cmd/benchcmp -baseline BENCH_5.json -head $(BENCH_HEAD)
 
 # Build every cmd/* and examples/* binary, run each example on a tiny
 # budget, and drive a live easybod daemon through an ask/tell round trip,

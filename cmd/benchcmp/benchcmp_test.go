@@ -85,3 +85,50 @@ func TestCompareAcceptsSpeedups(t *testing.T) {
 		t.Fatalf("speedup flagged: %+v", rows[0])
 	}
 }
+
+// serveGate is the default -gate expression including the serving-path
+// rows cmd/easyboload emits.
+var serveGate = regexp.MustCompile(`(NewtonIteration|OpAmpEval|ClassEEval)Sparse|Surrogate(Extend|Predict)Features|Serve(AskThroughput|AskLatencyP99)`)
+
+func TestCompareGatesServingPathRegression(t *testing.T) {
+	baseline := mkReport(map[string]float64{
+		"ServeAskThroughput":  2e6, // 500 asks/sec
+		"ServeAskLatencyP99":  50e6,
+		"ServeTellLatencyP99": 20e6,
+	})
+	// Throughput halved twice over (ns/op up 3x) fails; the tell row is
+	// deliberately ungated (it shadows ask latency) and only warns.
+	head := mkReport(map[string]float64{
+		"ServeAskThroughput":  6e6,
+		"ServeAskLatencyP99":  55e6,
+		"ServeTellLatencyP99": 90e6,
+	})
+	rows, failed := compare(baseline, head, serveGate, 2.0)
+	if !failed {
+		t.Fatal("3x serving-throughput regression must fail the gate")
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "ServeAskThroughput":
+			if r.Verdict != "FAIL" {
+				t.Fatalf("throughput verdict %q, want FAIL", r.Verdict)
+			}
+		case "ServeAskLatencyP99":
+			if r.Verdict != "ok" {
+				t.Fatalf("ask-p99 verdict %q, want ok", r.Verdict)
+			}
+		case "ServeTellLatencyP99":
+			if r.Verdict != "warn" {
+				t.Fatalf("tell-p99 verdict %q, want warn (ungated)", r.Verdict)
+			}
+		}
+	}
+}
+
+func TestCompareFailsOnMissingServeRow(t *testing.T) {
+	baseline := mkReport(map[string]float64{"ServeAskLatencyP99": 50e6})
+	head := mkReport(map[string]float64{"BenchmarkSomethingElse": 1})
+	if _, failed := compare(baseline, head, serveGate, 2.0); !failed {
+		t.Fatal("a vanished serving-path row must fail the gate")
+	}
+}

@@ -1,13 +1,14 @@
-// Command benchjson runs the simulation-kernel hot-path benchmarks and
-// writes the results as machine-readable JSON (ns/op, B/op, allocs/op,
-// extra metrics like ns/step, plus derived sparse-vs-dense and
+// Command benchjson runs the simulation-kernel hot-path benchmarks plus a
+// serving-path load run (cmd/easyboload) and writes the results as
+// machine-readable JSON (ns/op, B/op, allocs/op, extra metrics like
+// ns/step and asks/sec, plus derived sparse-vs-dense and
 // exact-vs-feature-space speedups), so the repository's performance
 // trajectory is tracked in data rather than prose. `make bench-json`
-// invokes it to produce BENCH_4.json.
+// invokes it to produce BENCH_5.json.
 //
 // Usage:
 //
-//	benchjson -out BENCH_4.json -benchtime 20x
+//	benchjson -out BENCH_5.json -benchtime 20x -loadtime 10s
 package main
 
 import (
@@ -61,10 +62,13 @@ var lineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_4.json", "output JSON path")
+		out       = flag.String("out", "BENCH_5.json", "output JSON path")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
 		count     = flag.Int("count", 3, "go test -count value; the per-benchmark minimum is reported")
 		goBin     = flag.String("go", "go", "go tool to invoke")
+
+		loadtime     = flag.Duration("loadtime", 10*time.Second, "serving-path load run length (0 skips the load leg)")
+		loadSessions = flag.Int("load-sessions", 8, "concurrent sessions in the load leg")
 	)
 	flag.Parse()
 
@@ -90,6 +94,30 @@ func main() {
 		// Noise robustness: -count repetitions, keep each benchmark's
 		// fastest run (the standard minimum-time estimator).
 		rep.Benchmarks = append(rep.Benchmarks, merge(parse(string(raw), s.pkg))...)
+	}
+
+	// Serving-path leg: one easyboload run against an in-process daemon.
+	// Its stdout is already benchjson-shaped, so the rows merge verbatim
+	// and benchcmp gates ServeAskThroughput/ServeAskLatencyP99 like any
+	// kernel benchmark.
+	if *loadtime > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: running serving-path load (%s, %d sessions)\n", *loadtime, *loadSessions)
+		cmd := exec.Command(*goBin, "run", "easybo/cmd/easyboload",
+			"-duration", loadtime.String(),
+			"-sessions", strconv.Itoa(*loadSessions),
+			"-out", "-", "-quiet")
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("easyboload: %w", err))
+		}
+		var load struct {
+			Benchmarks []Result `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &load); err != nil {
+			fatal(fmt.Errorf("parsing easyboload output: %w", err))
+		}
+		rep.Benchmarks = append(rep.Benchmarks, load.Benchmarks...)
 	}
 
 	// Derived sparse-vs-dense ratios for the headline workloads.

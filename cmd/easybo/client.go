@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -24,14 +25,19 @@ import (
 type httpError struct {
 	status int
 	msg    string
+	// retryAfter is the daemon's Retry-After hint (429 shedding), zero
+	// when absent or unparseable.
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return fmt.Sprintf("%s (HTTP %d)", e.msg, e.status) }
 
 // retrier retries transient failures against the daemon: transport errors
 // (connection refused or reset while an orchestrator restarts easybod),
-// 5xx responses (503 while a recovery replay runs), and 412 (the session
-// is mid-handoff between cluster nodes and will land somewhere routable).
+// 5xx responses (503 while a recovery replay runs), 412 (the session is
+// mid-handoff between cluster nodes and will land somewhere routable), and
+// 429 (the daemon is shedding load — backpressure, not failure: back off
+// at least Retry-After and try again).
 // Backoff is exponential from 100ms capped at 3s, with half-interval
 // jitter so a whole worker pool does not hammer a recovering daemon in
 // lockstep. Semantic errors (other 4xx) return immediately.
@@ -100,14 +106,18 @@ func (r *retrier) backoff(retry int) time.Duration {
 func retryable(err error) bool {
 	var he *httpError
 	if errors.As(err, &he) {
-		return he.status >= 500 || he.status == http.StatusPreconditionFailed
+		return he.status >= 500 ||
+			he.status == http.StatusPreconditionFailed ||
+			he.status == http.StatusTooManyRequests
 	}
 	return err != nil // transport-level failure
 }
 
 // failover reports whether the error justifies demoting the endpoint: the
 // node is unreachable or broken. A 412 does not — any node routes, the
-// session is just mid-transfer.
+// session is just mid-transfer. Neither does a 429: the daemon is healthy
+// and deliberately shedding, and with cluster forwarding its siblings are
+// under the same pressure — rotating would just spread the stampede.
 func failover(err error) bool {
 	var he *httpError
 	if errors.As(err, &he) {
@@ -145,6 +155,11 @@ func (r *retrier) call(method, path string, body, out any, ik string) (resent bo
 			resent = true
 		}
 		d := r.backoff(retry)
+		if he != nil && he.retryAfter > d {
+			// The daemon asked for a longer pause than the backoff schedule
+			// would take; honor it.
+			d = he.retryAfter
+		}
 		if deadline, ok := ctx.Deadline(); ok {
 			if remain := time.Until(deadline); remain <= d {
 				err = fmt.Errorf("retry budget %s exhausted after %d attempt(s): %w", r.budget, retry+1, err)
@@ -245,6 +260,12 @@ func runRemote(serveURL string, p easybo.Problem, opts easybo.Options, policy st
 		Status     string    `json:"status"`
 		ProposalID int       `json:"proposal_id"`
 		X          []float64 `json:"x"`
+		// Eval/Y are the daemon's evaluation-cache hints (sessions that
+		// declare a testbench): "cached" means Y carries a prior result to
+		// tell straight back, "inflight" means another worker is computing
+		// this exact point and the daemon will tell it itself.
+		Eval string   `json:"eval"`
+		Y    *float64 `json:"y"`
 	}
 	type tellReq struct {
 		ProposalID *int    `json:"proposal_id,omitempty"`
@@ -335,15 +356,31 @@ func runRemote(serveURL string, p easybo.Problem, opts easybo.Options, policy st
 				default:
 					claim(a.ProposalID)
 				}
+				if a.Eval == "inflight" {
+					// Another session's worker is evaluating this exact point;
+					// the daemon tells this proposal itself when it lands. The
+					// pid stays claimed so this client does not re-adopt it as
+					// an orphan and race the daemon's delivery.
+					continue
+				}
 				start := time.Since(t0).Seconds()
-				// Same contract as -parallel: a failing objective gets
-				// Retries extra attempts on its worker before the failure
-				// is told to the daemon and its policy applies.
-				y, evalErr := safeEval(p.Objective, a.X)
-				attempts := 1
-				for evalErr != "" && attempts <= opts.Async.Retries {
-					attempts++
+				var y float64
+				var evalErr string
+				attempts := 0
+				if a.Eval == "cached" && a.Y != nil {
+					// Prior result for an identical evaluation: skip the
+					// simulation and report the recorded value back.
+					y = *a.Y
+				} else {
+					// Same contract as -parallel: a failing objective gets
+					// Retries extra attempts on its worker before the failure
+					// is told to the daemon and its policy applies.
 					y, evalErr = safeEval(p.Objective, a.X)
+					attempts = 1
+					for evalErr != "" && attempts <= opts.Async.Retries {
+						attempts++
+						y, evalErr = safeEval(p.Objective, a.X)
+					}
 				}
 				end := time.Since(t0).Seconds()
 				t := tellReq{ProposalID: &a.ProposalID, Y: y}
@@ -470,7 +507,14 @@ func callJSON(ctx context.Context, hc *http.Client, method, url string, body, ou
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &httpError{status: resp.StatusCode, msg: msg}
+		he := &httpError{status: resp.StatusCode, msg: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			// Only the delay-seconds form; easybod never sends a date.
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				he.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
 	}
 	if out != nil {
 		return json.Unmarshal(data, out)

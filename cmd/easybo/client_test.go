@@ -193,3 +193,79 @@ func TestRetrier412IsRetriedButNotFailedOver(t *testing.T) {
 		t.Fatalf("server saw %d calls, want 3", calls.Load())
 	}
 }
+
+// TestRetrier429IsBackpressureNotFailure: a shedding daemon answers 429 +
+// Retry-After; the client must treat it as backoff-not-failure — retry
+// until admitted, honor the advertised pause when it exceeds the backoff
+// schedule, and never demote the endpoint (its siblings are under the same
+// load).
+func TestRetrier429IsBackpressureNotFailure(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"serve: overloaded, retry later"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	rt := newRetrier(ts.Client(), []string{ts.URL, "http://127.0.0.1:1"}, 4, 0)
+	start := time.Now()
+	var out struct {
+		Status string `json:"status"`
+	}
+	resent, err := rt.call(http.MethodPost, "", map[string]any{}, &out, "cli-shed")
+	if err != nil || out.Status != "ok" {
+		t.Fatalf("call through shedding daemon = %v, status %q; want admitted", err, out.Status)
+	}
+	if resent {
+		t.Fatal("429 retries must not be flagged as possibly-applied resends")
+	}
+	if rt.base() != ts.URL {
+		t.Fatal("429 demoted the endpoint; shedding is backpressure, not node failure")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	// Two shed responses, each advertising Retry-After: 1s, which exceeds
+	// every early backoff interval (100ms, 200ms): the total wait must
+	// honor the daemon's hint, not the shorter schedule.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("waited %s across two Retry-After: 1 sheds; want >= 2s", elapsed)
+	}
+}
+
+// TestRetryAfterParsing: the delay-seconds form is honored, garbage and
+// absent headers fall back to zero (plain exponential backoff).
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"", 0},
+		{"soon", 0},
+		{"-5", 0},
+	}
+	for _, tc := range cases {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if tc.header != "" {
+				w.Header().Set("Retry-After", tc.header)
+			}
+			http.Error(w, `{"error":"overloaded"}`, http.StatusTooManyRequests)
+		}))
+		rt := newRetrier(ts.Client(), []string{ts.URL}, 0, 0) // no retries: inspect the error
+		_, err := rt.call(http.MethodGet, "", nil, nil, "")
+		var he *httpError
+		if !errors.As(err, &he) {
+			t.Fatalf("header %q: error %v, want *httpError", tc.header, err)
+		}
+		if he.retryAfter != tc.want {
+			t.Errorf("header %q: retryAfter %s, want %s", tc.header, he.retryAfter, tc.want)
+		}
+		ts.Close()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/big"
 	"net/http"
+	"strings"
 	"time"
 
 	"easybo/internal/serve"
@@ -129,6 +130,25 @@ func (n *Node) forwardSession(w http.ResponseWriter, r *http.Request, id string)
 // forwardSessionBody is forwardSession for a request whose body was
 // already buffered (create/restore routing reads it to learn the id).
 func (n *Node) forwardSessionBody(w http.ResponseWriter, r *http.Request, id string, body []byte) {
+	// Shed before proxying: an ask this node would refuse must not consume
+	// a forward attempt and a slot on the owner's queue first. The slot is
+	// held for the duration of the proxy (bounding asks in flight through
+	// this node) and released before local serving, which runs its own
+	// gate. The owner's own 429 relays verbatim below — backpressure always
+	// reaches the client.
+	var release func()
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/ask") {
+		var ok bool
+		if release, ok = n.sv.AdmitAsk(); !ok {
+			serve.WriteOverloaded(w)
+			return
+		}
+	}
+	defer func() {
+		if release != nil {
+			release()
+		}
+	}()
 	hdr := http.Header{}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		hdr.Set("Content-Type", ct)
@@ -163,7 +183,13 @@ func (n *Node) forwardSessionBody(w http.ResponseWriter, r *http.Request, id str
 		}
 		if local {
 			// Ownership resolved to this node (possibly after an adoption
-			// the route step performed): serve it here.
+			// the route step performed): serve it here. The local handler
+			// runs its own admission gate, so the proxy slot is returned
+			// first to avoid counting the request twice.
+			if release != nil {
+				release()
+				release = nil
+			}
 			n.serveLocal(w, r, body, hdr)
 			return
 		}
@@ -190,6 +216,10 @@ func (n *Node) forwardSessionBody(w http.ResponseWriter, r *http.Request, id str
 func writeForwarded(w http.ResponseWriter, res *forwardResult) {
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		// An owner's 429 shed must reach the client with its backoff hint.
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(res.status)
 	//easybolint:ok errdrop the response is already committed; a failed relay write is the client's disconnect

@@ -1,0 +1,75 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	// Everything below the first octave collapses into bucket 0.
+	if got := bucketOf(0); got != 0 {
+		t.Fatalf("bucketOf(0) = %d, want 0", got)
+	}
+	if got := bucketOf(1<<histMinBits - 1); got != 0 {
+		t.Fatalf("bucketOf(%d) = %d, want 0", 1<<histMinBits-1, got)
+	}
+	// Buckets are monotone and every value is at most its bucket's upper edge.
+	prev := -1
+	for _, ns := range []int64{1 << 10, 1<<10 + 1, 1500, 2048, 3000, 1 << 20, 1 << 30, 1<<38 - 1, 1 << 38, 1 << 60} {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", ns, b, prev)
+		}
+		prev = b
+		if up := bucketUpper(b); ns > up {
+			t.Fatalf("value %d above its bucket %d upper edge %d", ns, b, up)
+		}
+	}
+	// Worst-case relative bucket error stays under ~15% across mid-range
+	// octaves (8 sub-buckets per octave).
+	for _, ns := range []int64{5_000, 77_777, 1_234_567, 98_765_432} {
+		up := bucketUpper(bucketOf(ns))
+		if rel := float64(up-ns) / float64(ns); rel > 0.15 {
+			t.Fatalf("bucket error %.2f too large for %d (upper %d)", rel, ns, up)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if got := h.quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	// 100 observations of 1ms and one of 100ms: p50 brackets 1ms, p99/max
+	// clamp to the exact observed maximum.
+	for i := 0; i < 100; i++ {
+		h.observe(time.Millisecond)
+	}
+	h.observe(100 * time.Millisecond)
+	p50 := h.quantile(0.50)
+	if p50 < int64(time.Millisecond) || p50 > int64(time.Millisecond)*12/10 {
+		t.Fatalf("p50 = %d, want ~1ms upper edge", p50)
+	}
+	if got := h.quantile(1.0); got != h.max {
+		t.Fatalf("p100 = %d, want exact max %d", got, h.max)
+	}
+	if h.max != int64(100*time.Millisecond) {
+		t.Fatalf("max = %d, want %d", h.max, int64(100*time.Millisecond))
+	}
+
+	// merge is additive.
+	var a, b histogram
+	a.observe(2 * time.Millisecond)
+	b.observe(8 * time.Millisecond)
+	b.observe(8 * time.Millisecond)
+	a.merge(&b)
+	if a.n != 3 {
+		t.Fatalf("merged n = %d, want 3", a.n)
+	}
+	if a.max != int64(8*time.Millisecond) {
+		t.Fatalf("merged max = %d, want 8ms", a.max)
+	}
+	if got := a.quantile(0.99); got < int64(8*time.Millisecond) {
+		t.Fatalf("merged p99 = %d, want >= 8ms", got)
+	}
+}

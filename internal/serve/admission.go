@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Admission control for the ask path.
+//
+// Asks are the requests that create work: each AskOK hands a worker a
+// simulation that can run for seconds and, until its tell returns, holds
+// surrogate state hallucinated around a busy location. A daemon accepting
+// asks faster than evaluations complete grows its outstanding set without
+// bound — memory, WAL volume, and per-suggest cost all scale with it. The
+// gate bounds two quantities:
+//
+//   - maxEvals: outstanding proposals daemon-wide (issued asks whose tell
+//     has not arrived). The gauge is fed by every session's ledger, so it
+//     survives any interleaving of sessions.
+//   - queueDepth: ask requests inside the handler right now — a burst
+//     bound, catching stampedes before they reach session actors.
+//
+// Tells are never gated: a tell retires outstanding work, so shedding it
+// would push the daemon further into the state the gate exists to prevent.
+// Shed requests get 429 with a constant Retry-After (the serve package is
+// inside the determinism boundary — no clocks — and the client retrier
+// applies its own exponential backoff on top, so an adaptive hint would
+// buy nothing).
+//
+// Both checks are soft ceilings: admission is check-then-act on atomic
+// gauges, so a handful of concurrent asks can land a few past the limit.
+// That slack is deliberate — an exact gate would need a lock on the hot
+// path, and the limits bound resource classes, not invariants.
+type admission struct {
+	maxEvals   int64 // 0 = unlimited outstanding proposals
+	queueDepth int64 // 0 = unlimited concurrent ask requests
+
+	evals atomic.Int64 // outstanding proposals, fed by session ledgers
+	asks  atomic.Int64 // ask requests currently inside the handler
+	shed  atomic.Int64 // asks rejected with 429 since boot
+}
+
+// admitAsk accounts one ask request entering the handler. ok=false means
+// the request must be shed; otherwise the caller must invoke release when
+// the handler finishes (whatever the outcome).
+func (ad *admission) admitAsk() (release func(), ok bool) {
+	q := ad.asks.Add(1)
+	if ad.queueDepth > 0 && q > ad.queueDepth {
+		ad.asks.Add(-1)
+		ad.shed.Add(1)
+		return nil, false
+	}
+	if ad.maxEvals > 0 && ad.evals.Load() >= ad.maxEvals {
+		ad.asks.Add(-1)
+		ad.shed.Add(1)
+		return nil, false
+	}
+	return func() { ad.asks.Add(-1) }, true
+}
+
+// retryAfterSeconds is the constant Retry-After advertised on 429s. See
+// the admission doc comment for why it is not adaptive.
+const retryAfterSeconds = "1"
+
+// writeOverloaded renders the shed response: 429 with Retry-After, in the
+// same JSON error envelope as every other failure.
+func writeOverloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	_, _ = w.Write([]byte(`{"error":"serve: overloaded, retry later"}` + "\n"))
+}
+
+// AdmissionStats is the gate's observable state, served on /statz.
+type AdmissionStats struct {
+	InflightEvals    int64 `json:"inflight_evals"`     // outstanding proposals daemon-wide
+	MaxInflightEvals int64 `json:"max_inflight_evals"` // 0 = unlimited
+	AskQueue         int64 `json:"ask_queue"`          // ask requests inside the handler
+	QueueDepth       int64 `json:"queue_depth"`        // 0 = unlimited
+	ShedAsks         int64 `json:"shed_asks"`          // 429s issued since boot
+}
+
+func (ad *admission) stats() AdmissionStats {
+	return AdmissionStats{
+		InflightEvals:    ad.evals.Load(),
+		MaxInflightEvals: ad.maxEvals,
+		AskQueue:         ad.asks.Load(),
+		QueueDepth:       ad.queueDepth,
+		ShedAsks:         ad.shed.Load(),
+	}
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The cross-session evaluation cache.
+//
+// At service scale the same expensive simulations recur: sessions created
+// from the same template share a seed and therefore propose bitwise
+// identical initial designs, re-runs of a sizing pipeline revisit the same
+// corners, and multi-fidelity flows re-simulate points at the tolerance
+// they already ran. The daemon never evaluates anything itself — workers
+// do — so the cache operates on the protocol instead: an ask whose point
+// was already evaluated under the same (testbench, fidelity) identity
+// carries the prior result back to the worker, which skips the simulation
+// and tells the value straight back; an ask whose point is being evaluated
+// right now by some other session's worker joins it in flight, and the
+// daemon delivers the result to every joined proposal when the one real
+// evaluation lands (singleflight).
+//
+// # Determinism contract
+//
+// The cache NEVER touches replayed state. A cache hit changes only the
+// hint in the ask response — which worker wall-clock path produced the Y
+// is invisible to the session — and the resulting tell is recorded in the
+// event log exactly like a freshly simulated one. Replay (snapshot restore
+// and WAL crash recovery) re-derives asks and re-applies recorded tells
+// without ever consulting the cache, so a session that was served entirely
+// from cache replays bit-for-bit on a daemon with the cache disabled. The
+// observation is the record; the cache path is not.
+type EvalCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *cacheEntry; front = most recently used
+	done     map[evalKey]*list.Element
+	inflight map[evalKey]*inflightEval
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	joins     atomic.Int64
+	puts      atomic.Int64
+	evictions atomic.Int64
+	abandons  atomic.Int64
+	delivered atomic.Int64
+}
+
+// evalKey content-addresses one simulation: the hash of (testbench id,
+// fidelity tier, canonicalized parameter vector).
+type evalKey [sha256.Size]byte
+
+// cacheEntry is one completed evaluation.
+type cacheEntry struct {
+	k evalKey
+	y float64
+}
+
+// inflightEval is one evaluation some worker is computing right now: the
+// proposal that triggered it (the leader) plus every proposal that joined
+// it while it ran. Waiters receive the result as a daemon-issued tell when
+// the leader's tell lands.
+type inflightEval struct {
+	leaderSession  string
+	leaderProposal int
+	waiters        []cacheWaiter
+}
+
+// cacheWaiter identifies one proposal that joined an in-flight evaluation.
+type cacheWaiter struct {
+	session  string
+	proposal int
+}
+
+// evalKeyFor canonicalizes and hashes one evaluation identity. Parameters
+// are keyed by their exact float64 bits — proposals that recur across
+// sessions recur because the seeded design and suggestion paths are
+// deterministic, so bitwise identity is the honest equality — with one
+// normalization: -0.0 keys as +0.0 (they are the same input to any
+// objective). A NaN coordinate is uncacheable and reports ok=false.
+func evalKeyFor(testbench, fidelity string, x []float64) (k evalKey, ok bool) {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(testbench)))
+	h.Write(buf[:])
+	h.Write([]byte(testbench))
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(fidelity)))
+	h.Write(buf[:])
+	h.Write([]byte(fidelity))
+	const negZeroBits = 0x8000000000000000
+	for _, v := range x {
+		if math.IsNaN(v) {
+			return evalKey{}, false
+		}
+		b := math.Float64bits(v)
+		if b == negZeroBits {
+			b = 0
+		}
+		binary.LittleEndian.PutUint64(buf[:], b)
+		h.Write(buf[:])
+	}
+	h.Sum(k[:0])
+	return k, true
+}
+
+// newEvalCache builds a cache bounded to capacity completed entries
+// (in-flight registrations live outside the LRU and are bounded by the
+// admission layer's outstanding-proposal ceiling instead).
+func newEvalCache(capacity int) *EvalCache {
+	return &EvalCache{
+		capacity: capacity,
+		lru:      list.New(),
+		done:     map[evalKey]*list.Element{},
+		inflight: map[evalKey]*inflightEval{},
+	}
+}
+
+// cacheOutcome classifies one lookup.
+type cacheOutcome int
+
+const (
+	cacheMiss     cacheOutcome = iota // first sight: the caller's worker is the leader
+	cacheHit                          // completed result available
+	cacheInflight                     // joined an evaluation already in flight
+)
+
+// lookup consults the cache for one just-issued proposal. A miss registers
+// the proposal as the in-flight leader; an in-flight key registers it as a
+// waiter to be told when the leader's result lands.
+func (c *EvalCache) lookup(k evalKey, session string, proposal int) (y float64, out cacheOutcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.done[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).y, cacheHit
+	}
+	if fl, ok := c.inflight[k]; ok {
+		fl.waiters = append(fl.waiters, cacheWaiter{session: session, proposal: proposal})
+		c.joins.Add(1)
+		return 0, cacheInflight
+	}
+	c.inflight[k] = &inflightEval{leaderSession: session, leaderProposal: proposal}
+	c.misses.Add(1)
+	return 0, cacheMiss
+}
+
+// resolve records one completed evaluation: the key's in-flight
+// registration (if any) is retired and its waiters returned for delivery,
+// and the value enters the LRU-bounded completed set.
+func (c *EvalCache) resolve(k evalKey, y float64) []cacheWaiter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var waiters []cacheWaiter
+	if fl, ok := c.inflight[k]; ok {
+		waiters = fl.waiters
+		delete(c.inflight, k)
+	}
+	if el, ok := c.done[k]; ok {
+		// Last write wins: identical inputs produce identical outputs for a
+		// deterministic testbench, so this only matters for mislabeled ones.
+		el.Value.(*cacheEntry).y = y
+		c.lru.MoveToFront(el)
+	} else {
+		c.done[k] = c.lru.PushFront(&cacheEntry{k: k, y: y})
+		c.puts.Add(1)
+		for c.capacity > 0 && c.lru.Len() > c.capacity {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.done, oldest.Value.(*cacheEntry).k)
+			c.evictions.Add(1)
+		}
+	}
+	if len(waiters) > 0 {
+		c.delivered.Add(int64(len(waiters)))
+	}
+	return waiters
+}
+
+// abandon retires an in-flight registration whose leader's evaluation
+// failed. Waiters are dropped without a value: their proposals stay
+// outstanding, visible in Status for a worker to adopt and evaluate for
+// real (the same orphan-adoption path that heals a lost ask response).
+func (c *EvalCache) abandon(k evalKey, session string, proposal int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fl, ok := c.inflight[k]
+	if !ok || fl.leaderSession != session || fl.leaderProposal != proposal {
+		return
+	}
+	delete(c.inflight, k)
+	c.abandons.Add(1)
+}
+
+// releaseSession drops every in-flight registration a closing session
+// leads. Its waiters' proposals stay outstanding for orphan adoption; the
+// next identical ask from any session becomes a fresh leader.
+func (c *EvalCache) releaseSession(session string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]evalKey, 0, len(c.inflight))
+	for k := range c.inflight {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		if fl := c.inflight[k]; fl != nil && fl.leaderSession == session {
+			delete(c.inflight, k)
+			c.abandons.Add(1)
+		}
+	}
+}
+
+// EvalCacheStats is the cache's observable state, served on /statz.
+type EvalCacheStats struct {
+	Entries   int   `json:"entries"`  // completed results held
+	Inflight  int   `json:"inflight"` // evaluations currently being computed
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Joins     int64 `json:"inflight_joins"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Abandons  int64 `json:"abandons"`
+	Delivered int64 `json:"delivered"` // waiter proposals resolved by daemon-issued tells
+}
+
+// Stats snapshots the counters.
+func (c *EvalCache) Stats() EvalCacheStats {
+	c.mu.Lock()
+	entries, inflight := c.lru.Len(), len(c.inflight)
+	c.mu.Unlock()
+	return EvalCacheStats{
+		Entries:   entries,
+		Inflight:  inflight,
+		Capacity:  c.capacity,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Joins:     c.joins.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Abandons:  c.abandons.Load(),
+		Delivered: c.delivered.Load(),
+	}
+}

@@ -176,6 +176,7 @@ func (sv *Server) Adopt(id, self string, mayTakeFrom func(owner string) bool) (S
 	s.epoch++
 	s.owner = self
 	s.log = ps.Log
+	sv.bind(s)
 	s.start()
 	if err := sv.reg.add(s); err != nil {
 		s.log = nil

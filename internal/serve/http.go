@@ -25,6 +25,7 @@ import (
 //	GET    /sessions/{id}/snapshot   restart-safe session snapshot
 //	GET    /healthz                  liveness probe (alive during recovery)
 //	GET    /readyz                   readiness probe (503 until Recover ran)
+//	GET    /statz                    throughput stats: eval cache + admission
 //
 // Routing is hand-rolled on the URL path so the daemon builds with every
 // toolchain the CI matrix covers (the pattern-matching ServeMux needs a
@@ -34,6 +35,12 @@ type Server struct {
 	store Store
 	opts  ServerOptions
 	ready atomic.Bool
+
+	// cache is the cross-session evaluation cache (nil = disabled); adm is
+	// the ask-path admission gate. Both are daemon-wide: sessions share
+	// them through bind().
+	cache *EvalCache
+	adm   admission
 
 	// Recovery progress, reported by /readyz while the boot replay runs.
 	recTotal atomic.Int64
@@ -60,6 +67,18 @@ type ServerOptions struct {
 	// names a different node (they moved while this node was down), and
 	// new sessions record it as their owner.
 	NodeID string
+	// CacheSize bounds the cross-session evaluation cache to that many
+	// completed results; <= 0 disables caching entirely (the zero value
+	// preserves pre-cache behavior). Sessions opt in by declaring a
+	// testbench in their config.
+	CacheSize int
+	// MaxInflightEvals bounds outstanding proposals daemon-wide: asks past
+	// the bound are shed with 429 + Retry-After until tells retire work.
+	// 0 = unlimited.
+	MaxInflightEvals int
+	// QueueDepth bounds ask requests concurrently inside the handler (a
+	// burst bound ahead of the eval bound). 0 = unlimited.
+	QueueDepth int
 }
 
 // NewServer builds a Server over a fresh in-memory store.
@@ -72,13 +91,89 @@ func NewServerWith(o ServerOptions) *Server {
 	if o.Store == nil {
 		o.Store = NewMemStore()
 	}
-	return &Server{
+	sv := &Server{
 		reg:         newRegistry(),
 		store:       o.Store,
 		opts:        o,
 		quarantined: map[string]string{},
 	}
+	if o.CacheSize > 0 {
+		sv.cache = newEvalCache(o.CacheSize)
+	}
+	sv.adm.maxEvals = int64(o.MaxInflightEvals)
+	sv.adm.queueDepth = int64(o.QueueDepth)
+	return sv
 }
+
+// bind attaches the daemon-wide throughput machinery to a session before
+// its actor starts: the admission gauge always (recovered sessions bring
+// their outstanding proposals back as in-flight work), the evaluation
+// cache only when enabled and the session declares a testbench. Called at
+// every install point — create, restore, boot recovery, failover adoption.
+func (sv *Server) bind(s *session) {
+	s.evalGauge = &sv.adm.evals
+	s.evalGauge.Add(int64(len(s.ledger)))
+	if sv.cache != nil && s.cfg.Testbench != "" {
+		s.cache = sv.cache
+		s.deliver = sv.deliverCached
+	}
+}
+
+// deliverCached fans one resolved evaluation out to the proposals that
+// joined it in flight. Each delivery is a daemon-issued tell through the
+// waiter session's normal actor/WAL path — durably logged, idempotent with
+// a late worker tell for the same proposal (the second one consumes
+// nothing and errors as unknown-proposal, which is dropped here). Runs
+// asynchronously: it is triggered from inside the resolving session's
+// actor job, and a waiter may be that same session.
+func (sv *Server) deliverCached(ws []cacheWaiter, y float64) {
+	for _, cw := range ws {
+		cw := cw
+		go func() {
+			s, err := sv.reg.get(cw.session)
+			if err != nil {
+				return // session deleted or moved; its proposal moved with it
+			}
+			pid := cw.proposal
+			// Best effort by design: if the session is fenced, aborted, or
+			// the proposal was already told by an adopting worker, the tell
+			// simply fails and the proposal's fate stays with its session.
+			_ = s.do(func() { _, _ = s.tell(Tell{ProposalID: &pid, Y: y}) })
+		}()
+	}
+}
+
+// Statz reports daemon-wide throughput state: cache effectiveness and the
+// admission gate. Cache is nil when caching is disabled.
+type Statz struct {
+	Ready     bool            `json:"ready"`
+	Sessions  int             `json:"sessions"`
+	Cache     *EvalCacheStats `json:"cache,omitempty"`
+	Admission AdmissionStats  `json:"admission"`
+}
+
+// Stats snapshots the daemon-wide throughput counters.
+func (sv *Server) Stats() Statz {
+	st := Statz{
+		Ready:     sv.ready.Load(),
+		Sessions:  sv.reg.Len(),
+		Admission: sv.adm.stats(),
+	}
+	if sv.cache != nil {
+		cs := sv.cache.Stats()
+		st.Cache = &cs
+	}
+	return st
+}
+
+// AdmitAsk exposes the ask-admission gate to the cluster layer so a
+// forwarding node can shed before proxying. ok=false means shed (respond
+// with WriteOverloaded); otherwise release must be called when the request
+// finishes.
+func (sv *Server) AdmitAsk() (release func(), ok bool) { return sv.adm.admitAsk() }
+
+// WriteOverloaded renders the standard 429 + Retry-After shed response.
+func WriteOverloaded(w http.ResponseWriter) { writeOverloaded(w) }
 
 // Ready reports whether recovery has completed and sessions are served.
 func (sv *Server) Ready() bool { return sv.ready.Load() }
@@ -238,6 +333,11 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"ready": true, "sessions": sv.reg.Len(), "recovery": sv.Progress(),
 		})
+	case len(parts) == 1 && parts[0] == "statz":
+		// Throughput observability: eval-cache hit rates and the admission
+		// gate's live gauges. Served during recovery too — shed counters
+		// are interesting exactly when the daemon is struggling.
+		writeJSON(w, http.StatusOK, sv.Stats())
 	case len(parts) >= 1 && parts[0] == "sessions":
 		if !sv.ready.Load() {
 			writeError(w, fmt.Errorf("%w: recovery replay in progress", ErrNotReady))
@@ -318,6 +418,7 @@ func (sv *Server) install(s *session, persist func(SessionLog) error) error {
 		}
 	}
 	s.log = l
+	sv.bind(s)
 	s.start()
 	if err := sv.reg.add(s); err != nil {
 		s.close()
@@ -446,6 +547,14 @@ func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, 
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "serve: use POST"})
 			return
 		}
+		// Backpressure: asks create work, so they pass the admission gate;
+		// tells retire work, so they never shed.
+		release, ok := sv.adm.admitAsk()
+		if !ok {
+			writeOverloaded(w)
+			return
+		}
+		defer release()
 		ik := r.Header.Get(IdempotencyHeader)
 		var ask Ask
 		var askErr error

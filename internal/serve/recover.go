@@ -124,6 +124,7 @@ func (sv *Server) recoverOne(ps PersistedSession, quarantined map[string]string)
 		return false
 	}
 	s.log = ps.Log
+	sv.bind(s)
 	s.start()
 	if err := sv.reg.add(s); err != nil {
 		// Impossible unless the store returned duplicate ids; treat it

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"easybo/internal/core"
 	"easybo/internal/sched"
@@ -71,6 +72,21 @@ const (
 	AskDone AskStatus = "done"
 )
 
+// Eval hints on an Ask tell the worker whether the proposal still needs a
+// real simulation. They are hints about work, never about state: the
+// session records only tells, so replay is identical whatever path the Y
+// took (see EvalCache's determinism contract).
+const (
+	// EvalCached: the point was already evaluated under this session's
+	// (testbench, fidelity); Y carries the result. The worker should skip
+	// the simulation and tell Y straight back.
+	EvalCached = "cached"
+	// EvalInflight: another worker is evaluating this exact point right
+	// now. The daemon will tell this proposal itself when that result
+	// lands; the worker should move on to its next ask.
+	EvalInflight = "inflight"
+)
+
 // Ask is the response to one ask: a proposal to evaluate, or a terminal
 // status.
 type Ask struct {
@@ -79,6 +95,11 @@ type Ask struct {
 	// still serialize a proposal_id field for external workers.
 	ProposalID int       `json:"proposal_id"`
 	X          []float64 `json:"x,omitempty"`
+	// Eval is the evaluation-cache hint: "" (simulate), EvalCached, or
+	// EvalInflight. Only ever set on AskOK responses.
+	Eval string `json:"eval,omitempty"`
+	// Y is the cached objective value accompanying EvalCached.
+	Y *float64 `json:"y,omitempty"`
 }
 
 // Proposal is one outstanding ask, reported in Status so workers can adopt
@@ -129,6 +150,12 @@ type Status struct {
 	BestY       *float64   `json:"best_y,omitempty"` // nil before the first observation
 	Records     []Record   `json:"records,omitempty"`
 	Failed      []Record   `json:"failed,omitempty"`
+	// Evaluation-cache counters for this session's asks. Process-lifetime
+	// observability, not session state: they reset on recovery/restore
+	// (replay never consults the cache) and are excluded from snapshots.
+	CacheHits  int64 `json:"cache_hits,omitempty"`
+	CacheMiss  int64 `json:"cache_misses,omitempty"`
+	CacheJoins int64 `json:"cache_inflight_joins,omitempty"`
 }
 
 // session is one optimization run hosted by the service. All fields below
@@ -170,6 +197,21 @@ type session struct {
 	// determinism is untouched).
 	ikAsks  map[string]Ask
 	ikTells map[string]bool
+
+	// Evaluation-cache attachment, bound by the server before start() (nil
+	// when the cache is disabled or the session declares no testbench).
+	// These touch only live ask/tell handling — replay never reaches them —
+	// so they carry observability and work-routing, not session state.
+	cache   *EvalCache
+	deliver func(waiters []cacheWaiter, y float64) // fan a resolved value out to joined proposals
+	// evalGauge counts live outstanding proposals daemon-wide for admission
+	// control; incremented on each issued ask, decremented when the ledger
+	// entry is consumed, reconciled on close.
+	evalGauge *atomic.Int64
+	// Per-session cache counters (actor-owned, surfaced in Status).
+	cacheHits  int64
+	cacheMiss  int64
+	cacheJoins int64
 }
 
 // newMachine builds the deterministic ask/tell machine a config describes:
@@ -307,6 +349,13 @@ func (s *session) close() {
 	if s.log != nil {
 		_ = s.log.Close()
 	}
+	// The actor is drained, so the ledger is stable: retire this session's
+	// outstanding proposals from the admission gauge and drop any in-flight
+	// cache evaluations it was leading.
+	s.gaugeDone(len(s.ledger))
+	if s.cache != nil {
+		s.cache.releaseSession(s.id)
+	}
 }
 
 // --------------------------------------------------------------- requests
@@ -376,7 +425,30 @@ func (s *session) ask(ik string) (Ask, error) {
 	}
 	s.events = append(s.events, ev)
 	s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
+	if s.evalGauge != nil {
+		s.evalGauge.Add(1)
+	}
 	a := Ask{Status: AskOK, ProposalID: p.ID, X: p.X}
+	// Consult the evaluation cache only after the ask is durably logged:
+	// the hint routes worker effort, the log owns the history. A hit hands
+	// the worker the prior Y to tell straight back; an in-flight match
+	// registers this proposal for daemon-side delivery when the one real
+	// evaluation lands; a miss makes this proposal the in-flight leader.
+	if s.cache != nil {
+		if k, cacheable := evalKeyFor(s.cfg.Testbench, s.cfg.Fidelity, p.X); cacheable {
+			switch y, out := s.cache.lookup(k, s.id, p.ID); out {
+			case cacheHit:
+				yv := y
+				a.Eval, a.Y = EvalCached, &yv
+				s.cacheHits++
+			case cacheInflight:
+				a.Eval = EvalInflight
+				s.cacheJoins++
+			case cacheMiss:
+				s.cacheMiss++
+			}
+		}
+	}
 	if ik != "" {
 		s.ikAsks[ik] = a
 	}
@@ -393,6 +465,7 @@ func (s *session) resolveTell(t Tell) (id int, x []float64, err error) {
 		for i, e := range s.ledger {
 			if e.id == *t.ProposalID {
 				s.ledger = append(s.ledger[:i], s.ledger[i+1:]...)
+				s.gaugeDone(1)
 				return e.id, e.x, nil
 			}
 		}
@@ -404,10 +477,19 @@ func (s *session) resolveTell(t Tell) (id int, x []float64, err error) {
 	for i, e := range s.ledger {
 		if equalPoints(e.x, t.X) {
 			s.ledger = append(s.ledger[:i], s.ledger[i+1:]...)
+			s.gaugeDone(1)
 			return e.id, e.x, nil
 		}
 	}
 	return -1, append([]float64(nil), t.X...), nil
+}
+
+// gaugeDone retires n outstanding proposals from the daemon-wide
+// inflight-evaluation gauge.
+func (s *session) gaugeDone(n int) {
+	if s.evalGauge != nil && n > 0 {
+		s.evalGauge.Add(int64(-n))
+	}
 }
 
 // tell absorbs one evaluation outcome and logs it. The returned Status
@@ -461,6 +543,22 @@ func (s *session) tell(t Tell) (Status, error) {
 	} else if obsErr == nil {
 		s.recs = append(s.recs, rec)
 	}
+	// Cache bookkeeping, strictly after the event is durable and applied:
+	// a successful tell publishes its value (and releases any proposals
+	// that joined the in-flight evaluation — the daemon tells them itself,
+	// through this same durable path); a failed one abandons the in-flight
+	// registration it led so the next identical ask triggers a real retry.
+	if s.cache != nil {
+		if k, cacheable := evalKeyFor(s.cfg.Testbench, s.cfg.Fidelity, x); cacheable {
+			if evalErr != nil {
+				s.cache.abandon(k, s.id, id)
+			} else {
+				if ws := s.cache.resolve(k, ev.Y); len(ws) > 0 && s.deliver != nil {
+					s.deliver(ws, ev.Y)
+				}
+			}
+		}
+	}
 	if !wasDead && s.at.Err() != nil {
 		// This tell killed the machine: record the abort durably so
 		// recovery can verify the dead state instead of deriving it.
@@ -495,6 +593,9 @@ func (s *session) status() Status {
 		Done:            s.at.Done(),
 		Records:         append([]Record(nil), s.recs...),
 		Failed:          append([]Record(nil), s.failed...),
+		CacheHits:       s.cacheHits,
+		CacheMiss:       s.cacheMiss,
+		CacheJoins:      s.cacheJoins,
 	}
 	for _, e := range s.ledger {
 		st.Outstanding = append(st.Outstanding, Proposal{ProposalID: e.id, X: append([]float64(nil), e.x...)})
