@@ -12,6 +12,7 @@ LOADSESSIONS ?= 8
 LOADWORKERS ?= 1
 LOADP99 ?= 2s
 LOAD_OUT ?= /tmp/easyboload.json
+LOAD_OUT_DURABLE ?= /tmp/easyboload-durable.json
 
 .PHONY: check vet fmt lint staticcheck build test race cover fuzz-smoke load-smoke bench-smoke bench bench-json bench-gate smoke crash-smoke cluster-smoke
 
@@ -82,14 +83,22 @@ fuzz-smoke:
 # Serving-path throughput smoke: first the shed-equivalence test (admission
 # control loses no tells, history bitwise-identical to unthrottled), then a
 # real easyboload run against an in-process daemon asserting zero errors,
-# nonzero cache traffic on its repeated-point workload, and a p99 ceiling.
-# The benchjson-shaped result lands in LOAD_OUT (uploaded as a CI artifact).
+# nonzero cache traffic on its repeated-point workload, and a p99 ceiling,
+# then the same harness against a real fsync=always WAL so the group-commit
+# serving path is smoke-gated too (distinct seeds, cache off: every tell
+# rides the committer). The benchjson-shaped results land in LOAD_OUT and
+# LOAD_OUT_DURABLE (uploaded as CI artifacts).
 load-smoke:
 	$(GO) test -race -run TestShedEquivalence -v ./cmd/easyboload
 	$(GO) run ./cmd/easyboload -sessions $(LOADSESSIONS) -workers $(LOADWORKERS) \
 		-duration $(LOADTIME) -out $(LOAD_OUT) \
 		-assert-max-errors 0 -assert-min-cache-hits 1 -assert-min-asks 1 \
 		-assert-max-p99 $(LOADP99)
+	$(GO) run ./cmd/easyboload -sessions $(LOADSESSIONS) -workers $(LOADWORKERS) \
+		-duration $(LOADTIME) -fsync always -bench-suffix Durable \
+		-seed-groups $(LOADSESSIONS) -testbench "" -init-points 4096 \
+		-out $(LOAD_OUT_DURABLE) \
+		-assert-max-errors 0 -assert-min-asks 1
 
 # Smoke-run the incremental-engine and surrogate-backend benchmarks so a
 # regression on the hot path (or a compile error in a bench file) fails CI
@@ -103,19 +112,21 @@ bench:
 
 # Machine-readable hot-path benchmark results: newton-iteration, tran-step,
 # AC-sweep, full testbench evaluations (sparse vs. dense), the
-# exact-vs-feature-space surrogate scaling suite, the end-to-end 40-eval
-# EasyBO-A run, and the easyboload serving-path rows, with speedups derived.
+# exact-vs-feature-space surrogate scaling suite, the WAL append, the
+# end-to-end 40-eval EasyBO-A run, and the easyboload serving-path rows
+# (in-memory and fsync=always legs), with speedups derived.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_5.json
+	$(GO) run ./cmd/benchjson -out BENCH_6.json
 
 # CI bench-regression gate: measure a short fresh report and compare it to
-# the committed BENCH_5.json baseline. Gated hot-path benchmarks
-# (newton-iteration, testbench evals, feature-space surrogate updates, and
-# the serving-path throughput/latency rows) fail CI on a >2x slowdown;
-# everything else only warns, since shared runners are noisy.
+# the committed BENCH_6.json baseline. Gated hot-path benchmarks
+# (newton-iteration, testbench evals, feature-space surrogate updates, the
+# WAL append, and the serving-path throughput/latency rows — durable leg
+# included) fail CI on a >2x slowdown; everything else only warns, since
+# shared runners are noisy.
 bench-gate:
 	$(GO) run ./cmd/benchjson -out $(BENCH_HEAD) -benchtime 0.3s -count 2 -loadtime 5s
-	$(GO) run ./cmd/benchcmp -baseline BENCH_5.json -head $(BENCH_HEAD)
+	$(GO) run ./cmd/benchcmp -baseline BENCH_6.json -head $(BENCH_HEAD)
 
 # Build every cmd/* and examples/* binary, run each example on a tiny
 # budget, and drive a live easybod daemon through an ask/tell round trip,

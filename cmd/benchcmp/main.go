@@ -1,17 +1,18 @@
 // Command benchcmp is the CI bench-regression gate: it compares a fresh
-// benchjson report against the committed baseline (BENCH_5.json) and fails
+// benchjson report against the committed baseline (BENCH_6.json) and fails
 // when a gated hot-path benchmark slowed down beyond the tolerance.
 //
 // Benchmarks matching -gate (by default the newton-iteration kernel, the
-// testbench evaluation paths, and the easyboload serving-path rows) FAIL
-// the run when head/baseline exceeds -max-ratio; every other benchmark
-// only warns, because generic benchmarks on shared CI runners are too
-// noisy to block merges on.
+// testbench evaluation paths, the WAL append, and the easyboload
+// serving-path rows — both the in-memory and the fsync=always Durable
+// legs) FAIL the run when head/baseline exceeds -max-ratio; every other
+// benchmark only warns, because generic benchmarks on shared CI runners
+// are too noisy to block merges on.
 //
 // Usage:
 //
 //	go run ./cmd/benchjson -out /tmp/head.json -benchtime 0.3s -count 2
-//	go run ./cmd/benchcmp -baseline BENCH_5.json -head /tmp/head.json
+//	go run ./cmd/benchcmp -baseline BENCH_6.json -head /tmp/head.json
 package main
 
 import (
@@ -95,13 +96,15 @@ func load(path string) (report, error) {
 
 func main() {
 	var (
-		basePath = flag.String("baseline", "BENCH_5.json", "committed baseline report")
+		basePath = flag.String("baseline", "BENCH_6.json", "committed baseline report")
 		headPath = flag.String("head", "", "freshly measured report to gate")
 		maxRatio = flag.Float64("max-ratio", 2.0, "fail gated benchmarks slower than baseline by this factor")
 		// Only the sparse hot paths plus the serving-path load rows are
 		// gated; the Dense/reference benchmarks exist for golden comparison
-		// and are too noisy on short CI runs to block merges on.
-		gateExpr = flag.String("gate", "(NewtonIteration|OpAmpEval|ClassEEval)Sparse|Surrogate(Extend|Predict)Features|Serve(AskThroughput|AskLatencyP99)", "regexp of benchmark names that hard-fail the gate")
+		// and are too noisy on short CI runs to block merges on. The Serve*
+		// alternatives match the Durable-suffixed rows too (substring match),
+		// so the fsync=always leg is gated alongside the in-memory one.
+		gateExpr = flag.String("gate", "(NewtonIteration|OpAmpEval|ClassEEval)Sparse|Surrogate(Extend|Predict)Features|LogAppend|Serve(AskThroughput|AskLatencyP99|TellThroughput|TellLatencyP99)", "regexp of benchmark names that hard-fail the gate")
 	)
 	flag.Parse()
 	if *headPath == "" {

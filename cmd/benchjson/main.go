@@ -4,11 +4,15 @@
 // ns/step and asks/sec, plus derived sparse-vs-dense and
 // exact-vs-feature-space speedups), so the repository's performance
 // trajectory is tracked in data rather than prose. `make bench-json`
-// invokes it to produce BENCH_5.json.
+// invokes it to produce BENCH_6.json.
+//
+// The serving-path load runs twice: once against the in-memory store and
+// once with -fsync always (rows suffixed "Durable"), so the group-commit
+// pipeline's throughput is a gated row, not an anecdote.
 //
 // Usage:
 //
-//	benchjson -out BENCH_5.json -benchtime 20x -loadtime 10s
+//	benchjson -out BENCH_6.json -benchtime 20x -loadtime 10s
 package main
 
 import (
@@ -32,6 +36,7 @@ var suite = []struct {
 	{"easybo/internal/circuit", "BenchmarkNewtonIteration(Sparse|Dense)"},
 	{"easybo/internal/testbench", "Benchmark(ClassEEval|TranStep|OpAmpEval|ACSweep)"},
 	{"easybo/internal/surrogate", "BenchmarkSurrogate(Fit|Extend|Predict|Suggest)"},
+	{"easybo/internal/serve/wal", "BenchmarkLogAppend"},
 	{"easybo", "BenchmarkEndToEnd40EvalEasyBOA"},
 }
 
@@ -62,13 +67,14 @@ var lineRe = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_5.json", "output JSON path")
+		out       = flag.String("out", "BENCH_6.json", "output JSON path")
 		benchtime = flag.String("benchtime", "2s", "go test -benchtime value")
 		count     = flag.Int("count", 3, "go test -count value; the per-benchmark minimum is reported")
 		goBin     = flag.String("go", "go", "go tool to invoke")
 
-		loadtime     = flag.Duration("loadtime", 10*time.Second, "serving-path load run length (0 skips the load leg)")
-		loadSessions = flag.Int("load-sessions", 8, "concurrent sessions in the load leg")
+		loadtime        = flag.Duration("loadtime", 10*time.Second, "serving-path load run length (0 skips the load legs)")
+		loadSessions    = flag.Int("load-sessions", 8, "concurrent sessions in the in-memory load leg")
+		durableSessions = flag.Int("durable-sessions", 64, "concurrent sessions in the fsync=always load leg (0 skips it)")
 	)
 	flag.Parse()
 
@@ -96,28 +102,49 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, merge(parse(string(raw), s.pkg))...)
 	}
 
-	// Serving-path leg: one easyboload run against an in-process daemon.
-	// Its stdout is already benchjson-shaped, so the rows merge verbatim
-	// and benchcmp gates ServeAskThroughput/ServeAskLatencyP99 like any
-	// kernel benchmark.
-	if *loadtime > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: running serving-path load (%s, %d sessions)\n", *loadtime, *loadSessions)
-		cmd := exec.Command(*goBin, "run", "easybo/cmd/easyboload",
-			"-duration", loadtime.String(),
-			"-sessions", strconv.Itoa(*loadSessions),
-			"-out", "-", "-quiet")
+	// Serving-path legs: easyboload runs against an in-process daemon. Its
+	// stdout is already benchjson-shaped, so the rows merge verbatim and
+	// benchcmp gates ServeAskThroughput/ServeTellThroughput (and friends)
+	// like any kernel benchmark.
+	runLoad := func(what string, args ...string) {
+		fmt.Fprintf(os.Stderr, "benchjson: running serving-path load (%s)\n", what)
+		cmd := exec.Command(*goBin, append([]string{"run", "easybo/cmd/easyboload"}, args...)...)
 		cmd.Stderr = os.Stderr
 		raw, err := cmd.Output()
 		if err != nil {
-			fatal(fmt.Errorf("easyboload: %w", err))
+			fatal(fmt.Errorf("easyboload %s: %w", what, err))
 		}
 		var load struct {
 			Benchmarks []Result `json:"benchmarks"`
 		}
 		if err := json.Unmarshal(raw, &load); err != nil {
-			fatal(fmt.Errorf("parsing easyboload output: %w", err))
+			fatal(fmt.Errorf("parsing easyboload %s output: %w", what, err))
 		}
 		rep.Benchmarks = append(rep.Benchmarks, load.Benchmarks...)
+	}
+	if *loadtime > 0 {
+		runLoad(fmt.Sprintf("in-memory, %s, %d sessions", *loadtime, *loadSessions),
+			"-duration", loadtime.String(),
+			"-sessions", strconv.Itoa(*loadSessions),
+			"-out", "-", "-quiet")
+		if *durableSessions > 0 {
+			// The durable leg isolates the write-ahead path: distinct seeds
+			// and no testbench (no cache traffic), a design large enough
+			// that every ask stays in the cheap Latin-hypercube phase, two
+			// workers per session so acks pipeline through the committer.
+			// Rows come back suffixed Durable so the in-memory rows are not
+			// overwritten in the merged report.
+			runLoad(fmt.Sprintf("fsync=always, %s, %d sessions", *loadtime, *durableSessions),
+				"-duration", loadtime.String(),
+				"-sessions", strconv.Itoa(*durableSessions),
+				"-workers", "2",
+				"-seed-groups", strconv.Itoa(*durableSessions),
+				"-testbench", "",
+				"-init-points", "4096",
+				"-fsync", "always",
+				"-bench-suffix", "Durable",
+				"-out", "-", "-quiet")
+		}
 	}
 
 	// Derived sparse-vs-dense ratios for the headline workloads.

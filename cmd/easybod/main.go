@@ -45,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +60,7 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":7823", "listen address")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this address (empty: disabled; bind loopback, the endpoints are unauthenticated)")
 		grace     = flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 		quiet     = flag.Bool("quiet", false, "suppress the startup banner")
 		surrogate = flag.String("surrogate", "", "default surrogate backend for sessions that omit one: auto | exact | features")
@@ -157,6 +159,28 @@ func main() {
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idleTimeout,
+	}
+
+	// Opt-in profiling listener, separate from the serving address so the
+	// pprof endpoints are never reachable through the public port (and a
+	// profile download cannot occupy a serving connection). It lives for
+	// the whole process — no graceful drain; it dies with the daemon.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: *readHeaderTimeout}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "easybod: debug listener:", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "easybod: pprof on http://%s/debug/pprof/ (keep this loopback-only)\n", *debugAddr)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

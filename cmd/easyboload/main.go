@@ -15,7 +15,11 @@
 // Same-seed session groups (-seed-groups) propose bitwise-identical
 // designs, making repeated-point traffic that exercises the eval cache and
 // its singleflight path; -max-inflight-evals/-queue-depth throttle the
-// in-process daemon so shed/backpressure behavior is measured too.
+// in-process daemon so shed/backpressure behavior is measured too. -fsync
+// gives the in-process daemon a real write-ahead log, making the durable
+// serving path (group commit included) measurable without a separate
+// easybod process; pair it with -bench-suffix so the durable rows merge
+// into baselines under their own names.
 //
 // The -assert-* flags turn a run into a pass/fail smoke gate for CI:
 // exit status 1 when the run violates any bound.
@@ -33,6 +37,7 @@ import (
 
 	"easybo/internal/loadgen"
 	"easybo/internal/serve"
+	"easybo/internal/serve/wal"
 )
 
 func main() {
@@ -51,9 +56,13 @@ func main() {
 		cacheSize = flag.Int("cache-size", 4096, "in-process daemon: eval cache capacity")
 		maxEvals  = flag.Int("max-inflight-evals", 0, "in-process daemon: shed asks past this many outstanding proposals (0: unlimited)")
 		queueDep  = flag.Int("queue-depth", 0, "in-process daemon: shed asks past this many concurrent ask requests (0: unlimited)")
+		fsyncPol  = flag.String("fsync", "", "in-process daemon: WAL fsync policy (always|interval|off; empty: in-memory store, no WAL)")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "in-process daemon: background fsync cadence for -fsync interval")
+		dataDir   = flag.String("data-dir", "", "in-process daemon: WAL directory for -fsync runs (empty: a temp dir, removed at exit)")
 
-		out   = flag.String("out", "", "write benchjson benchmarks to this file (\"-\": stdout)")
-		quiet = flag.Bool("quiet", false, "suppress the human summary on stderr")
+		out         = flag.String("out", "", "write benchjson benchmarks to this file (\"-\": stdout)")
+		benchSuffix = flag.String("bench-suffix", "", "suffix appended to benchjson row names (distinguish e.g. a durable leg)")
+		quiet       = flag.Bool("quiet", false, "suppress the human summary on stderr")
 
 		maxErrors   = flag.Int64("assert-max-errors", -1, "fail when errors exceed this (-1: off)")
 		minHits     = flag.Int64("assert-min-cache-hits", -1, "fail when cache hits fall below this (-1: off)")
@@ -65,10 +74,33 @@ func main() {
 
 	base := *serveURL
 	if base == "" {
-		// Hermetic mode: an in-memory daemon on a loopback ephemeral port.
-		// Real HTTP (not a stub) so the run measures the full serving path —
-		// mux, admission gate, JSON codec, session actors.
+		// Hermetic mode: a daemon on a loopback ephemeral port. Real HTTP
+		// (not a stub) so the run measures the full serving path — mux,
+		// admission gate, JSON codec, session actors. -fsync swaps the
+		// in-memory store for a real WAL, making the durable serving path
+		// measurable without a separate easybod process.
+		var store serve.Store
+		if *fsyncPol != "" {
+			dir := *dataDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "easyboload-wal-*")
+				if err != nil {
+					fatal(err)
+				}
+				defer os.RemoveAll(tmp)
+				dir = tmp
+			}
+			ws, err := wal.Open(dir, wal.Options{
+				Fsync:    wal.Policy(*fsyncPol),
+				Interval: *fsyncIvl,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			store = ws // closed by the server's Close
+		}
 		sv := serve.NewServerWith(serve.ServerOptions{
+			Store:            store,
 			CacheSize:        *cacheSize,
 			MaxInflightEvals: *maxEvals,
 			QueueDepth:       *queueDep,
@@ -90,8 +122,12 @@ func main() {
 		}()
 		base = "http://" + ln.Addr().String()
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "easyboload: in-process daemon on %s (cache=%d max-inflight-evals=%d queue-depth=%d)\n",
-				base, *cacheSize, *maxEvals, *queueDep)
+			durability := "in-memory"
+			if *fsyncPol != "" {
+				durability = "fsync=" + *fsyncPol
+			}
+			fmt.Fprintf(os.Stderr, "easyboload: in-process daemon on %s (%s cache=%d max-inflight-evals=%d queue-depth=%d)\n",
+				base, durability, *cacheSize, *maxEvals, *queueDep)
 		}
 	}
 
@@ -128,7 +164,7 @@ func main() {
 	if *out != "" {
 		payload := struct {
 			Benchmarks []loadgen.BenchResult `json:"benchmarks"`
-		}{Benchmarks: sum.BenchResults()}
+		}{Benchmarks: sum.BenchResultsNamed(*benchSuffix)}
 		data, err := json.MarshalIndent(payload, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -39,6 +39,11 @@ var durabilityVerbs = map[string]bool{
 	"Fence": true, "Adopt": true, "Release": true, "Forward": true,
 	"BeginHandoff": true, "AbortHandoff": true, "CompleteHandoff": true,
 	"InstallSnapshot": true,
+	// Group-commit verbs: WaitDurable's error is the ack itself — dropping
+	// it acknowledges a write the committer may have failed to sync — and a
+	// dropped BeginCompact error loses the seal that makes the snapshot cut
+	// safe to prune behind.
+	"WaitDurable": true, "BeginCompact": true,
 }
 
 func runErrDrop(pass *Pass) {

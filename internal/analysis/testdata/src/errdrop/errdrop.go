@@ -76,3 +76,26 @@ func suppressedTransfer(x *xfer) {
 	//easybolint:ok errdrop fixture: abort on an already-failed path is best-effort
 	_ = x.AbortHandoff("s", "a")
 }
+
+// Group-commit verbs: WaitDurable's error IS the durability ack, and a
+// dropped BeginCompact error prunes behind an unsealed cut.
+func (l *wlog) WaitDurable(seq uint64) error { return nil }
+
+func (l *wlog) BeginCompact() (func() error, error) { return nil, nil }
+
+func dropsCommits(l *wlog) {
+	l.WaitDurable(7)        // want errdrop "WaitDurable"
+	_ = l.WaitDurable(7)    // want errdrop "WaitDurable"
+	_, _ = l.BeginCompact() // want errdrop "BeginCompact"
+	defer l.WaitDurable(9)  // want errdrop "WaitDurable"
+	go l.WaitDurable(11)    // want errdrop "WaitDurable"
+}
+
+func capturedCommits(l *wlog) error {
+	commit, err := l.BeginCompact()
+	if err != nil {
+		return err
+	}
+	_ = commit
+	return l.WaitDurable(3)
+}

@@ -88,7 +88,20 @@ func (o *Options) normalize() error {
 		o.MaxRetries = 50
 	}
 	if o.Client == nil {
-		o.Client = &http.Client{Timeout: 30 * time.Second}
+		// net/http's zero-value transport keeps only 2 idle connections per
+		// host; with hundreds of workers hammering one daemon that means a
+		// TCP dial (and slow-start) on nearly every round trip, measuring
+		// the dialer instead of the daemon. Size the idle pool to the whole
+		// worker fleet so steady state is pure keep-alive traffic.
+		conns := o.Sessions*o.WorkersPerSession + 4
+		o.Client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        conns,
+				MaxIdleConnsPerHost: conns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	return nil
 }

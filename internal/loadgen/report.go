@@ -18,18 +18,30 @@ type BenchResult struct {
 const benchPackage = "easybo/internal/loadgen"
 
 // BenchResults renders the summary as benchjson benchmarks. ns_per_op is
-// the gated axis in every row — mean time per ask for throughput, the p99
-// itself for the latency rows — so benchcmp's ratio test reads naturally
-// ("2× slower fails the gate") without learning new semantics. Everything
-// else rides in metrics for humans and dashboards.
-func (s *Summary) BenchResults() []BenchResult {
+// the gated axis in every row — mean time per ask (or tell) for the
+// throughput rows, the p99 itself for the latency rows — so benchcmp's
+// ratio test reads naturally ("2× slower fails the gate") without learning
+// new semantics. Everything else rides in metrics for humans and
+// dashboards.
+func (s *Summary) BenchResults() []BenchResult { return s.BenchResultsNamed("") }
+
+// BenchResultsNamed is BenchResults with a name suffix appended to every
+// row ("Durable" → ServeTellThroughputDurable, …). benchjson's merge keeps
+// the fastest result per name and benchcmp compares by name, so distinct
+// workloads — the in-memory leg and the fsync=always leg — must publish
+// under distinct names or the slower one silently vanishes.
+func (s *Summary) BenchResultsNamed(suffix string) []BenchResult {
 	askNs := 0.0
 	if s.AsksPerSec > 0 {
 		askNs = 1e9 / s.AsksPerSec
 	}
+	tellNs := 0.0
+	if s.TellsPerSec > 0 {
+		tellNs = 1e9 / s.TellsPerSec
+	}
 	return []BenchResult{
 		{
-			Name:       "ServeAskThroughput",
+			Name:       "ServeAskThroughput" + suffix,
 			Package:    benchPackage,
 			Iterations: s.Asks,
 			NsPerOp:    askNs,
@@ -45,7 +57,21 @@ func (s *Summary) BenchResults() []BenchResult {
 			},
 		},
 		{
-			Name:       "ServeAskLatencyP99",
+			Name:       "ServeTellThroughput" + suffix,
+			Package:    benchPackage,
+			Iterations: s.Tells,
+			NsPerOp:    tellNs,
+			Metrics: map[string]float64{
+				"tells_per_sec": s.TellsPerSec,
+				"asks_per_sec":  s.AsksPerSec,
+				"sessions":      float64(s.Sessions),
+				"workers":       float64(s.Workers),
+				"errors":        float64(s.Errors),
+				"shed":          float64(s.Shed),
+			},
+		},
+		{
+			Name:       "ServeAskLatencyP99" + suffix,
 			Package:    benchPackage,
 			Iterations: s.Asks,
 			NsPerOp:    float64(s.AskLatency.P99),
@@ -56,7 +82,7 @@ func (s *Summary) BenchResults() []BenchResult {
 			},
 		},
 		{
-			Name:       "ServeTellLatencyP99",
+			Name:       "ServeTellLatencyP99" + suffix,
 			Package:    benchPackage,
 			Iterations: s.Tells,
 			NsPerOp:    float64(s.TellLatency.P99),

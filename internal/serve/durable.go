@@ -15,8 +15,10 @@ import (
 // (sessions die with the process), and wal.Store, a per-session
 // write-ahead log on disk.
 //
-// All methods must be safe for concurrent use; Append/Compact on a single
-// SessionLog are only ever called from that session's actor goroutine.
+// All methods must be safe for concurrent use. Append/BeginCompact on a
+// single SessionLog are only ever called from that session's actor
+// goroutine; WaitDurable and a BeginCompact commit function run off it
+// (the HTTP ack path and the compaction worker respectively).
 type Store interface {
 	// Begin durably registers a new session and returns its open log.
 	// Begin is the arbiter of id uniqueness: it fails with
@@ -48,19 +50,41 @@ type Store interface {
 }
 
 // SessionLog is one session's append-only durable log. It is written by
-// exactly one goroutine (the session actor).
+// exactly one goroutine (the session actor); WaitDurable and the commit
+// function returned by BeginCompact may run on other goroutines.
 type SessionLog interface {
-	// Append durably records one event, honoring the store's fsync
-	// policy. The server appends before it applies: an event that cannot
-	// be made durable is never absorbed into the session state.
-	Append(ev Event) error
+	// Append records one event and returns its sequence number — the
+	// commit ticket for WaitDurable. The server appends before it
+	// applies: an event that cannot be written is never absorbed into the
+	// session state. Append itself does not block on stable storage; the
+	// acknowledgement path calls WaitDurable with the returned ticket.
+	Append(ev Event) (uint64, error)
+
+	// WaitDurable blocks until a sync covering the ticketed record has
+	// completed, per the store's fsync policy: under always it returns
+	// only after an fsync covering seq (the store group-commits — one
+	// fsync pass covers every record that arrived while the previous
+	// pass was in flight); under interval and off it returns immediately
+	// (those policies never made acks wait on the background cadence).
+	// An error means the record may not be durable — the caller must not
+	// acknowledge it, and must poison the session.
+	WaitDurable(seq uint64) error
 
 	// CompactionDue reports whether the log wants a snapshot compaction
 	// (e.g. enough events accumulated since the last snapshot).
 	CompactionDue() bool
 
-	// Compact persists the snapshot as the new recovery base and prunes
-	// the log entries it covers.
+	// BeginCompact seals the log at its current position and returns the
+	// commit step, which installs a snapshot taken at exactly that
+	// position as the new recovery base and prunes the entries it
+	// covers. The seal is cheap — the session actor calls it inline —
+	// while commit carries the expensive encode and I/O and may run off
+	// the actor goroutine; appends proceed past the seal meanwhile. At
+	// most one compaction may be in flight per log.
+	BeginCompact() (commit func(Snapshot) error, err error)
+
+	// Compact is BeginCompact plus its commit in one synchronous step,
+	// for install paths (restore, handoff) where blocking is fine.
 	Compact(snap Snapshot) error
 
 	// Fence durably records an ownership-epoch fence naming the node the
@@ -272,12 +296,13 @@ func (st *MemStore) Close() error { return nil }
 // cluster: a loader inspecting a session and closing its handle must not
 // sever the holder's.
 type memSess struct {
-	mu     sync.Mutex
-	cfg    SessionConfig
-	snap   *Snapshot
-	events []Event
-	epoch  uint64 // last fenced ownership epoch (0 = never fenced = 1)
-	owner  string // node named by the last fence ("" = never moved)
+	mu      sync.Mutex
+	cfg     SessionConfig
+	snap    *Snapshot
+	events  []Event
+	nextSeq uint64 // next append ticket (memory is instantly "durable")
+	epoch   uint64 // last fenced ownership epoch (0 = never fenced = 1)
+	owner   string // node named by the last fence ("" = never moved)
 }
 
 type memLog struct {
@@ -298,15 +323,21 @@ func (l *memLog) live() error {
 	return nil
 }
 
-func (l *memLog) Append(ev Event) error {
+func (l *memLog) Append(ev Event) (uint64, error) {
 	if err := l.live(); err != nil {
-		return err
+		return 0, err
 	}
 	l.s.mu.Lock()
 	defer l.s.mu.Unlock()
+	seq := l.s.nextSeq
+	l.s.nextSeq++
 	l.s.events = append(l.s.events, ev.clone())
-	return nil
+	return seq, nil
 }
+
+// WaitDurable implements SessionLog: memory is durable the instant Append
+// returns, so every ticket is already covered.
+func (l *memLog) WaitDurable(uint64) error { return nil }
 
 func (l *memLog) CompactionDue() bool {
 	l.s.mu.Lock()
@@ -314,7 +345,20 @@ func (l *memLog) CompactionDue() bool {
 	return l.st.compactEvery > 0 && len(l.s.events) >= l.st.compactEvery
 }
 
-func (l *memLog) Compact(snap Snapshot) error {
+// BeginCompact implements SessionLog: the seal records how many events the
+// snapshot will cover, so appends racing the off-actor commit survive the
+// trim.
+func (l *memLog) BeginCompact() (func(Snapshot) error, error) {
+	if err := l.live(); err != nil {
+		return nil, err
+	}
+	l.s.mu.Lock()
+	cut := len(l.s.events)
+	l.s.mu.Unlock()
+	return func(snap Snapshot) error { return l.commit(cut, snap) }, nil
+}
+
+func (l *memLog) commit(cut int, snap Snapshot) error {
 	if err := l.live(); err != nil {
 		return err
 	}
@@ -323,8 +367,16 @@ func (l *memLog) Compact(snap Snapshot) error {
 	c := snap
 	c.Events = append([]Event(nil), snap.Events...)
 	l.s.snap = &c
-	l.s.events = l.s.events[:0]
+	l.s.events = append([]Event(nil), l.s.events[cut:]...)
 	return nil
+}
+
+func (l *memLog) Compact(snap Snapshot) error {
+	commit, err := l.BeginCompact()
+	if err != nil {
+		return err
+	}
+	return commit(snap)
 }
 
 func (l *memLog) Fence(epoch uint64, owner string) error {

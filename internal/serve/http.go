@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -138,7 +139,9 @@ func (sv *Server) deliverCached(ws []cacheWaiter, y float64) {
 			// Best effort by design: if the session is fenced, aborted, or
 			// the proposal was already told by an adopting worker, the tell
 			// simply fails and the proposal's fate stays with its session.
-			_ = s.do(func() { _, _ = s.tell(Tell{ProposalID: &pid, Y: y}) })
+			// No durability wait: nothing is acked to an external party, so
+			// a crash before the sync just leaves the proposal outstanding.
+			_ = s.do(func() { _, _, _ = s.tell(Tell{ProposalID: &pid, Y: y}) })
 		}()
 	}
 }
@@ -150,6 +153,18 @@ type Statz struct {
 	Sessions  int             `json:"sessions"`
 	Cache     *EvalCacheStats `json:"cache,omitempty"`
 	Admission AdmissionStats  `json:"admission"`
+	// WAL reports the durable store's group-commit amortization (absent for
+	// stores without one, e.g. the in-memory store).
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats is the durable store's commit-pipeline accounting: fsync passes
+// issued for appended records and the records those passes covered.
+// Records/Syncs is the group-commit amortization factor — 1.0 means every
+// record paid its own fsync.
+type WALStats struct {
+	Syncs   uint64 `json:"syncs"`
+	Records uint64 `json:"records"`
 }
 
 // Stats snapshots the daemon-wide throughput counters.
@@ -162,6 +177,10 @@ func (sv *Server) Stats() Statz {
 	if sv.cache != nil {
 		cs := sv.cache.Stats()
 		st.Cache = &cs
+	}
+	if ss, ok := sv.store.(interface{ SyncStats() (uint64, uint64) }); ok {
+		syncs, records := ss.SyncStats()
+		st.WAL = &WALStats{Syncs: syncs, Records: records}
 	}
 	return st
 }
@@ -220,12 +239,38 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// respEncoder is a pooled response encoder: the JSON body is staged in a
+// reusable buffer and written in one shot, so the ask/tell hot path does
+// not pay a fresh encoder, growth buffer, and small-write sequence per
+// response.
+type respEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var respPool = sync.Pool{
+	New: func() any {
+		e := &respEncoder{}
+		e.enc = json.NewEncoder(&e.buf)
+		e.enc.SetEscapeHTML(false)
+		return e
+	},
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	e := respPool.Get().(*respEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		respPool.Put(e)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = fmt.Fprintf(w, "{\"error\":%q}\n", "serve: encoding response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	respPool.Put(e)
 }
 
 func writeError(w http.ResponseWriter, err error) {
@@ -535,6 +580,25 @@ func (sv *Server) handleDelete(w http.ResponseWriter, id string) {
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
+// waitDurable gates one response on its commit ticket. A failed commit
+// poisons the session through its mailbox — an unsyncable log must refuse
+// further work, exactly like a failed append — and the response becomes an
+// error instead of an ack.
+func (sv *Server) waitDurable(s *session, ct commitTicket) error {
+	err := ct.wait()
+	if err != nil {
+		perr := fmt.Errorf("serve: write-ahead log sync failed, session poisoned: %w", err)
+		// Session already closed: nothing left to poison.
+		_ = s.do(func() {
+			if s.logErr == nil {
+				s.logErr = perr
+			}
+		})
+		return perr
+	}
+	return nil
+}
+
 func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, verb string) {
 	s, err := sv.lookup(id)
 	if err != nil {
@@ -557,13 +621,21 @@ func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, 
 		defer release()
 		ik := r.Header.Get(IdempotencyHeader)
 		var ask Ask
+		var ct commitTicket
 		var askErr error
-		if err := s.do(func() { ask, askErr = s.ask(ik) }); err != nil {
+		if err := s.do(func() { ask, ct, askErr = s.ask(ik) }); err != nil {
 			writeError(w, err)
 			return
 		}
 		if askErr != nil {
 			writeError(w, askErr)
+			return
+		}
+		// Durability gate, off the actor: the proposal is handed out only
+		// after the fsync covering its event — but the actor is already free,
+		// so concurrent requests pipeline into the same group-commit pass.
+		if err := sv.waitDurable(s, ct); err != nil {
+			writeError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ask)
@@ -583,8 +655,15 @@ func (sv *Server) handleSessionVerb(w http.ResponseWriter, r *http.Request, id, 
 			t.IK = r.Header.Get(IdempotencyHeader)
 		}
 		var st Status
+		var ct commitTicket
 		var tellErr error
-		if err := s.do(func() { st, tellErr = s.tell(t) }); err != nil {
+		if err := s.do(func() { st, ct, tellErr = s.tell(t) }); err != nil {
+			writeError(w, err)
+			return
+		}
+		// Durability gate before any acknowledgment — the aborted-state ack
+		// included, since the abort event must survive a crash too.
+		if err := sv.waitDurable(s, ct); err != nil {
 			writeError(w, err)
 			return
 		}

@@ -83,6 +83,16 @@ func (sv *Server) RecoverOwned(owns func(id string) bool) (RecoveryReport, error
 			sv.recTotal.Add(-1)
 			continue
 		}
+		var held *HeldElsewhereError
+		if errors.As(err, &held) {
+			// A live process holds the session's write lock (shared-store
+			// cluster: a peer is serving it right now). Not ours to replay —
+			// same disposition as a fence naming another node.
+			sv.recSkip.Add(1)
+			rep.Skipped = append(rep.Skipped, id)
+			rep.HeldElsewhere[id] = held.Owner
+			continue
+		}
 		if err != nil {
 			ps = PersistedSession{ID: id, Corrupt: err}
 		}

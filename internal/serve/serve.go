@@ -56,10 +56,12 @@ var (
 	ErrStaleEpoch = errors.New("serve: stale ownership epoch")
 )
 
-// HeldElsewhereError is Adopt refusing to take a session whose last
-// durable fence names a node the caller's guard did not clear (typically:
-// the recorded holder is still alive, and stealing a live node's session
-// would fork it). The caller routes traffic to Owner instead.
+// HeldElsewhereError is a refusal to take a session another node still
+// holds: Adopt's ownership guard did not clear the node named by the last
+// durable fence, or the store found the session's write lock held by a
+// live process (the kernel's answer to "is the owner actually dead?",
+// immune to failure-detector flaps). The caller routes traffic to Owner
+// instead of forking the session.
 type HeldElsewhereError struct {
 	ID    string
 	Owner string

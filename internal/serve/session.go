@@ -179,6 +179,13 @@ type session struct {
 	recs   []Record
 	failed []Record
 
+	// lastSeq is the WAL sequence of the newest append; requests return it
+	// in their commitTicket so the HTTP layer can wait for durability off
+	// the actor (group commit). compacting marks a snapshot commit running
+	// on its own goroutine so the cadence never starts two.
+	lastSeq    uint64
+	compacting bool
+
 	// Cluster ownership state. epoch is the session's current ownership
 	// epoch (1 until it moves); fenced marks a session whose ownership is
 	// transferring away — every mutating request fails with ErrStaleEpoch
@@ -362,28 +369,82 @@ func (s *session) close() {
 // The methods below are the actor-side request handlers; Server invokes
 // them through do().
 
-// logAppend write-ahead-logs one event. A failed append poisons the
-// session: durability is the contract, so rather than silently diverging
-// from its log the session refuses further work.
+// logAppend write-ahead-logs one event, remembering its sequence number as
+// the session's durability watermark. A failed append poisons the session:
+// durability is the contract, so rather than silently diverging from its
+// log the session refuses further work.
 func (s *session) logAppend(ev Event) error {
 	if s.log == nil {
 		return nil
 	}
-	if err := s.log.Append(ev); err != nil {
+	seq, err := s.log.Append(ev)
+	if err != nil {
 		s.logErr = fmt.Errorf("serve: write-ahead log append failed, session poisoned: %w", err)
 		return s.logErr
 	}
+	s.lastSeq = seq
 	return nil
 }
 
-// maybeCompact snapshots and compacts the durable log when it asks for it.
+// commitTicket is a request's durability obligation: the handler that got
+// one must wait() — off the actor goroutine — before acknowledging to the
+// client. Waiting on the session's newest sequence covers every event the
+// request appended (sequences only grow and a sync covers its whole
+// prefix); a zero ticket means nothing durable is owed.
+type commitTicket struct {
+	log SessionLog
+	seq uint64
+}
+
+// wait blocks until the ticket's record is on stable storage (under
+// fsync=always; a no-op otherwise — see SessionLog.WaitDurable). An error
+// means the ack must not be sent.
+func (t commitTicket) wait() error {
+	if t.log == nil {
+		return nil
+	}
+	return t.log.WaitDurable(t.seq)
+}
+
+// ticket snapshots the session's current durability obligation (actor side).
+func (s *session) ticket() commitTicket {
+	if s.log == nil {
+		return commitTicket{}
+	}
+	return commitTicket{log: s.log, seq: s.lastSeq}
+}
+
+// maybeCompact starts a snapshot compaction when the durable log asks for
+// one. The actor pays only the seal (a segment rotation); the snapshot
+// encode and write — the expensive part, O(history) — run on their own
+// goroutine so a large-n compaction no longer head-of-line-blocks asks
+// behind it. The snapshot's event copies are never mutated after the seal
+// (the actor only ever appends), so the off-actor marshal is race-free. A
+// commit failure poisons the session through the mailbox, exactly like a
+// failed append.
 func (s *session) maybeCompact() {
-	if s.log == nil || s.logErr != nil || !s.log.CompactionDue() {
+	if s.log == nil || s.logErr != nil || s.compacting || !s.log.CompactionDue() {
 		return
 	}
-	if err := s.log.Compact(s.snapshot()); err != nil {
+	commit, err := s.log.BeginCompact()
+	if err != nil {
 		s.logErr = fmt.Errorf("serve: snapshot compaction failed, session poisoned: %w", err)
+		return
 	}
+	s.compacting = true
+	snap := s.snapshot()
+	go func() {
+		cerr := commit(snap)
+		// Land the outcome back on the actor so compacting and logErr stay
+		// actor-owned. A session closed mid-commit already aborted the
+		// commit quietly against its closed log; the skipped reset is moot.
+		_ = s.do(func() {
+			s.compacting = false
+			if cerr != nil && s.logErr == nil {
+				s.logErr = fmt.Errorf("serve: snapshot compaction failed, session poisoned: %w", cerr)
+			}
+		})
+	}()
 }
 
 // staleErr renders the fencing rejection for this session.
@@ -392,36 +453,38 @@ func (s *session) staleErr() error {
 }
 
 // ask issues the next proposal (or a wait/done status) and logs it. The
-// event is durably appended before the proposal is handed out: a crash
+// event is appended write-ahead and the returned commitTicket names it: the
+// caller must wait the ticket before handing the proposal out, so a crash
 // after the response leaves the proposal recoverable as outstanding work.
 // ik, when non-empty, makes the ask idempotent: a retried delivery of the
 // same key gets the originally issued proposal back instead of consuming a
-// second budget slot.
-func (s *session) ask(ik string) (Ask, error) {
+// second budget slot (its ticket covers the original event, which may still
+// be riding a group-commit pass).
+func (s *session) ask(ik string) (Ask, commitTicket, error) {
 	if s.fenced {
-		return Ask{}, s.staleErr()
+		return Ask{}, commitTicket{}, s.staleErr()
 	}
 	if s.logErr != nil {
-		return Ask{}, s.logErr
+		return Ask{}, commitTicket{}, s.logErr
 	}
 	if ik != "" {
 		if a, ok := s.ikAsks[ik]; ok {
-			return a, nil
+			return a, s.ticket(), nil
 		}
 	}
 	p, ok, err := s.at.Suggest()
 	if err != nil {
-		return Ask{}, err
+		return Ask{}, commitTicket{}, err
 	}
 	if !ok {
 		if s.at.Done() {
-			return Ask{Status: AskDone}, nil
+			return Ask{Status: AskDone}, commitTicket{}, nil
 		}
-		return Ask{Status: AskWait}, nil
+		return Ask{Status: AskWait}, commitTicket{}, nil
 	}
 	ev := Event{Kind: "ask", ID: p.ID, X: p.X, IK: ik}
 	if err := s.logAppend(ev); err != nil {
-		return Ask{}, err
+		return Ask{}, commitTicket{}, err
 	}
 	s.events = append(s.events, ev)
 	s.ledger = append(s.ledger, ledgerEntry{id: p.ID, x: p.X})
@@ -453,7 +516,7 @@ func (s *session) ask(ik string) (Ask, error) {
 		s.ikAsks[ik] = a
 	}
 	s.maybeCompact()
-	return a, nil
+	return a, s.ticket(), nil
 }
 
 // resolveTell maps a tell onto concrete coordinates, consuming the matching
@@ -493,24 +556,27 @@ func (s *session) gaugeDone(n int) {
 }
 
 // tell absorbs one evaluation outcome and logs it. The returned Status
-// reflects the post-tell session state; a failed tell under the abort
-// policy kills the session and surfaces the abort error.
-func (s *session) tell(t Tell) (Status, error) {
+// reflects the post-tell session state, and the commitTicket names the
+// logged event — the caller must wait it before acknowledging, so no acked
+// tell can be lost to a crash. A failed tell under the abort policy kills
+// the session and surfaces the abort error.
+func (s *session) tell(t Tell) (Status, commitTicket, error) {
 	if s.fenced {
-		return Status{}, s.staleErr()
+		return Status{}, commitTicket{}, s.staleErr()
 	}
 	if s.logErr != nil {
-		return Status{}, s.logErr
+		return Status{}, commitTicket{}, s.logErr
 	}
 	if t.IK != "" && s.ikTells[t.IK] {
 		// Already applied: a resent at-least-once delivery. Acknowledge
 		// with the current state; applying again would double-count the
-		// observation.
-		return s.status(), nil
+		// observation. The ticket covers the original event in case its
+		// group-commit pass is still in flight.
+		return s.status(), s.ticket(), nil
 	}
 	id, x, err := s.resolveTell(t)
 	if err != nil {
-		return Status{}, err
+		return Status{}, commitTicket{}, err
 	}
 	var evalErr error
 	if t.Error != "" {
@@ -530,7 +596,7 @@ func (s *session) tell(t Tell) (Status, error) {
 	// so replay must include it to reproduce the dead state — and a tell
 	// that cannot be made durable must not be absorbed at all.
 	if err := s.logAppend(ev); err != nil {
-		return Status{}, err
+		return Status{}, commitTicket{}, err
 	}
 	wasDead := s.at.Err() != nil
 	s.events = append(s.events, ev)
@@ -569,7 +635,7 @@ func (s *session) tell(t Tell) (Status, error) {
 	}
 	s.maybeCompact()
 	st := s.status()
-	return st, obsErr
+	return st, s.ticket(), obsErr
 }
 
 // applyTell routes one outcome into the machine. Kept apart from tell so

@@ -1,0 +1,63 @@
+//go:build unix
+
+package wal
+
+import (
+	"errors"
+	"testing"
+
+	"easybo/internal/serve"
+)
+
+// TestDirLockSingleWriter pins the cross-process single-writer guard at
+// the wal layer: while one store holds a session open, a second store over
+// the same root (two stores in one process conflict exactly like two
+// processes — flock is per open handle) cannot load it for append; it gets
+// *serve.HeldElsewhereError naming the durably fenced holder. Closing the
+// first handle releases the lock and the second load sees the full
+// history.
+func TestDirLockSingleWriter(t *testing.T) {
+	root := t.TempDir()
+	stA := mustOpen(t, root, Options{Fsync: PolicyOff, CompactEvery: -1})
+	defer stA.Close()
+	l, err := stA.Begin("held", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(askEvent(0, 0.25, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Fence(2, "nodeA"); err != nil {
+		t.Fatal(err)
+	}
+
+	stB := mustOpen(t, root, Options{Fsync: PolicyOff, CompactEvery: -1})
+	defer stB.Close()
+	_, err = stB.LoadSession("held")
+	var heldErr *serve.HeldElsewhereError
+	if !errors.As(err, &heldErr) {
+		t.Fatalf("LoadSession under a live writer returned %v, want HeldElsewhereError", err)
+	}
+	if heldErr.Owner != "nodeA" {
+		t.Fatalf("held-elsewhere owner = %q, want the fenced holder %q", heldErr.Owner, "nodeA")
+	}
+
+	// The holder closing (process death releases the same way) frees the
+	// session for the next writer, with nothing lost.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := stB.LoadSession("held")
+	if err != nil {
+		t.Fatalf("LoadSession after release: %v", err)
+	}
+	if ps.Corrupt != nil {
+		t.Fatalf("session corrupt after release: %v", ps.Corrupt)
+	}
+	if len(ps.Events) != 1 || ps.Epoch != 2 || ps.Owner != "nodeA" {
+		t.Fatalf("recovered events=%d epoch=%d owner=%q, want 1/2/nodeA", len(ps.Events), ps.Epoch, ps.Owner)
+	}
+	if err := ps.Log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

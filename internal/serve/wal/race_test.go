@@ -1,0 +1,7 @@
+//go:build race
+
+package wal
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation allocates inside Append and would fail the zero-alloc pin.
+const raceEnabled = true

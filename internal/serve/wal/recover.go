@@ -47,21 +47,43 @@ func (st *Store) List() ([]string, error) {
 // sequence check, marks the session Corrupt so the server quarantines it.
 // A directory holding no durable record at all (fsync=off lost the whole
 // buffered log) is freed and reported as ErrUnknownSession.
+//
+// The scan runs under the session directory's exclusive lock, acquired
+// before the first read. A conflict means a live process — one the kernel,
+// not a heartbeat, vouches for — is still appending: loading its state
+// would both read a moving tail and open the door to a second writer, so
+// LoadSession refuses with *serve.HeldElsewhereError naming the last
+// durably fenced owner. A dead holder (kill -9 included) releases the lock
+// with its process, so crash recovery and failover adoption never wait.
 func (st *Store) LoadSession(id string) (serve.PersistedSession, error) {
 	ps := serve.PersistedSession{ID: id}
 	if err := serve.ValidateSessionID(id); err != nil {
 		return ps, fmt.Errorf("%w: %q", serve.ErrUnknownSession, id)
 	}
-	if _, err := os.Stat(st.sessionDir(id)); err != nil {
+	dir := st.sessionDir(id)
+	if _, err := os.Stat(dir); err != nil {
 		return ps, fmt.Errorf("%w: %q", serve.ErrUnknownSession, id)
+	}
+	lf, err := acquireDirLock(dir)
+	if errors.Is(err, errLockHeld) {
+		return ps, &serve.HeldElsewhereError{ID: id, Owner: st.peekOwner(id)}
+	}
+	if err != nil {
+		return ps, err
+	}
+	release := func() {
+		//easybolint:ok errdrop closing the advisory lock handle releases it either way; nothing was appended under it
+		_ = lf.Close()
 	}
 	sc, err := st.scanSession(id)
 	if errors.Is(err, errEmptySession) {
 		//easybolint:ok errdrop best-effort: an empty dir that survives is re-freed on the next boot
-		_ = os.RemoveAll(st.sessionDir(id))
+		_ = os.RemoveAll(dir)
+		release()
 		return ps, fmt.Errorf("%w: %q (no durable records)", serve.ErrUnknownSession, id)
 	}
 	if err != nil {
+		release()
 		ps.Corrupt = err
 		return ps, nil
 	}
@@ -73,13 +95,52 @@ func (st *Store) LoadSession(id string) (serve.PersistedSession, error) {
 		ps.Epoch = 1
 	}
 	ps.Owner = sc.owner
-	l, err := st.reopen(id, sc)
+	l, err := st.reopen(id, sc, lf)
 	if err != nil {
+		release()
 		ps.Corrupt = err
 		return ps, nil
 	}
 	ps.Log = l
 	return ps, nil
+}
+
+// peekOwner reads, without any lock, the node a session's durable state
+// last assigned it to: the newest parsable fence record, else the snapshot
+// owner. It runs only when the session is locked by a live writer, whose
+// in-flight tail may legally tear mid-record — parse errors are expected
+// and skipped; the answer is only used to route traffic toward the holder.
+func (st *Store) peekOwner(id string) string {
+	dir := st.sessionDir(id)
+	owner := ""
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotFileName)); err == nil {
+		var doc snapshotDoc
+		if json.Unmarshal(raw, &doc) == nil {
+			owner = doc.Snapshot.Owner
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return owner
+	}
+	for _, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, seg.path))
+		if err != nil {
+			continue
+		}
+		for len(data) > 0 {
+			line := data
+			if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+				line, data = data[:nl], data[nl+1:]
+			} else {
+				data = nil
+			}
+			if rec, perr := parseRecord(line); perr == nil && rec.Kind == "fence" {
+				owner = rec.Owner
+			}
+		}
+	}
+	return owner
 }
 
 // Load scans every persisted session — the whole-store convenience over
@@ -279,7 +340,7 @@ func parseRecord(line []byte) (*record, error) {
 // reopen builds the live append handle for a scanned session: the last
 // segment is opened for append (any torn tail already truncated), and the
 // sequence counter resumes where the scan ended.
-func (st *Store) reopen(id string, sc *scanResult) (*Log, error) {
+func (st *Store) reopen(id string, sc *scanResult, lock *os.File) (*Log, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
@@ -297,7 +358,11 @@ func (st *Store) reopen(id string, sc *scanResult) (*Log, error) {
 		}
 		delete(st.logs, id)
 	}
-	l := &Log{st: st, id: id, dir: st.sessionDir(id), seq: sc.nextSeq}
+	l := newLog(st, id, st.sessionDir(id))
+	l.lock = lock
+	l.seq = sc.nextSeq
+	// Everything a reopened log resumes from is already on disk.
+	l.syncedSeq = sc.nextSeq
 	// Resume the compaction cadence where the crash left it: the tail
 	// events count as "since the last snapshot", and the snapshot's size
 	// sets the growing due-threshold (see Log.CompactionDue).

@@ -32,8 +32,14 @@
 //
 // # Fsync policy
 //
-//	always    flush+fsync every append: survives kill -9 and power loss
-//	          at any point; one fsync per ask/tell.
+//	always    group-committed: every append is flushed to the kernel
+//	          immediately and acknowledged only after an fsync covering
+//	          its record completes. A store-wide committer coalesces all
+//	          records that arrived while the previous fsync pass was in
+//	          flight into the next pass, so the per-ack cost amortizes
+//	          across concurrent sessions and pipelined appends while the
+//	          guarantee stays per-append fsync: survives kill -9 and
+//	          power loss at any acknowledged point.
 //	interval  flush (to the kernel) every append, fsync on a background
 //	          cadence: survives kill -9 at any point — the page cache
 //	          belongs to the kernel, not the process — and bounds power-
@@ -42,17 +48,25 @@
 //	          and graceful close; no fsync. A kill -9 can lose the
 //	          buffered tail; recovery then restarts from a clean earlier
 //	          prefix (never a corrupt state).
+//
+// The ticket for "an fsync covering its record" is the record's sequence
+// number: Append returns it, WaitDurable blocks on it. Within one log an
+// fsync covers the whole byte prefix written so far, so a sync that covers
+// seq N covers every seq below it too.
 package wal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"easybo/internal/serve"
@@ -124,6 +138,23 @@ type Store struct {
 	logs   map[string]*Log
 	closed bool
 	done   chan struct{} // stops the interval syncer
+
+	// Group committer (PolicyAlways): appends flush to the kernel and
+	// enqueue their log here; one goroutine fsyncs every queued log per
+	// pass, so records that arrive while a pass's fsync is in flight share
+	// the next one. The queue is a slice plus a per-log queued flag (not a
+	// map) so pass order is deterministic and each log appears once.
+	cmu    sync.Mutex
+	ccond  *sync.Cond
+	cqueue []*Log
+	cstop  bool
+	cdone  chan struct{}
+
+	// Amortization counters: fsync passes issued on the append path vs the
+	// records those passes made durable. records/syncs == 1 is per-append
+	// fsync; group commit pushes it up with concurrency.
+	syncs   atomic.Uint64
+	records atomic.Uint64
 }
 
 var _ serve.Store = (*Store)(nil)
@@ -144,19 +175,42 @@ func Open(dir string, opts Options) (*Store, error) {
 		logs: map[string]*Log{},
 		done: make(chan struct{}),
 	}
-	if opts.Fsync == PolicyInterval {
+	st.ccond = sync.NewCond(&st.cmu)
+	st.cdone = make(chan struct{})
+	switch opts.Fsync {
+	case PolicyInterval:
 		go st.syncLoop()
+	case PolicyAlways:
+		go st.commitLoop()
+	default:
+		close(st.cdone)
 	}
 	return st, nil
+}
+
+// SyncStats reports how many fsync passes the store has issued for appended
+// records and how many records those passes covered; records/syncs is the
+// group-commit amortization factor (1.0 ≡ per-append fsync).
+func (st *Store) SyncStats() (syncs, records uint64) {
+	return st.syncs.Load(), st.records.Load()
 }
 
 const (
 	sessionsDirName   = "sessions"
 	quarantineDirName = "quarantine"
 	snapshotFileName  = "snapshot.json"
+	lockFileName      = "LOCK"
 	segmentPrefix     = "wal-"
 	segmentSuffix     = ".log"
 )
+
+// errLockHeld reports that a live process holds a session directory's
+// exclusive lock. LoadSession translates it into *serve.HeldElsewhereError
+// so the cluster routes to the holder instead of forking the session.
+var errLockHeld = errors.New("wal: session locked by a live process")
+
+// lockPath is the session directory's advisory lock file.
+func lockPath(dir string) string { return filepath.Join(dir, lockFileName) }
 
 func (st *Store) sessionDir(id string) string {
 	return filepath.Join(st.root, sessionsDirName, id)
@@ -209,11 +263,31 @@ func (st *Store) Begin(id string, cfg serve.SessionConfig) (serve.SessionLog, er
 		}
 		return nil, fmt.Errorf("wal: creating session dir: %w", err)
 	}
-	l := &Log{st: st, id: id, dir: dir, seg: 1, seq: 0}
-	if err := l.openSegment(); err != nil {
+	// The dir is freshly ours (Mkdir arbitrated), so the lock cannot be
+	// held; taking it now makes this process the single writer for the
+	// session's whole life here.
+	lf, err := acquireDirLock(dir)
+	if err != nil {
 		return nil, err
 	}
-	if err := l.appendRecord(record{Kind: "create", Cfg: &cfg}); err != nil {
+	l := newLog(st, id, dir)
+	l.lock = lf
+	l.seg = 1
+	if err := l.openSegment(); err != nil {
+		//easybolint:ok errdrop releasing the just-taken lock on a path already returning the open error
+		_ = lf.Close()
+		return nil, err
+	}
+	l.mu.Lock()
+	l.rec = record{Kind: "create", Cfg: &cfg}
+	_, err = l.appendLocked(&l.rec)
+	l.mu.Unlock()
+	if err == nil && st.opts.Fsync == PolicyAlways {
+		// The create record is acked by returning; make it durable now
+		// rather than waiting a committer round trip — creates are rare.
+		err = l.Sync()
+	}
+	if err != nil {
 		//easybolint:ok errdrop best-effort cleanup on a path already returning the append error
 		_ = l.Close()
 		return nil, err
@@ -286,6 +360,15 @@ func (st *Store) Close() error {
 			first = err
 		}
 	}
+	// Stop the committer after the logs: closeLocked already flushed and
+	// fsynced each one, so any still-queued pass is a no-op.
+	if st.opts.Fsync == PolicyAlways {
+		st.cmu.Lock()
+		st.cstop = true
+		st.cmu.Unlock()
+		st.ccond.Signal()
+		<-st.cdone
+	}
 	return first
 }
 
@@ -312,11 +395,69 @@ func (st *Store) syncLoop() {
 	}
 }
 
+// commitLoop is the PolicyAlways group committer: it drains the queue of
+// logs with unsynced appends and fsyncs each exactly once per pass. Every
+// record that lands while a pass's fsyncs are in flight re-queues its log,
+// so the next pass covers all of them with one fsync per log — the
+// amortization that makes -fsync always scale with concurrency.
+func (st *Store) commitLoop() {
+	defer close(st.cdone)
+	for {
+		st.cmu.Lock()
+		for len(st.cqueue) == 0 && !st.cstop {
+			st.ccond.Wait()
+		}
+		if len(st.cqueue) == 0 {
+			st.cmu.Unlock()
+			return
+		}
+		batch := st.cqueue
+		st.cqueue = nil
+		st.cmu.Unlock()
+		st.commitPass(batch)
+	}
+}
+
+// commitPass fsyncs each queued log; the per-log fsyncs run concurrently
+// (independent files — the kernel can overlap them), the pass completes
+// when all have.
+func (st *Store) commitPass(batch []*Log) {
+	if len(batch) == 1 {
+		batch[0].commitOne()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, l := range batch {
+		wg.Add(1)
+		go func(l *Log) {
+			defer wg.Done()
+			l.commitOne()
+		}(l)
+	}
+	wg.Wait()
+}
+
+// enqueueCommit schedules l for the committer's next pass. Caller holds
+// l.mu (guarding the queued flag); the flag keeps a log from appearing in
+// the queue twice and is cleared by commitOne before it captures the covered
+// sequence, so a record that lands after that point re-queues the log.
+func (st *Store) enqueueCommit(l *Log) {
+	if l.queued {
+		return
+	}
+	l.queued = true
+	st.cmu.Lock()
+	st.cqueue = append(st.cqueue, l)
+	st.cmu.Unlock()
+	st.ccond.Signal()
+}
+
 // ------------------------------------------------------------------- Log
 
 // Log is one session's segmented append-only log. Appends come from the
-// session actor; the interval syncer and Close may run concurrently, so a
-// mutex guards the file state.
+// session actor; the interval syncer, the group committer, durability
+// waiters, a compaction commit, and Close may run concurrently, so a mutex
+// guards the file state.
 type Log struct {
 	st  *Store
 	id  string
@@ -324,6 +465,7 @@ type Log struct {
 
 	mu       sync.Mutex
 	f        *os.File
+	lock     *os.File // exclusive dir lock: the cross-process single-writer guard
 	w        *bufio.Writer
 	seg      uint64 // current segment index
 	segBytes int64  // bytes written to the current segment
@@ -332,9 +474,31 @@ type Log struct {
 	base     int    // events embedded in the last snapshot (0 = none)
 	dirty    bool   // unsynced data since the last fsync
 	closed   bool
+
+	cond      *sync.Cond // wakes WaitDurable on syncedSeq/syncErr/close changes
+	syncedSeq uint64     // records with seq below this are fsynced
+	syncErr   error      // sticky commit failure: nothing may be acked after it
+	queued    bool       // scheduled for the committer's next pass
+
+	// Append scratch, reused across calls so a steady-state append
+	// allocates nothing. Only touched under l.mu; the actor serializes
+	// appends, so the scratch is never live across two records.
+	encBuf bytes.Buffer
+	enc    *json.Encoder
+	rec    record
+	recEv  serve.Event
 }
 
 var _ serve.SessionLog = (*Log)(nil)
+
+// newLog wires a Log's encoder and durability plumbing; callers set the
+// position fields (seg/seq/since/base) and then openSegment.
+func newLog(st *Store, id, dir string) *Log {
+	l := &Log{st: st, id: id, dir: dir}
+	l.cond = sync.NewCond(&l.mu)
+	l.enc = json.NewEncoder(&l.encBuf)
+	return l
+}
 
 // openSegment opens (creating or appending) the current segment.
 func (l *Log) openSegment() error {
@@ -355,56 +519,163 @@ func (l *Log) openSegment() error {
 	return nil
 }
 
-// appendRecord frames, writes, and (per policy) syncs one record, stamping
-// it with the next sequence number. Caller does not hold l.mu.
-func (l *Log) appendRecord(rec record) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+// crcPlaceholder is the frame header appendLocked stamps before encoding;
+// crcPut backfills the real checksum over it once the payload bytes exist.
+const crcPlaceholder = "00000000 "
+
+// crcPut writes crc as 8 lowercase hex digits into dst[:8], matching the
+// byte format fmt.Sprintf("%08x", crc) produced before the zero-alloc path.
+func crcPut(dst []byte, crc uint32) {
+	const hexdigits = "0123456789abcdef"
+	for i := 7; i >= 0; i-- {
+		dst[i] = hexdigits[crc&0xf]
+		crc >>= 4
+	}
+}
+
+// appendLocked frames and writes one record, stamping it with the next
+// sequence number, and returns that number as the durability ticket. The
+// frame is built in the log's scratch buffer as "00000000 <json>\n" and the
+// CRC backfilled over the placeholder, so a steady-state append allocates
+// nothing. Under PolicyAlways the bytes go to the kernel immediately and
+// the log joins the committer's next fsync pass; WaitDurable gates the ack.
+// Caller holds l.mu.
+func (l *Log) appendLocked(rec *record) (uint64, error) {
 	if l.closed {
-		return fmt.Errorf("wal: log %q closed", l.id)
+		return 0, fmt.Errorf("wal: log %q closed", l.id)
+	}
+	if l.syncErr != nil {
+		return 0, l.syncErr
 	}
 	rec.Seq = l.seq
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("wal: encoding record: %w", err)
+	l.encBuf.Reset()
+	//easybolint:ok errdrop bytes.Buffer.WriteString is documented to always return a nil error
+	l.encBuf.WriteString(crcPlaceholder)
+	if err := l.enc.Encode(rec); err != nil {
+		return 0, fmt.Errorf("wal: encoding record: %w", err)
 	}
-	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
-	if _, err := l.w.WriteString(line); err != nil {
-		return fmt.Errorf("wal: appending: %w", err)
+	line := l.encBuf.Bytes() // Encode appended the newline terminator
+	crcPut(line[:8], crc32.ChecksumIEEE(line[len(crcPlaceholder):len(line)-1]))
+	if _, err := l.w.Write(line); err != nil {
+		return 0, fmt.Errorf("wal: appending: %w", err)
 	}
+	seq := rec.Seq
 	l.segBytes += int64(len(line))
 	l.seq++
 	l.dirty = true
 	switch l.st.opts.Fsync {
 	case PolicyAlways:
-		if err := l.flushLocked(true); err != nil {
-			return err
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: flushing: %w", err)
 		}
+		l.st.enqueueCommit(l)
 	case PolicyInterval:
 		// Hand the bytes to the kernel now (survives kill -9); the
 		// background cadence bounds power-loss exposure.
 		if err := l.w.Flush(); err != nil {
-			return fmt.Errorf("wal: flushing: %w", err)
+			return 0, fmt.Errorf("wal: flushing: %w", err)
 		}
 	case PolicyOff:
 		// Buffered; the bufio layer flushes when full.
 	}
 	if l.segBytes >= l.st.opts.SegmentBytes {
-		return l.rotateLocked()
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
 	}
-	return nil
+	return seq, nil
 }
 
-// Append implements serve.SessionLog.
-func (l *Log) Append(ev serve.Event) error {
-	e := ev
-	if err := l.appendRecord(record{Kind: "event", Ev: &e}); err != nil {
-		return err
+// Append implements serve.SessionLog: it stages the event record, hands it
+// to the kernel per policy, and returns its sequence number — the ticket
+// WaitDurable acks against.
+func (l *Log) Append(ev serve.Event) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recEv = ev
+	l.rec = record{Kind: "event", Ev: &l.recEv}
+	seq, err := l.appendLocked(&l.rec)
+	if err != nil {
+		return 0, err
+	}
+	l.since++
+	return seq, nil
+}
+
+// WaitDurable implements serve.SessionLog: it blocks until an fsync
+// covering seq completes. Under interval/off the configured contract is
+// that acks do not wait for the platter, so it returns immediately; under
+// always it is the second half of the append→ack pipeline.
+func (l *Log) WaitDurable(seq uint64) error {
+	if l.st.opts.Fsync != PolicyAlways {
+		return nil
 	}
 	l.mu.Lock()
-	l.since++
+	defer l.mu.Unlock()
+	for l.syncedSeq <= seq && l.syncErr == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.syncedSeq > seq {
+		return nil
+	}
+	if l.syncErr != nil {
+		return l.syncErr
+	}
+	return fmt.Errorf("wal: log %q closed before seq %d was durable", l.id, seq)
+}
+
+// commitOne is one log's slice of a committer pass: flush the buffered tail
+// under the lock, fsync the captured file handle outside it (appends
+// proceed concurrently), then publish the covered sequence and wake
+// waiters. An fsync error is ignored when a rotation, Sync, or Close
+// already made the covered bytes durable through a different path — the
+// handle we captured may have been closed under us, which is fine exactly
+// when syncedSeq already passed our capture.
+func (l *Log) commitOne() {
+	l.mu.Lock()
+	l.queued = false
+	if l.closed || l.syncedSeq >= l.seq {
+		// closeLocked flushed and fsynced, or a synchronous path (rotate,
+		// Sync, Fence) already covered everything queued.
+		l.mu.Unlock()
+		return
+	}
+	if err := l.w.Flush(); err != nil {
+		l.failCommitLocked(fmt.Errorf("wal: flushing: %w", err))
+		l.mu.Unlock()
+		return
+	}
+	upto := l.seq
+	f := l.f
 	l.mu.Unlock()
-	return nil
+
+	err := f.Sync()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.syncedSeq >= upto {
+		// Covered by a concurrent rotate/Sync/Close; err (if any) is stale.
+		return
+	}
+	if err != nil {
+		l.failCommitLocked(fmt.Errorf("wal: fsync: %w", err))
+		return
+	}
+	l.st.records.Add(upto - l.syncedSeq)
+	l.st.syncs.Add(1)
+	l.syncedSeq = upto
+	l.dirty = l.seq != upto // records that landed during the fsync
+	l.cond.Broadcast()
+}
+
+// failCommitLocked records a sticky sync failure and wakes waiters: from
+// here every WaitDurable and Append fails, so nothing is acked past a disk
+// that stopped accepting writes. Caller holds l.mu.
+func (l *Log) failCommitLocked(err error) {
+	if l.syncErr == nil {
+		l.syncErr = err
+	}
+	l.cond.Broadcast()
 }
 
 // Fence implements serve.SessionLog: it durably records an ownership
@@ -414,7 +685,11 @@ func (l *Log) Append(ev serve.Event) error {
 // whole point of a fence is that it is on disk before the new owner serves
 // a request, regardless of the append cadence.
 func (l *Log) Fence(epoch uint64, owner string) error {
-	if err := l.appendRecord(record{Kind: "fence", Epoch: epoch, Owner: owner}); err != nil {
+	l.mu.Lock()
+	l.rec = record{Kind: "fence", Epoch: epoch, Owner: owner}
+	_, err := l.appendLocked(&l.rec)
+	l.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	if l.st.opts.Fsync == PolicyOff {
@@ -451,64 +726,92 @@ func (l *Log) CompactionDue() bool {
 	return l.since >= due
 }
 
-// Compact implements serve.SessionLog: write the snapshot document as the
-// new recovery base (atomic tmp+rename), then delete every covered segment
-// and start a fresh one. The snapshot is taken by the session actor after
-// all appended events, so it covers the entire log.
-func (l *Log) Compact(snap serve.Snapshot) error {
+// BeginCompact implements serve.SessionLog: it seals the log at the
+// compaction cut and returns a commit function that does the expensive
+// snapshot encode+write off the caller's goroutine. The seal is cheap — a
+// segment rotation, which per policy flushes (and fsyncs) everything up to
+// the cut before commit may prune it — so the session actor pays O(1) I/O
+// and keeps serving asks while commit encodes; appends land in the fresh
+// segment the whole time.
+func (l *Log) BeginCompact() (func(serve.Snapshot) error, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return fmt.Errorf("wal: log %q closed", l.id)
+		return nil, fmt.Errorf("wal: log %q closed", l.id)
 	}
-	// Everything appended so far must be on disk before the segments that
-	// hold it are deleted.
-	if err := l.flushLocked(l.st.opts.Fsync != PolicyOff); err != nil {
-		return err
+	if err := l.rotateLocked(); err != nil {
+		return nil, err
 	}
-	doc, err := json.Marshal(snapshotDoc{NextSeq: l.seq, Snapshot: snap})
+	cutSeq := l.seq
+	cutSeg := l.seg - 1 // rotateLocked advanced to the fresh segment
+	cutSince := l.since
+	return func(snap serve.Snapshot) error {
+		return l.commitSnapshot(cutSeq, cutSeg, cutSince, snap)
+	}, nil
+}
+
+// commitSnapshot is the off-actor half of a compaction: encode and write
+// the snapshot document with no lock held, then atomically install it as
+// the new recovery base and prune the sealed segments it covers. A log
+// closed while the encode ran (shutdown, handoff, quarantine) aborts
+// quietly — until the rename the sealed segments stay authoritative, so
+// nothing is lost. The snapshot covers exactly the records below cutSeq;
+// the segment tail past the cut holds the delta, as always.
+func (l *Log) commitSnapshot(cutSeq, cutSeg uint64, cutSince int, snap serve.Snapshot) error {
+	doc, err := json.Marshal(snapshotDoc{NextSeq: cutSeq, Snapshot: snap})
 	if err != nil {
 		return fmt.Errorf("wal: encoding snapshot: %w", err)
 	}
+	fsync := l.st.opts.Fsync != PolicyOff
 	tmp := filepath.Join(l.dir, snapshotFileName+".tmp")
-	if err := writeFileSync(tmp, doc, l.st.opts.Fsync != PolicyOff); err != nil {
+	if err := writeFileSync(tmp, doc, fsync); err != nil {
 		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		//easybolint:ok errdrop quiet abort: the tmp file is garbage and the sealed segments remain authoritative
+		_ = os.Remove(tmp)
+		return nil
 	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotFileName)); err != nil {
 		return fmt.Errorf("wal: installing snapshot: %w", err)
 	}
-	if l.st.opts.Fsync != PolicyOff {
+	if fsync {
 		if err := syncDir(l.dir); err != nil {
 			return err
 		}
 	}
-	// The snapshot is durable; the covered segments are garbage. Once the
-	// segment file is closed the buffered writer is dead, so any failure
-	// from here on marks the log closed — later Appends then fail with a
-	// clear "log closed" instead of writing into a closed file.
-	if err := l.f.Close(); err != nil {
-		l.closed = true
-		return fmt.Errorf("wal: closing segment: %w", err)
-	}
+	l.since -= cutSince
+	l.base = len(snap.Events)
+	// The snapshot is durable; the sealed segments it covers are garbage.
+	// A failed prune does not poison the log: recovery skips records the
+	// snapshot covers and finishes the prune itself, and the next
+	// compaction retries it.
 	segs, err := listSegments(l.dir)
 	if err != nil {
-		l.closed = true
 		return err
 	}
 	for _, seg := range segs {
+		if seg.n > cutSeg {
+			continue
+		}
 		if err := os.Remove(filepath.Join(l.dir, seg.path)); err != nil {
-			l.closed = true
 			return fmt.Errorf("wal: pruning segment: %w", err)
 		}
 	}
-	l.seg++
-	l.since = 0
-	l.base = len(snap.Events)
-	if err := l.openSegment(); err != nil {
-		l.closed = true
+	return nil
+}
+
+// Compact implements serve.SessionLog: BeginCompact plus an immediate
+// commit, for callers that want the synchronous shape (snapshot install,
+// handoff, tests). The snapshot must cover every event appended so far.
+func (l *Log) Compact(snap serve.Snapshot) error {
+	commit, err := l.BeginCompact()
+	if err != nil {
 		return err
 	}
-	return nil
+	return commit(snap)
 }
 
 // Sync implements serve.SessionLog.
@@ -536,11 +839,25 @@ func (l *Log) closeLocked() error {
 	if cerr := l.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
+	if l.lock != nil {
+		// Releasing the dir lock (by closing its handle) comes after the
+		// final flush: the instant another process can acquire the log,
+		// everything this writer produced is already on disk.
+		//easybolint:ok errdrop closing the advisory lock handle releases it either way; the flush above was the durability step
+		_ = l.lock.Close()
+		l.lock = nil
+	}
+	if err != nil && l.syncErr == nil {
+		// The final flush failed: durability waiters must not ack.
+		l.syncErr = err
+	}
 	l.closed = true
+	l.cond.Broadcast()
 	return err
 }
 
-// flushLocked drains the bufio buffer to the kernel and optionally fsyncs.
+// flushLocked drains the bufio buffer to the kernel and optionally fsyncs,
+// publishing the newly covered sequence numbers to durability waiters.
 func (l *Log) flushLocked(fsync bool) error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flushing: %w", err)
@@ -550,6 +867,12 @@ func (l *Log) flushLocked(fsync bool) error {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.dirty = false
+		if l.seq > l.syncedSeq {
+			l.st.records.Add(l.seq - l.syncedSeq)
+			l.st.syncs.Add(1)
+			l.syncedSeq = l.seq
+			l.cond.Broadcast()
+		}
 	}
 	return nil
 }

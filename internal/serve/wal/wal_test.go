@@ -83,7 +83,7 @@ func TestWALRoundTrip(t *testing.T) {
 				{Kind: "abort", ID: -1, Err: "evaluation failed: sim crashed"},
 			}
 			for _, ev := range want {
-				if err := l.Append(ev); err != nil {
+				if _, err := l.Append(ev); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -107,7 +107,7 @@ func TestWALRoundTrip(t *testing.T) {
 				t.Fatalf("events diverged:\n got  %+v\n want %+v", ps.Events, want)
 			}
 			// The reopened log must keep appending with continuous seqs.
-			if err := ps.Log.Append(askEvent(2, 0.5, 0.5)); err != nil {
+			if _, err := ps.Log.Append(askEvent(2, 0.5, 0.5)); err != nil {
 				t.Fatal(err)
 			}
 			if err := st2.Close(); err != nil {
@@ -135,7 +135,7 @@ func TestWALSegmentRotation(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		ev := askEvent(i, float64(i)/20, 0.5)
 		want = append(want, ev)
-		if err := l.Append(ev); err != nil {
+		if _, err := l.Append(ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -170,7 +170,7 @@ func TestWALCompaction(t *testing.T) {
 		askEvent(1, 0.2, 0.2), tellEvent(1, -2, 0.2, 0.2),
 	}
 	for _, ev := range pre {
-		if err := l.Append(ev); err != nil {
+		if _, err := l.Append(ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -188,7 +188,7 @@ func TestWALCompaction(t *testing.T) {
 		t.Fatal("compaction still due right after compacting")
 	}
 	tail := []serve.Event{askEvent(2, 0.3, 0.3)}
-	if err := l.Append(tail[0]); err != nil {
+	if _, err := l.Append(tail[0]); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()
@@ -227,7 +227,7 @@ func TestWALCrashBetweenSnapshotAndPruneRecovers(t *testing.T) {
 		askEvent(1, 0.2, 0.2), tellEvent(1, -2, 0.2, 0.2),
 	}
 	for _, ev := range pre {
-		if err := l.Append(ev); err != nil {
+		if _, err := l.Append(ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -290,7 +290,7 @@ func TestWALCrashBetweenSnapshotAndPruneRecovers(t *testing.T) {
 	}
 	// And the log keeps appending with continuous sequence numbers.
 	tail := askEvent(2, 0.3, 0.3)
-	if err := ps.Log.Append(tail); err != nil {
+	if _, err := ps.Log.Append(tail); err != nil {
 		t.Fatal(err)
 	}
 	st2.Close()
@@ -314,7 +314,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 	}
 	want := []serve.Event{askEvent(0, 0.5, 0.5), tellEvent(0, -3, 0.5, 0.5)}
 	for _, ev := range want {
-		if err := l.Append(ev); err != nil {
+		if _, err := l.Append(ev); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -339,7 +339,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatalf("torn tail not truncated cleanly: %+v", ps.Events)
 	}
 	// The truncation is physical: a re-scan sees a clean log.
-	if err := ps.Log.Append(askEvent(1, 0.25, 0.25)); err != nil {
+	if _, err := ps.Log.Append(askEvent(1, 0.25, 0.25)); err != nil {
 		t.Fatal(err)
 	}
 	st2.Close()
@@ -363,7 +363,7 @@ func TestWALCompleteBadTailQuarantines(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := l.Append(askEvent(i, float64(i)/4, 0.5)); err != nil {
+		if _, err := l.Append(askEvent(i, float64(i)/4, 0.5)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -412,7 +412,7 @@ func TestWALCompactionCadenceScalesWithHistory(t *testing.T) {
 		for i := 0; i < n; i++ {
 			ev := askEvent(len(hist), float64(len(hist))/64, 0.5)
 			hist = append(hist, ev)
-			if err := lg.Append(ev); err != nil {
+			if _, err := lg.Append(ev); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -467,7 +467,7 @@ func TestWALQuarantineConcurrentWithAppends(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 1_000_000; i++ {
-			if l.Append(askEvent(i, 0.5, 0.5)) != nil {
+			if _, err := l.Append(askEvent(i, 0.5, 0.5)); err != nil {
 				return // closed underneath us by Quarantine — expected
 			}
 		}
@@ -490,7 +490,7 @@ func TestWALMidFileCorruptionQuarantines(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := l.Append(askEvent(i, float64(i)/4, 0.5)); err != nil {
+		if _, err := l.Append(askEvent(i, float64(i)/4, 0.5)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -538,7 +538,7 @@ func TestWALSequenceGapQuarantines(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
-		if err := l.Append(askEvent(i, float64(i)/12, 0.5)); err != nil {
+		if _, err := l.Append(askEvent(i, float64(i)/12, 0.5)); err != nil {
 			t.Fatal(err)
 		}
 	}
